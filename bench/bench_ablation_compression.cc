@@ -1,0 +1,85 @@
+// Ablation: pack compression codecs (§4.3) — google-benchmark micro
+// measurements of encode/decode throughput and achieved ratios for the
+// FOR+delta+bitpack integer codec and the string dictionary codec.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "imci/compression.h"
+
+namespace imci {
+namespace {
+
+std::vector<int64_t> MakeInts(const std::string& pattern, size_t n) {
+  Rng rng(7);
+  std::vector<int64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (pattern == "sequential") {
+      v[i] = 1'000'000 + static_cast<int64_t>(i);
+    } else if (pattern == "dates") {
+      v[i] = 8000 + static_cast<int64_t>(rng.Next() % 2400);
+    } else {
+      v[i] = static_cast<int64_t>(rng.Next());
+    }
+  }
+  return v;
+}
+
+void BM_IntEncode(benchmark::State& state, const std::string& pattern) {
+  auto v = MakeInts(pattern, 65536);
+  size_t encoded = 0;
+  for (auto _ : state) {
+    std::string buf;
+    IntCodec::Encode(v, &buf);
+    encoded = buf.size();
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(state.iterations() * v.size() * 8);
+  state.counters["ratio"] =
+      static_cast<double>(v.size() * 8) / static_cast<double>(encoded);
+}
+
+void BM_IntDecode(benchmark::State& state, const std::string& pattern) {
+  auto v = MakeInts(pattern, 65536);
+  std::string buf;
+  IntCodec::Encode(v, &buf);
+  for (auto _ : state) {
+    std::vector<int64_t> out;
+    IntCodec::Decode(buf, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * v.size() * 8);
+}
+
+void BM_DictEncode(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::string> v(65536);
+  const char* tags[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                        "TRUCK"};
+  size_t raw = 0;
+  for (auto& s : v) {
+    s = tags[rng.Next() % 7];
+    raw += s.size();
+  }
+  size_t encoded = 0;
+  for (auto _ : state) {
+    std::string buf;
+    DictCodec::Encode(v, &buf);
+    encoded = buf.size();
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(state.iterations() * raw);
+  state.counters["ratio"] =
+      static_cast<double>(raw) / static_cast<double>(encoded);
+}
+
+BENCHMARK_CAPTURE(BM_IntEncode, sequential, std::string("sequential"));
+BENCHMARK_CAPTURE(BM_IntEncode, dates, std::string("dates"));
+BENCHMARK_CAPTURE(BM_IntEncode, random, std::string("random"));
+BENCHMARK_CAPTURE(BM_IntDecode, sequential, std::string("sequential"));
+BENCHMARK_CAPTURE(BM_IntDecode, dates, std::string("dates"));
+BENCHMARK(BM_DictEncode);
+
+}  // namespace
+}  // namespace imci
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Reproduces Figure 10: CH-benCHmark performance isolation. (a) saturate
+// OLTP on the RW node, then grow analytical clients on the RO node — OLTP
+// throughput must degrade <5%; (b) saturate OLAP, then grow OLTP clients —
+// OLAP dips modestly (<20% in the paper) because the tables grow and invalid
+// rows accumulate, not because of resource contention.
+#include "bench/bench_util.h"
+
+using namespace imci;
+using namespace imci::bench;
+
+namespace {
+
+double RunApClients(Cluster* cluster, int clients, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      int q = c % chbench::ChBench::kNumAnalytical;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<Row> out;
+        auto exec = [&](const LogicalRef& p, std::vector<Row>* o) {
+          return cluster->proxy()->ExecuteQuery(p, o);
+        };
+        if (chbench::ChBench::RunAnalytical(q, *cluster->catalog(), exec,
+                                            &out).ok()) {
+          queries.fetch_add(1, std::memory_order_relaxed);
+        }
+        q = (q + 1) % chbench::ChBench::kNumAnalytical;
+      }
+    });
+  }
+  Timer t;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<uint64_t>(seconds * 1e6)));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  return queries.load() / t.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int warehouses = static_cast<int>(Flag(argc, argv, "wh", 4));
+  const double secs = Flag(argc, argv, "secs", 1.5);
+  const int tp_saturation = static_cast<int>(Flag(argc, argv, "tp", 8));
+  chbench::ChBench bench(warehouses, /*items=*/500);
+  auto cluster = MakeChBenchCluster(&bench);
+  if (!cluster) return 1;
+  auto* txns = cluster->rw()->txn_manager();
+
+  std::printf("# Figure 10a | OLTP isolation: %d TP threads saturated, AP "
+              "clients grow\n", tp_saturation);
+  std::printf("%-12s %14s %14s %10s\n", "ap_clients", "tp_tps", "ap_qps",
+              "tp_loss");
+  double tp_base = 0;
+  for (int ap : {0, 2, 4, 8, 16}) {
+    std::atomic<bool> stop{false};
+    std::thread ap_driver;
+    std::atomic<uint64_t> ap_queries{0};
+    std::vector<std::thread> ap_threads;
+    for (int c = 0; c < ap; ++c) {
+      ap_threads.emplace_back([&, c] {
+        int q = c % chbench::ChBench::kNumAnalytical;
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::vector<Row> out;
+          auto exec = [&](const LogicalRef& p, std::vector<Row>* o) {
+            return cluster->proxy()->ExecuteQuery(p, o);
+          };
+          if (chbench::ChBench::RunAnalytical(q, *cluster->catalog(), exec,
+                                              &out).ok()) {
+            ap_queries.fetch_add(1);
+          }
+          q = (q + 1) % chbench::ChBench::kNumAnalytical;
+        }
+      });
+    }
+    Timer t;
+    double tp_tps = DriveOltp(tp_saturation, secs, [&](int w) {
+      thread_local Rng rng(1234 + w);
+      bench.RunTransaction(txns, &rng);
+    });
+    stop.store(true);
+    for (auto& th : ap_threads) th.join();
+    const double ap_qps = ap_queries.load() / t.ElapsedSeconds();
+    if (ap == 0) tp_base = tp_tps;
+    std::printf("%-12d %14.0f %14.1f %9.1f%%\n", ap, tp_tps, ap_qps,
+                100.0 * (tp_base - tp_tps) / tp_base);
+  }
+  std::printf("# paper: OLTP loss < 5%% as AP clients grow (Fig 10a)\n\n");
+
+  std::printf("# Figure 10b | OLAP isolation: AP saturated, TP clients grow\n");
+  std::printf("%-12s %14s %14s %10s\n", "tp_clients", "ap_qps", "tp_tps",
+              "ap_loss");
+  const int ap_sat = 8;
+  double ap_base = 0;
+  for (int tp : {0, 2, 4, 8, 16}) {
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> tp_threads;
+    std::atomic<uint64_t> tp_ops{0};
+    for (int w = 0; w < tp; ++w) {
+      tp_threads.emplace_back([&, w] {
+        Rng rng(99 + w);
+        while (!stop.load(std::memory_order_relaxed)) {
+          bench.RunTransaction(txns, &rng);
+          tp_ops.fetch_add(1);
+        }
+      });
+    }
+    Timer t;
+    double ap_qps = RunApClients(cluster.get(), ap_sat, secs);
+    stop.store(true);
+    for (auto& th : tp_threads) th.join();
+    if (tp == 0) ap_base = ap_qps;
+    std::printf("%-12d %14.1f %14.0f %9.1f%%\n", tp, ap_qps,
+                tp_ops.load() / t.ElapsedSeconds(),
+                100.0 * (ap_base - ap_qps) / std::max(ap_base, 1e-9));
+  }
+  std::printf("# paper: OLAP loss < 20%% as TP clients grow (Fig 10b)\n");
+  return 0;
+}

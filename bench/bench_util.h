@@ -1,0 +1,100 @@
+#ifndef POLARDB_IMCI_BENCH_BENCH_UTIL_H_
+#define POLARDB_IMCI_BENCH_BENCH_UTIL_H_
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "workloads/chbench.h"
+#include "workloads/sysbench.h"
+#include "workloads/tpch.h"
+
+namespace imci {
+namespace bench {
+
+/// Reads a double-valued flag "--name=value" from argv, else `def`.
+inline double Flag(int argc, char** argv, const std::string& name,
+                   double def) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return std::atof(arg.c_str() + prefix.size());
+  }
+  return def;
+}
+
+inline std::unique_ptr<Cluster> MakeTpchCluster(double sf, int ros = 1,
+                                                ClusterOptions opts = {}) {
+  opts.initial_ro_nodes = ros;
+  if (opts.ro.imci.row_group_size == 65536 && sf < 0.2) {
+    opts.ro.imci.row_group_size = 8192;  // keep pruning meaningful at small SF
+  }
+  auto cluster = std::make_unique<Cluster>(opts);
+  tpch::TpchGen gen(sf);
+  for (auto& schema : gen.Schemas()) {
+    if (!cluster->CreateTable(schema).ok()) return nullptr;
+  }
+  for (auto table : {tpch::kRegion, tpch::kNation, tpch::kSupplier,
+                     tpch::kPart, tpch::kPartsupp, tpch::kCustomer,
+                     tpch::kOrders, tpch::kLineitem}) {
+    if (!cluster->BulkLoad(table, gen.Generate(table)).ok()) return nullptr;
+  }
+  if (!cluster->Open().ok()) return nullptr;
+  return cluster;
+}
+
+inline std::unique_ptr<Cluster> MakeChBenchCluster(
+    chbench::ChBench* bench, ClusterOptions opts = {}) {
+  auto cluster = std::make_unique<Cluster>(opts);
+  for (auto& schema : bench->Schemas()) {
+    if (!cluster->CreateTable(schema).ok()) return nullptr;
+  }
+  for (auto t : {chbench::kItem, chbench::kWarehouse, chbench::kDistrict,
+                 chbench::kCustomer, chbench::kStock, chbench::kOrder,
+                 chbench::kOrderLine, chbench::kNewOrder}) {
+    if (!cluster->BulkLoad(t, bench->Generate(t)).ok()) return nullptr;
+  }
+  if (!cluster->Open().ok()) return nullptr;
+  return cluster;
+}
+
+/// Runs `op` from `threads` workers for `seconds`; returns completed ops/sec.
+inline double DriveOltp(int threads, double seconds,
+                        const std::function<void(int)>& op) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ops{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        op(t);
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  Timer timer;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<uint64_t>(seconds * 1e6)));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  return static_cast<double>(ops.load()) / timer.ElapsedSeconds();
+}
+
+inline double GeoMean(const std::vector<double>& xs) {
+  double acc = 0;
+  for (double x : xs) acc += std::log(std::max(x, 1e-9));
+  return std::exp(acc / xs.size());
+}
+
+}  // namespace bench
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// Business-intelligence dashboard over TPC-H data: loads the full schema,
+// then answers the dashboard's panels with real TPC-H queries (Q1 pricing
+// summary, Q3 shipping priority, Q5 regional volume, Q6 forecast) on the
+// column engine, comparing each against the row engine to show the speedup
+// the paper reports in Figure 9.
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "workloads/tpch.h"
+
+using namespace imci;
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.02;
+  ClusterOptions options;
+  Cluster cluster(options);
+  tpch::TpchGen gen(sf);
+  for (auto& schema : gen.Schemas()) {
+    if (!cluster.CreateTable(schema).ok()) return 1;
+  }
+  for (auto table : {tpch::kRegion, tpch::kNation, tpch::kSupplier,
+                     tpch::kPart, tpch::kPartsupp, tpch::kCustomer,
+                     tpch::kOrders, tpch::kLineitem}) {
+    if (!cluster.BulkLoad(table, gen.Generate(table)).ok()) return 1;
+  }
+  if (!cluster.Open().ok()) return 1;
+  RoNode* ro = cluster.ro(0);
+  ro->CatchUpNow();
+  ro->RefreshStats();
+  std::printf("dashboard over TPC-H SF=%.2f (%lu lineitems)\n\n", sf,
+              (unsigned long)ro->imci()
+                  ->GetIndex(tpch::kLineitem)
+                  ->visible_rows(ro->applied_vid()));
+
+  struct Panel {
+    int q;
+    const char* title;
+  } panels[] = {{1, "Pricing summary (Q1)"},
+                {3, "Unshipped high-value orders (Q3)"},
+                {5, "Regional supplier volume (Q5)"},
+                {6, "Discount forecast (Q6)"}};
+  for (const Panel& panel : panels) {
+    std::vector<Row> rows;
+    Timer col_t;
+    auto col = [&](const LogicalRef& p, std::vector<Row>* out) {
+      return ro->ExecuteColumn(p, out);
+    };
+    if (!tpch::RunQuery(panel.q, *cluster.catalog(), col, &rows).ok()) {
+      return 1;
+    }
+    const double col_ms = col_t.ElapsedMicros() / 1000.0;
+    Timer row_t;
+    std::vector<Row> row_rows;
+    auto row = [&](const LogicalRef& p, std::vector<Row>* out) {
+      return ro->ExecuteRow(p, out);
+    };
+    if (!tpch::RunQuery(panel.q, *cluster.catalog(), row, &row_rows).ok()) {
+      return 1;
+    }
+    const double row_ms = row_t.ElapsedMicros() / 1000.0;
+    std::printf("%-38s %4zu rows | column %8.2fms | row %8.2fms | x%.1f\n",
+                panel.title, rows.size(), col_ms, row_ms,
+                row_ms / std::max(col_ms, 1e-3));
+    for (size_t i = 0; i < rows.size() && i < 3; ++i) {
+      std::printf("    ");
+      for (size_t c = 0; c < rows[i].size() && c < 5; ++c) {
+        std::printf("%s  ", ValueToString(rows[i][c]).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

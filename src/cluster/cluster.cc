@@ -1,0 +1,118 @@
+#include "cluster/cluster.h"
+
+#include <chrono>
+#include <thread>
+
+namespace imci {
+
+RoNode* Proxy::PickRo() {
+  std::lock_guard<std::mutex> g(*topo_mu_);
+  RoNode* best = nullptr;
+  for (RoNode* ro : *ros_) {
+    if (!ro->replicating()) continue;
+    if (best == nullptr || ro->active_sessions() < best->active_sessions()) {
+      best = ro;
+    }
+  }
+  return best;
+}
+
+Status Proxy::ExecuteQuery(const LogicalRef& plan, std::vector<Row>* out,
+                           Consistency consistency, EngineChoice* chosen) {
+  RoNode* ro = PickRo();
+  if (ro == nullptr) return Status::Busy("no RO node available");
+  if (consistency == Consistency::kStrong) {
+    // §6.4: only route to an RO whose applied LSN is not less than the RW's
+    // written LSN observed at submission.
+    const Lsn written = rw_->written_lsn();
+    while (ro->applied_lsn() < written) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  ro->EnterSession();
+  Status s = ro->Execute(plan, out, chosen);
+  ro->LeaveSession();
+  return s;
+}
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options),
+      fs_(options.fs),
+      rw_(std::make_unique<RwNode>(&fs_, &catalog_,
+                                   options.rw_pool_capacity)),
+      proxy_(rw_.get(), &ro_nodes_, &topo_mu_) {}
+
+Cluster::~Cluster() {
+  for (auto& ro : ro_owned_) ro->StopReplication();
+}
+
+Status Cluster::Open() {
+  IMCI_RETURN_NOT_OK(rw_->FinishLoad());
+  for (int i = 0; i < options_.initial_ro_nodes; ++i) {
+    RoNode* node = nullptr;
+    IMCI_RETURN_NOT_OK(AddRoNode(&node));
+  }
+  return Status::OK();
+}
+
+Status Cluster::AddRoNode(RoNode** out) {
+  auto node = std::make_unique<RoNode>(
+      "ro" + std::to_string(next_ro_id_++), &fs_, &catalog_, options_.ro);
+  IMCI_RETURN_NOT_OK(node->Boot());
+  node->StartReplication();
+  RoNode* raw = node.get();
+  {
+    std::lock_guard<std::mutex> g(topo_mu_);
+    ro_owned_.push_back(std::move(node));
+    ro_nodes_.push_back(raw);
+    // §7: the first RO node in the cluster is the leader.
+    if (ro_nodes_.size() == 1) raw->set_leader(true);
+  }
+  if (out) *out = raw;
+  return Status::OK();
+}
+
+Status Cluster::RemoveRoNode(size_t index) {
+  std::unique_ptr<RoNode> victim;
+  {
+    std::lock_guard<std::mutex> g(topo_mu_);
+    if (index >= ro_nodes_.size()) return Status::OutOfRange("ro index");
+    const bool was_leader = ro_nodes_[index]->is_leader();
+    victim = std::move(ro_owned_[index]);
+    ro_owned_.erase(ro_owned_.begin() + index);
+    ro_nodes_.erase(ro_nodes_.begin() + index);
+    if (was_leader && !ro_nodes_.empty()) {
+      // RW re-designates one of the followers as the new leader (§7).
+      ro_nodes_.front()->set_leader(true);
+    }
+  }
+  victim->StopReplication();
+  return Status::OK();
+}
+
+Status Cluster::TriggerCheckpoint() {
+  RoNode* l = leader();
+  if (l == nullptr) return Status::NotFound("no leader");
+  l->RequestCheckpoint(next_ckpt_id_++);
+  return Status::OK();
+}
+
+std::vector<RoNode*> Cluster::ro_nodes() {
+  std::lock_guard<std::mutex> g(topo_mu_);
+  return ro_nodes_;
+}
+
+RoNode* Cluster::ro(size_t i) {
+  std::lock_guard<std::mutex> g(topo_mu_);
+  return i < ro_nodes_.size() ? ro_nodes_[i] : nullptr;
+}
+
+RoNode* Cluster::leader() {
+  std::lock_guard<std::mutex> g(topo_mu_);
+  for (RoNode* ro : ro_nodes_) {
+    if (ro->is_leader()) return ro;
+  }
+  return nullptr;
+}
+
+}  // namespace imci

@@ -1,0 +1,105 @@
+#ifndef POLARDB_IMCI_CLUSTER_CLUSTER_H_
+#define POLARDB_IMCI_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/ro_node.h"
+#include "cluster/rw_node.h"
+
+namespace imci {
+
+/// Session-level consistency (§6.4): eventual reads go to any RO node;
+/// strong reads only to an RO whose applied LSN has caught up with the RW's
+/// written LSN at request time.
+enum class Consistency { kEventual, kStrong };
+
+/// The database proxy (§3.1/§6.1 inter-node routing): a stateless layer that
+/// directs writes to the RW node and balances read-only queries across RO
+/// nodes by active session count.
+class Proxy {
+ public:
+  Proxy(RwNode* rw, std::vector<RoNode*>* ros, std::mutex* topo_mu)
+      : rw_(rw), ros_(ros), topo_mu_(topo_mu) {}
+
+  RwNode* Write() { return rw_; }
+
+  /// Picks the least-loaded available RO node; nullptr when none.
+  RoNode* PickRo();
+
+  /// Routes a read-only query: inter-node (this), then intra-node (the RO's
+  /// optimizer). Strong consistency waits for the chosen node to catch up
+  /// to the RW's current written LSN.
+  Status ExecuteQuery(const LogicalRef& plan, std::vector<Row>* out,
+                      Consistency consistency = Consistency::kEventual,
+                      EngineChoice* chosen = nullptr);
+
+ private:
+  RwNode* rw_;
+  std::vector<RoNode*>* ros_;
+  std::mutex* topo_mu_;
+};
+
+struct ClusterOptions {
+  PolarFs::Options fs;
+  RoNodeOptions ro;
+  size_t rw_pool_capacity = 0;
+  int initial_ro_nodes = 1;
+};
+
+/// A PolarDB-IMCI cluster in one process: shared storage + one RW node +
+/// elastic RO nodes + proxy. Node roles follow §7: the first RO node is the
+/// leader (issues checkpoints); if it leaves, the next is designated.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Status CreateTable(std::shared_ptr<const Schema> schema) {
+    return rw_->CreateTable(std::move(schema));
+  }
+  Status BulkLoad(TableId table, std::vector<Row> rows) {
+    return rw_->BulkLoad(table, std::move(rows));
+  }
+
+  /// Finishes loading: flushes the row store, boots the initial RO nodes and
+  /// starts replication on them.
+  Status Open();
+
+  /// Scale-out (§7): boots a new RO node from the latest checkpoint (fast
+  /// recovery) or by rebuild, starts replication, and returns it. The node
+  /// serves queries immediately; use `node->LsnDelay()` to watch catch-up.
+  Status AddRoNode(RoNode** out);
+
+  /// Scale-in: stops and removes RO node `index`; re-designates the leader
+  /// if needed.
+  Status RemoveRoNode(size_t index);
+
+  /// Asks the RO leader to checkpoint (CSN = its applied VID).
+  Status TriggerCheckpoint();
+
+  RwNode* rw() { return rw_.get(); }
+  Proxy* proxy() { return &proxy_; }
+  PolarFs* fs() { return &fs_; }
+  Catalog* catalog() { return &catalog_; }
+  std::vector<RoNode*> ro_nodes();
+  RoNode* ro(size_t i);
+  RoNode* leader();
+
+ private:
+  ClusterOptions options_;
+  PolarFs fs_;
+  Catalog catalog_;
+  std::unique_ptr<RwNode> rw_;
+  std::mutex topo_mu_;
+  std::vector<std::unique_ptr<RoNode>> ro_owned_;
+  std::vector<RoNode*> ro_nodes_;
+  Proxy proxy_;
+  uint64_t next_ckpt_id_ = 1;
+  int next_ro_id_ = 1;
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_CLUSTER_CLUSTER_H_

@@ -1,0 +1,160 @@
+#include "cluster/ro_node.h"
+
+#include "cluster/rw_node.h"
+
+namespace imci {
+
+RoNode::RoNode(std::string name, PolarFs* fs, Catalog* catalog,
+               RoNodeOptions options)
+    : name_(std::move(name)),
+      fs_(fs),
+      catalog_(catalog),
+      options_(options),
+      engine_(fs, catalog, options.buffer_pool_capacity),
+      imci_(options.imci),
+      exec_pool_(options.exec_threads),
+      repl_pool_(std::max(options.replication.parse_parallelism,
+                          options.replication.apply_parallelism)),
+      pipeline_(fs, catalog, engine_.buffer_pool(), &imci_, &repl_pool_,
+                options.replication, &engine_) {}
+
+RoNode::~RoNode() { StopReplication(); }
+
+Status RoNode::Boot() {
+  // Attach the row-store replica.
+  std::vector<std::pair<TableId, PageId>> registry;
+  IMCI_RETURN_NOT_OK(RowStoreEngine::LoadRegistry(fs_, &registry));
+  for (const auto& [table_id, meta_page] : registry) {
+    auto schema = catalog_->Get(table_id);
+    if (!schema) return Status::Corruption("schema missing for table");
+    IMCI_RETURN_NOT_OK(engine_.AttachTable(schema, meta_page));
+    // Replica tables need local secondary indexes / row counts for the RO
+    // row engine; rebuild them from the attached pages.
+    IMCI_RETURN_NOT_OK(
+        engine_.GetTable(table_id)->RebuildIndexesFromPages());
+  }
+  // Column indexes: fast recovery from checkpoint, else rebuild by scan.
+  Vid csn = 0;
+  Lsn start_lsn = 0;
+  uint64_t ckpt_id = 0;
+  Status s = ImciCheckpoint::LoadLatest(fs_, *catalog_, &imci_, &csn,
+                                        &start_lsn, &ckpt_id);
+  if (s.ok()) {
+    boot_vid_ = csn;
+    boot_lsn_ = start_lsn;
+    // The checkpoint filter: transactions already folded into the loaded
+    // state must not be re-applied.
+    options_.replication.skip_vids_upto = csn;
+  } else if (s.IsNotFound()) {
+    IMCI_RETURN_NOT_OK(RwNode::ReadBaseLsn(fs_, &boot_lsn_));
+    boot_vid_ = 0;
+    IMCI_RETURN_NOT_OK(RebuildFromRowStore());
+  } else {
+    return s;
+  }
+  RefreshStats();
+  return Status::OK();
+}
+
+Status RoNode::RebuildFromRowStore() {
+  // §3.3: "issue a consistent read on the row store, scan the checkpoint,
+  // and convert it to a column index". The bulk-loaded state is visible to
+  // every read view (VID 0).
+  for (const auto& schema : catalog_->All()) {
+    RowTable* table = engine_.GetTable(schema->table_id());
+    if (table == nullptr) continue;
+    ColumnIndex* index = imci_.CreateIndex(schema);
+    Status inner = Status::OK();
+    IMCI_RETURN_NOT_OK(table->Scan([&](int64_t pk, const Row& row) {
+      inner = index->Insert(row, 0);
+      return inner.ok();
+    }));
+    IMCI_RETURN_NOT_OK(inner);
+    index->FreezeFullGroups();
+  }
+  return Status::OK();
+}
+
+void RoNode::StartReplication() {
+  if (replicating_.exchange(true)) return;
+  // Restart from wherever we already advanced to (Boot or prior runs).
+  const Lsn from = pipeline_.read_lsn() > boot_lsn_ ? pipeline_.read_lsn()
+                                                    : boot_lsn_;
+  const Vid vid = pipeline_.applied_vid() > boot_vid_ ? pipeline_.applied_vid()
+                                                      : boot_vid_;
+  pipeline_.Start(from, vid);
+}
+
+void RoNode::StopReplication() {
+  if (!replicating_.exchange(false)) return;
+  pipeline_.Stop();
+}
+
+Status RoNode::CatchUpNow() {
+  if (replicating_.load()) {
+    // Background pipeline owns the cursor; just wait for it.
+    while (pipeline_.read_lsn() < fs_->written_lsn()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return Status::OK();
+  }
+  if (pipeline_.read_lsn() == 0 && pipeline_.applied_vid() == 0) {
+    pipeline_.Start(boot_lsn_, boot_vid_);
+    pipeline_.Stop();
+  }
+  return pipeline_.CatchUp(fs_->written_lsn());
+}
+
+Status RoNode::ExecuteColumn(const LogicalRef& plan, std::vector<Row>* out,
+                             int parallelism) {
+  ExecContext ctx;
+  ctx.pool = &exec_pool_;
+  ctx.parallelism =
+      parallelism > 0 ? parallelism : options_.default_parallelism;
+  ctx.read_vid = pipeline_.applied_vid();
+  // Pin the read view on every index the plan touches so maintenance never
+  // reclaims versions under us (§6.4 snapshot consistency).
+  std::vector<const LogicalNode*> scans;
+  CollectScans(plan, &scans);
+  std::vector<std::pair<ColumnIndex*, uint64_t>> pins;
+  for (const LogicalNode* s : scans) {
+    ColumnIndex* index = imci_.GetIndex(s->table_id);
+    if (index) pins.emplace_back(index, index->read_views()->Pin(ctx.read_vid));
+  }
+  PhysOpRef root;
+  Status status = LowerToColumnPlan(plan, &imci_, &root);
+  if (status.ok()) status = RunPlan(root, &ctx, out);
+  for (auto& [index, token] : pins) index->read_views()->Unpin(token);
+  return status;
+}
+
+Status RoNode::ExecuteRow(const LogicalRef& plan, std::vector<Row>* out) {
+  ExecContext ctx;
+  ctx.pool = nullptr;  // the row engine executes single-threaded
+  ctx.parallelism = 1;
+  ctx.read_vid = kMaxVid;
+  PhysOpRef root;
+  IMCI_RETURN_NOT_OK(LowerToRowPlan(plan, &engine_, &root));
+  return RunPlan(root, &ctx, out);
+}
+
+Status RoNode::Execute(const LogicalRef& plan, std::vector<Row>* out,
+                       EngineChoice* chosen) {
+  RoutingDecision d = RouteQuery(plan, stats_, options_.row_cost_threshold);
+  if (chosen) *chosen = d.engine;
+  if (d.engine == EngineChoice::kRowEngine) {
+    Status s = ExecuteRow(plan, out);
+    // Run-time fallback in the *other* direction is what the paper does for
+    // column plans; symmetrical here: a row plan that fails (e.g. missing
+    // index path) falls back to the column engine.
+    if (s.ok()) return s;
+  }
+  return ExecuteColumn(plan, out);
+}
+
+void RoNode::RefreshStats() {
+  stats_.Collect(imci_);
+  stats_.CollectRowStore(engine_);
+}
+
+}  // namespace imci

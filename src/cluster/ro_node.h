@@ -1,0 +1,107 @@
+#ifndef POLARDB_IMCI_CLUSTER_RO_NODE_H_
+#define POLARDB_IMCI_CLUSTER_RO_NODE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "plan/optimizer.h"
+#include "replication/pipeline.h"
+
+namespace imci {
+
+struct RoNodeOptions {
+  ReplicationOptions replication;
+  ColumnIndexOptions imci;
+  int exec_threads = 8;
+  int default_parallelism = 8;
+  size_t buffer_pool_capacity = 0;
+  /// Intra-node routing threshold: estimated row-engine rows-touched above
+  /// which the column engine is chosen (§6.1).
+  double row_cost_threshold = 20000.0;
+};
+
+/// A read-only node (§3.1): dual-format storage — a row-store replica (its
+/// buffer pool, maintained by Phase#1) plus in-memory column indexes — and
+/// dual execution engines with cost-based intra-node routing.
+class RoNode {
+ public:
+  RoNode(std::string name, PolarFs* fs, Catalog* catalog,
+         RoNodeOptions options);
+  ~RoNode();
+
+  /// Boots the node: attaches row tables from the shared registry, then
+  /// either fast-recovers column indexes from the latest checkpoint (§7) or
+  /// rebuilds them by scanning the row store (the DDL path, §3.3). Returns
+  /// the LSN replication must start from.
+  Status Boot();
+
+  /// Starts/stops the background replication pipeline.
+  void StartReplication();
+  void StopReplication();
+  /// Synchronously applies everything currently in the log (tests).
+  Status CatchUpNow();
+
+  // --- Query execution ----------------------------------------------------
+
+  /// Runs on the column engine at the current applied read view.
+  Status ExecuteColumn(const LogicalRef& plan, std::vector<Row>* out,
+                       int parallelism = 0);
+  /// Runs on the row engine against the row-store replica.
+  Status ExecuteRow(const LogicalRef& plan, std::vector<Row>* out);
+  /// Cost-based intra-node routing (§6.1): row engine for cheap/point
+  /// queries, column engine otherwise.
+  Status Execute(const LogicalRef& plan, std::vector<Row>* out,
+                 EngineChoice* chosen = nullptr);
+
+  /// Refreshes optimizer statistics by sampling the column indexes.
+  void RefreshStats();
+
+  // --- State --------------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  Vid applied_vid() const { return pipeline_.applied_vid(); }
+  Lsn applied_lsn() const { return pipeline_.applied_lsn(); }
+  uint64_t LsnDelay() const { return pipeline_.LsnDelay(); }
+  bool replicating() const { return replicating_.load(); }
+
+  bool is_leader() const { return leader_.load(); }
+  void set_leader(bool on) { leader_.store(on); }
+  /// RO-leader duty: request a checkpoint at the next replication boundary.
+  void RequestCheckpoint(uint64_t ckpt_id) {
+    pipeline_.RequestCheckpoint(ckpt_id);
+  }
+
+  int active_sessions() const { return active_sessions_.load(); }
+  void EnterSession() { active_sessions_.fetch_add(1); }
+  void LeaveSession() { active_sessions_.fetch_sub(1); }
+
+  ReplicationPipeline* pipeline() { return &pipeline_; }
+  ImciStore* imci() { return &imci_; }
+  RowStoreEngine* engine() { return &engine_; }
+  StatsCollector* stats() { return &stats_; }
+  ThreadPool* exec_pool() { return &exec_pool_; }
+
+ private:
+  Status RebuildFromRowStore();
+
+  std::string name_;
+  PolarFs* fs_;
+  Catalog* catalog_;
+  RoNodeOptions options_;
+  RowStoreEngine engine_;
+  ImciStore imci_;
+  ThreadPool exec_pool_;
+  ThreadPool repl_pool_;
+  ReplicationPipeline pipeline_;
+  StatsCollector stats_;
+  Lsn boot_lsn_ = 0;
+  Vid boot_vid_ = 0;
+  std::atomic<bool> leader_{false};
+  std::atomic<bool> replicating_{false};
+  std::atomic<int> active_sessions_{0};
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_CLUSTER_RO_NODE_H_

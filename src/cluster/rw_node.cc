@@ -1,0 +1,37 @@
+#include "cluster/rw_node.h"
+
+#include "common/coding.h"
+
+namespace imci {
+
+RwNode::RwNode(PolarFs* fs, Catalog* catalog, size_t pool_capacity,
+               uint64_t lock_timeout_us)
+    : fs_(fs),
+      engine_(fs, catalog, pool_capacity),
+      redo_(fs),
+      locks_(lock_timeout_us),
+      binlog_(fs),
+      txns_(&engine_, &redo_, &locks_, &binlog_) {}
+
+Status RwNode::BulkLoad(TableId table, std::vector<Row> rows) {
+  RowTable* t = engine_.GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  return t->BulkLoad(std::move(rows));
+}
+
+Status RwNode::FinishLoad() {
+  IMCI_RETURN_NOT_OK(engine_.CheckpointPages());
+  std::string blob;
+  PutFixed64(&blob, redo_.last_lsn());
+  return fs_->WriteFile("rowstore/base_lsn", std::move(blob));
+}
+
+Status RwNode::ReadBaseLsn(PolarFs* fs, Lsn* lsn) {
+  std::string blob;
+  IMCI_RETURN_NOT_OK(fs->ReadFile("rowstore/base_lsn", &blob));
+  if (blob.size() < 8) return Status::Corruption("base_lsn");
+  *lsn = GetFixed64(blob.data());
+  return Status::OK();
+}
+
+}  // namespace imci

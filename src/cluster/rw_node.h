@@ -1,0 +1,57 @@
+#ifndef POLARDB_IMCI_CLUSTER_RW_NODE_H_
+#define POLARDB_IMCI_CLUSTER_RW_NODE_H_
+
+#include <memory>
+
+#include "common/schema.h"
+#include "polarfs/polarfs.h"
+#include "redo/redo_writer.h"
+#include "rowstore/engine.h"
+
+namespace imci {
+
+/// The read/write primary (§3.1): row store + transaction execution + REDO
+/// production. It is the only writer in the cluster; everything downstream
+/// (RO row-store replicas and column indexes) is derived from its REDO log
+/// through shared storage.
+class RwNode {
+ public:
+  RwNode(PolarFs* fs, Catalog* catalog, size_t pool_capacity = 0,
+         uint64_t lock_timeout_us = 50'000);
+
+  Status CreateTable(std::shared_ptr<const Schema> schema) {
+    return engine_.CreateTable(std::move(schema));
+  }
+
+  /// Initial data load, bypassing logging (the DDL/bulk path, §3.3).
+  Status BulkLoad(TableId table, std::vector<Row> rows);
+
+  /// Finishes the load phase: flushes all pages to shared storage, persists
+  /// the table registry, and records the base LSN from which RO nodes must
+  /// replay. Call once after all BulkLoads and before starting replication.
+  Status FinishLoad();
+
+  static Status ReadBaseLsn(PolarFs* fs, Lsn* lsn);
+
+  TransactionManager* txn_manager() { return &txns_; }
+  RowStoreEngine* engine() { return &engine_; }
+  RedoWriter* redo() { return &redo_; }
+  BinlogWriter* binlog() { return &binlog_; }
+  PolarFs* fs() { return fs_; }
+
+  /// LSN of the most recent durable append (the proxy's "written LSN" used
+  /// for strong consistency, §6.4).
+  Lsn written_lsn() const { return redo_.last_lsn(); }
+
+ private:
+  PolarFs* fs_;
+  RowStoreEngine engine_;
+  RedoWriter redo_;
+  LockManager locks_;
+  BinlogWriter binlog_;
+  TransactionManager txns_;
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_CLUSTER_RW_NODE_H_

@@ -1,0 +1,39 @@
+#ifndef POLARDB_IMCI_COMMON_CLOCK_H_
+#define POLARDB_IMCI_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace imci {
+
+/// Monotonic wall-clock helpers used by benches and visibility-delay
+/// measurement.
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple stopwatch.
+class Timer {
+ public:
+  Timer() : start_(NowMicros()) {}
+  void Reset() { start_ = NowMicros(); }
+  uint64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_COMMON_CLOCK_H_

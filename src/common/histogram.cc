@@ -1,0 +1,75 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace imci {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(uint64_t v) {
+  // 16 sub-buckets per power of two.
+  if (v == 0) return 0;
+  int msb = 63 - __builtin_clzll(v);
+  int sub = msb >= 4 ? static_cast<int>((v >> (msb - 4)) & 0xF) : 0;
+  int b = msb * 16 + sub;
+  return std::min(b, kNumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketUpper(int b) {
+  int msb = b / 16;
+  int sub = b % 16;
+  if (msb < 4) return 1ull << msb;
+  return (1ull << msb) + (static_cast<uint64_t>(sub + 1) << (msb - 4));
+}
+
+void LatencyHistogram::Record(uint64_t micros) {
+  std::lock_guard<std::mutex> g(mu_);
+  buckets_[BucketFor(micros)]++;
+  count_++;
+  sum_ += micros;
+  min_ = std::min(min_, micros);
+  max_ = std::max(max_, micros);
+}
+
+uint64_t LatencyHistogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (count_ == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return std::min(BucketUpper(b), max_);
+  }
+  return max_;
+}
+
+uint64_t LatencyHistogram::Min() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return count_ ? min_ : 0;
+}
+
+uint64_t LatencyHistogram::Max() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return max_;
+}
+
+uint64_t LatencyHistogram::Count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return count_;
+}
+
+double LatencyHistogram::MeanMicros() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+}
+
+void LatencyHistogram::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = max_ = 0;
+  min_ = ~0ull;
+}
+
+}  // namespace imci

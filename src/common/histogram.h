@@ -1,0 +1,41 @@
+#ifndef POLARDB_IMCI_COMMON_HISTOGRAM_H_
+#define POLARDB_IMCI_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace imci {
+
+/// Log-bucketed latency histogram for percentile reporting (visibility-delay
+/// figures 12 and 16). Thread-safe; records values in microseconds.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(uint64_t micros);
+  /// Returns the value at the given quantile in [0,1], in microseconds.
+  uint64_t Percentile(double q) const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+  uint64_t Count() const;
+  double MeanMicros() const;
+  void Reset();
+
+ private:
+  static constexpr int kNumBuckets = 512;
+  static int BucketFor(uint64_t v);
+  static uint64_t BucketUpper(int b);
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_COMMON_HISTOGRAM_H_

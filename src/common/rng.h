@@ -1,0 +1,98 @@
+#ifndef POLARDB_IMCI_COMMON_RNG_H_
+#define POLARDB_IMCI_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imci {
+
+/// Deterministic xorshift128+ generator. All workload generators take an
+/// explicit seed so every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    s0_ = seed * 0x9e3779b97f4a7c15ull + 1;
+    s1_ = (seed ^ 0xdeadbeefcafebabeull) | 1;
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(
+                                                  hi - lo + 1));
+  }
+
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase-alnum string of length in [min_len, max_len].
+  std::string RandomString(int min_len, int max_len) {
+    static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    int len = static_cast<int>(Uniform(min_len, max_len));
+    std::string s(len, 'a');
+    for (int i = 0; i < len; ++i) s[i] = kAlphabet[Next() % 36];
+    return s;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipfian distribution over [0, n), used by the sysbench-style workloads
+/// (§8.1: "insert-only and write-only (update) workloads with Zipfian
+/// distribution").
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta = 0.99, uint64_t seed = 42)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n);
+    zeta2_ = Zeta(2);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.UniformDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  double Zeta(uint64_t n) const {
+    double sum = 0;
+    uint64_t cap = n > 10000 ? 10000 : n;  // truncated zeta approximation
+    for (uint64_t i = 1; i <= cap; ++i) sum += 1.0 / std::pow(i, theta_);
+    if (n > cap) {
+      // integral tail approximation
+      sum += (std::pow(static_cast<double>(n), 1 - theta_) -
+              std::pow(static_cast<double>(cap), 1 - theta_)) /
+             (1 - theta_);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_COMMON_RNG_H_

@@ -1,0 +1,206 @@
+#include "common/row.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace imci {
+
+void RowCodec::Encode(const Schema& schema, const Row& row, std::string* out) {
+  out->clear();
+  const int n = schema.num_columns();
+  // Null bitmap.
+  const int bitmap_bytes = (n + 7) / 8;
+  out->append(bitmap_bytes, '\0');
+  for (int i = 0; i < n; ++i) {
+    if (IsNull(row[i])) (*out)[i / 8] |= static_cast<char>(1u << (i % 8));
+  }
+  for (int i = 0; i < n; ++i) {
+    if (IsNull(row[i])) continue;
+    switch (schema.column(i).type) {
+      case DataType::kInt64:
+      case DataType::kInt32:
+      case DataType::kDate:
+        PutFixed64(out, static_cast<uint64_t>(AsInt(row[i])));
+        break;
+      case DataType::kDouble: {
+        double d = AsDouble(row[i]);
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutFixed64(out, bits);
+        break;
+      }
+      case DataType::kString: {
+        const std::string& s = AsString(row[i]);
+        PutFixed32(out, static_cast<uint32_t>(s.size()));
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+Status RowCodec::Decode(const Schema& schema, const char* data, size_t size,
+                        Row* row) {
+  const int n = schema.num_columns();
+  const size_t bitmap_bytes = (n + 7) / 8;
+  if (size < bitmap_bytes) return Status::Corruption("row too short");
+  row->assign(n, Value{});
+  size_t pos = bitmap_bytes;
+  for (int i = 0; i < n; ++i) {
+    const bool is_null = (data[i / 8] >> (i % 8)) & 1;
+    if (is_null) continue;
+    switch (schema.column(i).type) {
+      case DataType::kInt64:
+      case DataType::kInt32:
+      case DataType::kDate: {
+        if (pos + 8 > size) return Status::Corruption("row int trunc");
+        (*row)[i] = static_cast<int64_t>(GetFixed64(data + pos));
+        pos += 8;
+        break;
+      }
+      case DataType::kDouble: {
+        if (pos + 8 > size) return Status::Corruption("row dbl trunc");
+        uint64_t bits = GetFixed64(data + pos);
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        (*row)[i] = d;
+        pos += 8;
+        break;
+      }
+      case DataType::kString: {
+        if (pos + 4 > size) return Status::Corruption("row strlen trunc");
+        uint32_t len = GetFixed32(data + pos);
+        pos += 4;
+        if (pos + len > size) return Status::Corruption("row str trunc");
+        (*row)[i] = std::string(data + pos, len);
+        pos += len;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RowCodec::DecodePk(const Schema& schema, const char* data, size_t size,
+                          int64_t* pk) {
+  // The PK column is non-nullable; walk lanes up to pk_col.
+  const int n = schema.num_columns();
+  const size_t bitmap_bytes = (n + 7) / 8;
+  if (size < bitmap_bytes) return Status::Corruption("row too short");
+  size_t pos = bitmap_bytes;
+  for (int i = 0; i < n; ++i) {
+    const bool is_null = (data[i / 8] >> (i % 8)) & 1;
+    const bool is_pk = (i == schema.pk_col());
+    if (is_null) {
+      if (is_pk) return Status::Corruption("null pk");
+      continue;
+    }
+    switch (schema.column(i).type) {
+      case DataType::kInt64:
+      case DataType::kInt32:
+      case DataType::kDate:
+      case DataType::kDouble: {
+        if (pos + 8 > size) return Status::Corruption("pk trunc");
+        if (is_pk) {
+          *pk = static_cast<int64_t>(GetFixed64(data + pos));
+          return Status::OK();
+        }
+        pos += 8;
+        break;
+      }
+      case DataType::kString: {
+        if (pos + 4 > size) return Status::Corruption("pk strlen trunc");
+        uint32_t len = GetFixed32(data + pos);
+        pos += 4 + len;
+        if (pos > size) return Status::Corruption("pk str trunc");
+        if (is_pk) return Status::Corruption("string pk unsupported");
+        break;
+      }
+    }
+  }
+  return Status::Corruption("pk column not found");
+}
+
+RowDiff RowDiff::Compute(const std::string& before, const std::string& after) {
+  RowDiff diff;
+  diff.new_size = static_cast<uint32_t>(after.size());
+  const size_t common = std::min(before.size(), after.size());
+  size_t i = 0;
+  while (i < common) {
+    if (before[i] == after[i]) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    // Extend the mismatching run; tolerate short matching gaps (<4 bytes) to
+    // reduce patch-count overhead.
+    size_t match_run = 0;
+    while (j < common && match_run < 4) {
+      if (before[j] == after[j]) {
+        ++match_run;
+      } else {
+        match_run = 0;
+      }
+      ++j;
+    }
+    const size_t end = j - match_run;
+    diff.patches.push_back(
+        {static_cast<uint32_t>(i), after.substr(i, end - i)});
+    i = j;
+  }
+  if (after.size() > common) {
+    diff.patches.push_back(
+        {static_cast<uint32_t>(common), after.substr(common)});
+  }
+  return diff;
+}
+
+Status RowDiff::Apply(const std::string& before, std::string* after) const {
+  after->assign(before);
+  after->resize(new_size, '\0');
+  for (const Patch& p : patches) {
+    if (p.offset + p.bytes.size() > after->size()) {
+      return Status::Corruption("diff patch out of range");
+    }
+    after->replace(p.offset, p.bytes.size(), p.bytes);
+  }
+  return Status::OK();
+}
+
+void RowDiff::Serialize(std::string* out) const {
+  PutFixed32(out, new_size);
+  PutFixed32(out, static_cast<uint32_t>(patches.size()));
+  for (const Patch& p : patches) {
+    PutFixed32(out, p.offset);
+    PutFixed32(out, static_cast<uint32_t>(p.bytes.size()));
+    out->append(p.bytes);
+  }
+}
+
+Status RowDiff::Deserialize(const char* data, size_t size, RowDiff* diff) {
+  if (size < 8) return Status::Corruption("diff header");
+  diff->new_size = GetFixed32(data);
+  uint32_t n = GetFixed32(data + 4);
+  size_t pos = 8;
+  diff->patches.clear();
+  diff->patches.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (pos + 8 > size) return Status::Corruption("diff patch header");
+    uint32_t off = GetFixed32(data + pos);
+    uint32_t len = GetFixed32(data + pos + 4);
+    pos += 8;
+    if (pos + len > size) return Status::Corruption("diff patch body");
+    diff->patches.push_back({off, std::string(data + pos, len)});
+    pos += len;
+  }
+  return Status::OK();
+}
+
+size_t RowDiff::ByteSize() const {
+  size_t s = 8;
+  for (const Patch& p : patches) s += 8 + p.bytes.size();
+  return s;
+}
+
+}  // namespace imci

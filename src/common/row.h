@@ -1,0 +1,62 @@
+#ifndef POLARDB_IMCI_COMMON_ROW_H_
+#define POLARDB_IMCI_COMMON_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace imci {
+
+/// A materialized row: one Value per schema column.
+using Row = std::vector<Value>;
+
+/// Row (de)serialization for the row store's slotted pages and for REDO
+/// differential logs. Layout: null bitmap, then fixed 8-byte lanes for
+/// numeric columns and length-prefixed bytes for strings.
+class RowCodec {
+ public:
+  /// Serializes `row` (which must match `schema`) into `out`.
+  static void Encode(const Schema& schema, const Row& row, std::string* out);
+
+  /// Decodes a buffer produced by Encode. Returns Corruption on malformed
+  /// input (truncated buffer, bad lengths).
+  static Status Decode(const Schema& schema, const char* data, size_t size,
+                       Row* row);
+
+  /// Extracts only the primary key without decoding the full row.
+  static Status DecodePk(const Schema& schema, const char* data, size_t size,
+                         int64_t* pk);
+};
+
+/// Byte-range differential between two encoded row images, the payload of an
+/// update-type REDO record (§5.3: "REDO logs only include differences rather
+/// than complete updates"). A diff is a list of (offset, replacement bytes)
+/// patches plus the new total length.
+struct RowDiff {
+  struct Patch {
+    uint32_t offset;
+    std::string bytes;
+  };
+  uint32_t new_size = 0;
+  std::vector<Patch> patches;
+
+  /// Computes the diff transforming `before` into `after`.
+  static RowDiff Compute(const std::string& before, const std::string& after);
+
+  /// Applies this diff to `before`, producing `after`. Returns Corruption if
+  /// the patches fall outside the resulting image.
+  Status Apply(const std::string& before, std::string* after) const;
+
+  void Serialize(std::string* out) const;
+  static Status Deserialize(const char* data, size_t size, RowDiff* diff);
+
+  size_t ByteSize() const;
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_COMMON_ROW_H_

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace imci {
+
+namespace {
+const char* CodeName(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NotFound";
+    case Code::kCorruption: return "Corruption";
+    case Code::kInvalidArgument: return "InvalidArgument";
+    case Code::kAborted: return "Aborted";
+    case Code::kBusy: return "Busy";
+    case Code::kOutOfRange: return "OutOfRange";
+    case Code::kNotSupported: return "NotSupported";
+    case Code::kIOError: return "IOError";
+    case Code::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace imci

@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+namespace imci {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      cv_.wait(l, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || pool == nullptr || pool->num_threads() == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  TaskGroup group;
+  group.Add(n);
+  for (int i = 0; i < n; ++i) {
+    pool->Submit([&, i] {
+      fn(i);
+      group.Done();
+    });
+  }
+  group.Wait();
+}
+
+}  // namespace imci

@@ -1,0 +1,71 @@
+#ifndef POLARDB_IMCI_COMMON_THREAD_POOL_H_
+#define POLARDB_IMCI_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace imci {
+
+/// Fixed-size worker pool with a shared FIFO queue. Used by the column
+/// engine's pipeline scheduler and by the 2P-COFFER replay workers. Tasks are
+/// plain std::function<void()>; completion is tracked externally (see
+/// TaskGroup below).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+/// Counts outstanding tasks; Wait() blocks until all added tasks finished.
+/// The count is mutated strictly under the mutex: a lock-free decrement
+/// would let Wait() return — and the group be destroyed — while the last
+/// Done() is still touching the condition variable (use-after-free).
+class TaskGroup {
+ public:
+  void Add(int n = 1) {
+    std::lock_guard<std::mutex> g(mu_);
+    pending_ += n;
+  }
+
+  void Done() {
+    std::lock_guard<std::mutex> g(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> l(mu_);
+    cv_.wait(l, [&] { return pending_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int pending_ = 0;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn);
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_COMMON_THREAD_POOL_H_

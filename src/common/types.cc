@@ -1,0 +1,82 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace imci {
+
+namespace {
+// Days from civil date algorithm (Howard Hinnant's days_from_civil).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+}  // namespace
+
+int32_t MakeDate(int year, int month, int day) {
+  return static_cast<int32_t>(DaysFromCivil(year, month, day));
+}
+
+int32_t DateYear(int32_t days) {
+  int y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return y;
+}
+
+std::string DateToString(int32_t days) {
+  int y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", y, m, d);
+  return buf;
+}
+
+std::string ValueToString(const Value& v) {
+  if (IsNull(v)) return "NULL";
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::to_string(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", std::get<double>(v));
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  const bool an = IsNull(a), bn = IsNull(b);
+  if (an || bn) return an == bn ? 0 : (an ? -1 : 1);
+  if (std::holds_alternative<int64_t>(a) &&
+      std::holds_alternative<int64_t>(b)) {
+    const int64_t x = std::get<int64_t>(a), y = std::get<int64_t>(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (std::holds_alternative<std::string>(a)) {
+    const auto& x = std::get<std::string>(a);
+    const auto& y = std::get<std::string>(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const double x = NumericValue(a), y = NumericValue(b);
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+}  // namespace imci

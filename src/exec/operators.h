@@ -1,0 +1,214 @@
+#ifndef POLARDB_IMCI_EXEC_OPERATORS_H_
+#define POLARDB_IMCI_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/expr.h"
+#include "exec/vector.h"
+#include "imci/column_index.h"
+#include "rowstore/table.h"
+
+namespace imci {
+
+/// Per-query execution context: worker pool, intra-query parallelism degree
+/// and the pinned read view (§6.4 consistency).
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  int parallelism = 1;
+  Vid read_vid = kMaxVid;
+  /// Pack min/max pruning toggle (pruning ablation and the "pure columnar
+  /// comparator" configuration of the Figure 9 bench).
+  bool pruning_enabled = true;
+};
+
+/// Physical operator base. Operators run batch-at-a-time internally and
+/// materialize their result (RowSet) as the boundary between pipelines;
+/// scans/aggregations/joins parallelize internally (§6.3 parallel operators).
+class PhysOp {
+ public:
+  virtual ~PhysOp() = default;
+  virtual Status Execute(ExecContext* ctx, RowSet* out) = 0;
+  const std::vector<DataType>& out_types() const { return out_types_; }
+
+ protected:
+  std::vector<DataType> out_types_;
+};
+
+using PhysOpRef = std::shared_ptr<PhysOp>;
+
+/// Removes rows where mask==0 (in place helper shared by operators).
+void CompactBatch(Batch* batch, const std::vector<uint8_t>& mask);
+
+// --- Scans -------------------------------------------------------------
+
+/// Vectorized scan over a column index (§6.3 TableScan): group-granular
+/// morsels fetched concurrently in a non-interleaved manner, Pack min/max
+/// pruning (§4.1 Pack Meta), visibility filtering at the pinned read view,
+/// and pushed-down predicate evaluation. Output columns are the requested
+/// schema ordinals, in order.
+class ColumnScanOp : public PhysOp {
+ public:
+  /// `filter` refers to *output* ordinals (positions in `cols`).
+  ColumnScanOp(ColumnIndex* index, std::vector<int> cols, ExprRef filter);
+
+  Status Execute(ExecContext* ctx, RowSet* out) override;
+
+  /// Exposed for the pruning ablation bench.
+  void set_pruning_enabled(bool on) { pruning_ = on; }
+  uint64_t groups_pruned() const { return groups_pruned_; }
+  uint64_t groups_scanned() const { return groups_scanned_; }
+
+ private:
+  bool GroupPrunable(const RowGroup& g) const;
+  Status ScanGroup(const RowGroup& g, uint32_t used, Vid read_vid,
+                   RowSet* out) const;
+
+  ColumnIndex* index_;
+  std::vector<int> cols_;   // schema ordinals
+  std::vector<int> packs_;  // pack ordinals, parallel to cols_
+  ExprRef filter_;
+  bool pruning_ = true;
+  mutable std::atomic<uint64_t> groups_pruned_{0};
+  mutable std::atomic<uint64_t> groups_scanned_{0};
+};
+
+/// Row-store scan for the row-based engine: walks the B+tree in PK order
+/// with early materialization (the full row image is decoded from the leaf
+/// even if few columns are needed — the read amplification the paper's §8.2
+/// attributes the row store's OLAP slowness to). Optionally uses a
+/// secondary-index or PK range instead of a full scan.
+class RowScanOp : public PhysOp {
+ public:
+  struct IndexHint {
+    IndexHint() : col(-1), lo(0), hi(0) {}
+    IndexHint(int c, int64_t l, int64_t h) : col(c), lo(l), hi(h) {}
+    int col;  // -1: none; pk_col: PK range; else secondary index
+    int64_t lo, hi;
+  };
+
+  RowScanOp(const RowTable* table, std::vector<int> cols, ExprRef filter,
+            IndexHint hint = IndexHint());
+
+  Status Execute(ExecContext* ctx, RowSet* out) override;
+
+ private:
+  void AppendRow(const Row& row, Batch* batch) const;
+
+  const RowTable* table_;
+  std::vector<int> cols_;
+  ExprRef filter_;
+  IndexHint hint_;
+};
+
+// --- Relational operators ----------------------------------------------
+
+class FilterOp : public PhysOp {
+ public:
+  FilterOp(PhysOpRef child, ExprRef pred);
+  Status Execute(ExecContext* ctx, RowSet* out) override;
+
+ private:
+  PhysOpRef child_;
+  ExprRef pred_;
+};
+
+class ProjectOp : public PhysOp {
+ public:
+  ProjectOp(PhysOpRef child, std::vector<ExprRef> exprs);
+  Status Execute(ExecContext* ctx, RowSet* out) override;
+
+ private:
+  PhysOpRef child_;
+  std::vector<ExprRef> exprs_;
+};
+
+enum class JoinType { kInner, kLeft, kSemi, kAnti };
+
+/// In-memory hash join (§6.3): the build side is partitioned and built
+/// lock-free (one partition per worker), probes run in parallel over probe
+/// batches. Inner and left-outer emit probe columns followed by build
+/// columns; semi/anti emit probe columns only.
+class HashJoinOp : public PhysOp {
+ public:
+  HashJoinOp(PhysOpRef build, PhysOpRef probe, std::vector<int> build_keys,
+             std::vector<int> probe_keys, JoinType type);
+
+  Status Execute(ExecContext* ctx, RowSet* out) override;
+
+ private:
+  PhysOpRef build_, probe_;
+  std::vector<int> build_keys_, probe_keys_;
+  JoinType type_;
+};
+
+enum class AggKind { kSum, kCount, kCountStar, kAvg, kMin, kMax, kCountDistinct };
+
+struct AggSpec {
+  AggKind kind;
+  ExprRef arg;  // null for kCountStar
+};
+
+/// Hash aggregation with thread-local partial tables merged at the end
+/// (§6.3). Output: group columns (in given order) then one column per agg.
+class HashAggOp : public PhysOp {
+ public:
+  HashAggOp(PhysOpRef child, std::vector<int> group_cols,
+            std::vector<AggSpec> aggs);
+
+  Status Execute(ExecContext* ctx, RowSet* out) override;
+
+ private:
+  PhysOpRef child_;
+  std::vector<int> group_cols_;
+  std::vector<AggSpec> aggs_;
+};
+
+struct SortKey {
+  int col;
+  bool desc = false;
+};
+
+class SortOp : public PhysOp {
+ public:
+  SortOp(PhysOpRef child, std::vector<SortKey> keys, int64_t limit = -1);
+  Status Execute(ExecContext* ctx, RowSet* out) override;
+
+ private:
+  PhysOpRef child_;
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+};
+
+class LimitOp : public PhysOp {
+ public:
+  LimitOp(PhysOpRef child, int64_t limit);
+  Status Execute(ExecContext* ctx, RowSet* out) override;
+
+ private:
+  PhysOpRef child_;
+  int64_t limit_;
+};
+
+/// Materialized constant input (used for scalar-subquery results).
+class ValuesOp : public PhysOp {
+ public:
+  ValuesOp(std::vector<DataType> types, std::vector<Row> rows);
+  Status Execute(ExecContext* ctx, RowSet* out) override;
+
+ private:
+  std::vector<Row> rows_;
+};
+
+// --- Result helpers ------------------------------------------------------
+
+/// Flattens a RowSet to value rows (tests, examples, result comparison).
+std::vector<Row> ToRows(const RowSet& set);
+/// Runs the plan and flattens.
+Status RunPlan(const PhysOpRef& root, ExecContext* ctx, std::vector<Row>* out);
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_EXEC_OPERATORS_H_

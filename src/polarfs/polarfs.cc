@@ -1,0 +1,150 @@
+#include "polarfs/polarfs.h"
+
+#include <chrono>
+#include <thread>
+
+namespace imci {
+
+namespace {
+void SimulateLatency(uint32_t us) {
+  if (us == 0) return;
+  // Spin rather than sleep: sleep_for's actual duration depends on kernel
+  // timer state and differs across otherwise-identical configurations,
+  // which would contaminate A/B comparisons like the Fig. 11 bench.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+}  // namespace
+
+PolarFs::PolarFs() : PolarFs(Options{}) {}
+PolarFs::PolarFs(Options options) : options_(options) {}
+
+Lsn PolarFs::AppendLog(std::vector<std::string> records, bool durable) {
+  Lsn last;
+  {
+    std::lock_guard<std::mutex> g(log_mu_);
+    for (auto& r : records) {
+      log_bytes_.fetch_add(r.size(), std::memory_order_relaxed);
+      log_.push_back(std::move(r));
+    }
+    last = log_base_ + log_.size();
+  }
+  if (durable) {
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    SimulateLatency(options_.fsync_latency_us);
+  }
+  // Publish and notify: this is the "broadcast its up-to-date LSN" step of
+  // CALS (§5.1).
+  Lsn prev = written_lsn_.load(std::memory_order_relaxed);
+  while (prev < last &&
+         !written_lsn_.compare_exchange_weak(prev, last,
+                                             std::memory_order_release)) {
+  }
+  log_cv_.notify_all();
+  return last;
+}
+
+void PolarFs::SyncLog() {
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  SimulateLatency(options_.fsync_latency_us);
+}
+
+Lsn PolarFs::WaitForLog(Lsn lsn, uint64_t timeout_us) const {
+  Lsn cur = written_lsn_.load(std::memory_order_acquire);
+  if (cur > lsn || timeout_us == 0) return cur;
+  std::unique_lock<std::mutex> l(log_mu_);
+  log_cv_.wait_for(l, std::chrono::microseconds(timeout_us), [&] {
+    return written_lsn_.load(std::memory_order_acquire) > lsn;
+  });
+  return written_lsn_.load(std::memory_order_acquire);
+}
+
+Lsn PolarFs::ReadLog(Lsn from, Lsn to, std::vector<std::string>* out) const {
+  std::lock_guard<std::mutex> g(log_mu_);
+  Lsn max_lsn = log_base_ + log_.size();
+  if (to > max_lsn) to = max_lsn;
+  Lsn last = from;
+  for (Lsn lsn = from + 1; lsn <= to; ++lsn) {
+    if (lsn <= log_base_) continue;  // truncated prefix
+    out->push_back(log_[lsn - log_base_ - 1]);
+    last = lsn;
+  }
+  return last;
+}
+
+void PolarFs::TruncateLogPrefix(Lsn lsn) {
+  std::lock_guard<std::mutex> g(log_mu_);
+  while (log_base_ < lsn && !log_.empty()) {
+    log_.pop_front();
+    log_base_++;
+  }
+}
+
+Status PolarFs::WritePage(PageId id, std::string image) {
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(page_mu_);
+  pages_[id] = std::move(image);
+  return Status::OK();
+}
+
+Status PolarFs::ReadPage(PageId id, std::string* image) const {
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
+  SimulateLatency(options_.page_read_latency_us);
+  std::lock_guard<std::mutex> g(page_mu_);
+  auto it = pages_.find(id);
+  if (it == pages_.end()) return Status::NotFound("page");
+  *image = it->second;
+  return Status::OK();
+}
+
+bool PolarFs::HasPage(PageId id) const {
+  std::lock_guard<std::mutex> g(page_mu_);
+  return pages_.count(id) > 0;
+}
+
+std::vector<PageId> PolarFs::ListPages() const {
+  std::lock_guard<std::mutex> g(page_mu_);
+  std::vector<PageId> v;
+  v.reserve(pages_.size());
+  for (auto& [id, img] : pages_) v.push_back(id);
+  return v;
+}
+
+Status PolarFs::WriteFile(const std::string& name, std::string data) {
+  std::lock_guard<std::mutex> g(file_mu_);
+  files_[name] = std::move(data);
+  return Status::OK();
+}
+
+Status PolarFs::ReadFile(const std::string& name, std::string* data) const {
+  std::lock_guard<std::mutex> g(file_mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("file " + name);
+  *data = it->second;
+  return Status::OK();
+}
+
+Status PolarFs::DeleteFile(const std::string& name) {
+  std::lock_guard<std::mutex> g(file_mu_);
+  return files_.erase(name) ? Status::OK() : Status::NotFound(name);
+}
+
+std::vector<std::string> PolarFs::ListFiles(const std::string& prefix) const {
+  std::lock_guard<std::mutex> g(file_mu_);
+  std::vector<std::string> v;
+  for (auto& [name, data] : files_) {
+    if (name.rfind(prefix, 0) == 0) v.push_back(name);
+  }
+  return v;
+}
+
+void PolarFs::ResetCounters() {
+  fsyncs_ = 0;
+  log_bytes_ = 0;
+  page_reads_ = 0;
+  page_writes_ = 0;
+}
+
+}  // namespace imci

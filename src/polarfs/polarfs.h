@@ -1,0 +1,119 @@
+#ifndef POLARDB_IMCI_POLARFS_POLARFS_H_
+#define POLARDB_IMCI_POLARFS_POLARFS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace imci {
+
+/// Simulation of PolarFS (§3.1), the shared distributed file system that all
+/// computation nodes attach to. It is the *only* channel between the RW node
+/// and RO nodes: REDO log entries, data pages, and checkpoints all flow
+/// through here, exactly as in the paper's architecture (Figure 2/5).
+///
+/// Substitution note (DESIGN.md §2): the real PolarFS is a user-space
+/// distributed filesystem over RDMA. This in-process equivalent preserves the
+/// protocol-visible behaviour — notify-by-LSN log shipping, page persistence,
+/// named checkpoint files — and adds fsync / IO accounting plus optional
+/// injected latency so the perturbation experiments (Fig. 11) measure the
+/// same costs the paper attributes to extra logical logging.
+class PolarFs {
+ public:
+  struct Options {
+    /// Simulated latency added to every fsync (microseconds). Models the
+    /// durable-write round trip the paper's Binlog baseline pays twice.
+    uint32_t fsync_latency_us = 0;
+    /// Simulated latency per page read (cold read from shared storage).
+    uint32_t page_read_latency_us = 0;
+  };
+
+  PolarFs();
+  explicit PolarFs(Options options);
+
+  // --- Log store -----------------------------------------------------------
+  // An append-only shared log. The RW node's RedoWriter appends serialized
+  // entries; LSNs are 1-based and dense. After a durable append the writer
+  // broadcasts its up-to-date LSN and ROs wake up (§5.1, CALS).
+
+  /// Appends a batch of records; returns the LSN of the last record.
+  /// If `durable` is true, accounts one fsync (with simulated latency).
+  Lsn AppendLog(std::vector<std::string> records, bool durable);
+
+  /// Explicit fsync of the log (used by group commit and by the Binlog
+  /// baseline's extra flush).
+  void SyncLog();
+
+  /// Highest LSN that has been appended.
+  Lsn written_lsn() const { return written_lsn_.load(std::memory_order_acquire); }
+
+  /// Blocks until written_lsn() > `lsn` or `timeout_us` elapsed. Returns the
+  /// current written LSN. Pass timeout 0 for a non-blocking poll.
+  Lsn WaitForLog(Lsn lsn, uint64_t timeout_us) const;
+
+  /// Reads log records with LSN in (from, to] into `out` (appended in order).
+  /// Returns the LSN of the last record read.
+  Lsn ReadLog(Lsn from, Lsn to, std::vector<std::string>* out) const;
+
+  /// Truncates the in-memory prefix of the log up to `lsn` (space reclaim
+  /// after checkpoints). Reads below the truncation point fail.
+  void TruncateLogPrefix(Lsn lsn);
+
+  // --- Page store ----------------------------------------------------------
+  // Persistent home of row-store pages (the RW checkpoint / flush target,
+  // and what a booting RO reads).
+
+  Status WritePage(PageId id, std::string image);
+  Status ReadPage(PageId id, std::string* image) const;
+  bool HasPage(PageId id) const;
+  std::vector<PageId> ListPages() const;
+
+  // --- File store ----------------------------------------------------------
+  // Named blobs: column-index checkpoints, pack spills.
+
+  Status WriteFile(const std::string& name, std::string data);
+  Status ReadFile(const std::string& name, std::string* data) const;
+  Status DeleteFile(const std::string& name);
+  std::vector<std::string> ListFiles(const std::string& prefix) const;
+
+  // --- Accounting ----------------------------------------------------------
+  uint64_t fsync_count() const { return fsyncs_.load(); }
+  uint64_t log_bytes() const { return log_bytes_.load(); }
+  uint64_t page_reads() const { return page_reads_.load(); }
+  uint64_t page_writes() const { return page_writes_.load(); }
+  void ResetCounters();
+
+ private:
+  Options options_;
+
+  mutable std::mutex log_mu_;
+  mutable std::condition_variable log_cv_;
+  std::deque<std::string> log_;  // record at index i has LSN log_base_ + i + 1
+  Lsn log_base_ = 0;             // number of truncated records
+  std::atomic<Lsn> written_lsn_{0};
+
+  mutable std::mutex page_mu_;
+  std::unordered_map<PageId, std::string> pages_;
+
+  mutable std::mutex file_mu_;
+  std::map<std::string, std::string> files_;
+
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> log_bytes_{0};
+  mutable std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> page_writes_{0};
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_POLARFS_POLARFS_H_

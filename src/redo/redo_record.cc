@@ -1,0 +1,117 @@
+#include "redo/redo_record.h"
+
+#include "common/coding.h"
+
+namespace imci {
+
+void RedoRecord::Serialize(std::string* out) const {
+  out->push_back(static_cast<char>(type));
+  PutFixed64(out, lsn);
+  PutFixed64(out, prev_lsn);
+  PutFixed64(out, tid);
+  PutFixed32(out, table_id);
+  PutFixed64(out, page_id);
+  PutFixed32(out, slot_id);
+  switch (type) {
+    case RedoType::kInsert:
+      PutFixed32(out, static_cast<uint32_t>(after_image.size()));
+      out->append(after_image);
+      break;
+    case RedoType::kUpdate:
+      diff.Serialize(out);
+      break;
+    case RedoType::kDelete:
+      break;
+    case RedoType::kSmo:
+      PutFixed32(out, static_cast<uint32_t>(page_images.size()));
+      for (const auto& [pid, img] : page_images) {
+        PutFixed64(out, pid);
+        PutFixed32(out, static_cast<uint32_t>(img.size()));
+        out->append(img);
+      }
+      break;
+    case RedoType::kCommit:
+      PutFixed64(out, commit_vid);
+      PutFixed64(out, commit_ts_us);
+      break;
+    case RedoType::kAbort:
+      break;
+  }
+}
+
+Status RedoRecord::Deserialize(const char* data, size_t size,
+                               RedoRecord* rec) {
+  constexpr size_t kHeader = 1 + 8 + 8 + 8 + 4 + 8 + 4;
+  if (size < kHeader) return Status::Corruption("redo header");
+  size_t pos = 0;
+  rec->type = static_cast<RedoType>(data[pos]);
+  pos += 1;
+  rec->lsn = GetFixed64(data + pos);
+  pos += 8;
+  rec->prev_lsn = GetFixed64(data + pos);
+  pos += 8;
+  rec->tid = GetFixed64(data + pos);
+  pos += 8;
+  rec->table_id = GetFixed32(data + pos);
+  pos += 4;
+  rec->page_id = GetFixed64(data + pos);
+  pos += 8;
+  rec->slot_id = GetFixed32(data + pos);
+  pos += 4;
+  switch (rec->type) {
+    case RedoType::kInsert: {
+      if (pos + 4 > size) return Status::Corruption("redo insert len");
+      uint32_t len = GetFixed32(data + pos);
+      pos += 4;
+      if (pos + len > size) return Status::Corruption("redo insert body");
+      rec->after_image.assign(data + pos, len);
+      break;
+    }
+    case RedoType::kUpdate:
+      return RowDiff::Deserialize(data + pos, size - pos, &rec->diff);
+    case RedoType::kDelete:
+      break;
+    case RedoType::kSmo: {
+      if (pos + 4 > size) return Status::Corruption("redo smo count");
+      uint32_t n = GetFixed32(data + pos);
+      pos += 4;
+      rec->page_images.clear();
+      for (uint32_t i = 0; i < n; ++i) {
+        if (pos + 12 > size) return Status::Corruption("redo smo header");
+        PageId pid = GetFixed64(data + pos);
+        uint32_t len = GetFixed32(data + pos + 8);
+        pos += 12;
+        if (pos + len > size) return Status::Corruption("redo smo body");
+        rec->page_images.emplace_back(pid, std::string(data + pos, len));
+        pos += len;
+      }
+      break;
+    }
+    case RedoType::kCommit: {
+      if (pos + 16 > size) return Status::Corruption("redo commit vid");
+      rec->commit_vid = GetFixed64(data + pos);
+      rec->commit_ts_us = GetFixed64(data + pos + 8);
+      break;
+    }
+    case RedoType::kAbort:
+      break;
+  }
+  return Status::OK();
+}
+
+size_t RedoRecord::ByteSize() const {
+  size_t s = 1 + 8 + 8 + 8 + 4 + 8 + 4;
+  switch (type) {
+    case RedoType::kInsert: s += 4 + after_image.size(); break;
+    case RedoType::kUpdate: s += diff.ByteSize(); break;
+    case RedoType::kSmo:
+      s += 4;
+      for (const auto& [pid, img] : page_images) s += 12 + img.size();
+      break;
+    case RedoType::kCommit: s += 16; break;
+    default: break;
+  }
+  return s;
+}
+
+}  // namespace imci

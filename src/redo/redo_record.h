@@ -1,0 +1,63 @@
+#ifndef POLARDB_IMCI_REDO_REDO_RECORD_H_
+#define POLARDB_IMCI_REDO_REDO_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace imci {
+
+/// REDO record types. kInsert/kUpdate/kDelete are user-DML page changes;
+/// kSmo covers page changes caused by the row store itself — B+tree splits,
+/// merges and page consolidations — which Phase#1 must apply to pages but
+/// must NOT surface as logical DMLs (§5.2 challenge (2)); kCommit/kAbort are
+/// the transaction-decision entries that CALS relies on (§5.1).
+enum class RedoType : uint8_t {
+  kInsert = 0,
+  kUpdate = 1,
+  kDelete = 2,
+  kSmo = 3,
+  kCommit = 4,
+  kAbort = 5,
+};
+
+/// A physical REDO log entry, mirroring Figure 7 of the paper:
+/// {LSN, PrevLSN, TID, PageID, RecordType, SlotID, differential payload}.
+/// LSN is assigned by the RedoWriter at append time.
+struct RedoRecord {
+  RedoType type = RedoType::kInsert;
+  Lsn lsn = 0;
+  Lsn prev_lsn = 0;       // previous record of the same transaction
+  Tid tid = 0;            // 0 == system (not part of any user transaction)
+  TableId table_id = 0;   // also recorded in page headers
+  PageId page_id = kInvalidPageId;
+  uint32_t slot_id = 0;
+
+  /// kInsert: full encoded after-image of the row (inserts must carry the
+  /// whole tuple; there is no before-image to diff against).
+  std::string after_image;
+  /// kUpdate: byte-differential against the current row image.
+  RowDiff diff;
+  /// kSmo: full images of every page the structural operation touched.
+  std::vector<std::pair<PageId, std::string>> page_images;
+  /// kCommit: the commit sequence number (the VID that the replicated
+  /// changes become visible under).
+  Vid commit_vid = 0;
+  /// kCommit: RW-side commit wall-clock (microseconds); RO nodes subtract it
+  /// from apply time to measure visibility delay (§8.4).
+  uint64_t commit_ts_us = 0;
+
+  void Serialize(std::string* out) const;
+  static Status Deserialize(const char* data, size_t size, RedoRecord* rec);
+
+  size_t ByteSize() const;
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_REDO_REDO_RECORD_H_

@@ -1,0 +1,39 @@
+#include "redo/redo_writer.h"
+
+namespace imci {
+
+Lsn RedoWriter::Append(std::vector<RedoRecord*> records, bool durable) {
+  std::vector<std::string> serialized;
+  serialized.reserve(records.size());
+  Lsn last;
+  {
+    // LSN assignment and serialization under the lock keeps LSN order equal
+    // to log order, the prerequisite Phase#2 sorting relies on (§5.4).
+    std::lock_guard<std::mutex> g(mu_);
+    Lsn lsn = last_lsn_.load(std::memory_order_relaxed);
+    for (RedoRecord* r : records) {
+      r->lsn = ++lsn;
+      std::string buf;
+      r->Serialize(&buf);
+      serialized.push_back(std::move(buf));
+    }
+    last = fs_->AppendLog(std::move(serialized), durable);
+    last_lsn_.store(last, std::memory_order_release);
+  }
+  return last;
+}
+
+Lsn RedoReader::Read(Lsn from, Lsn to, std::vector<RedoRecord>* out) const {
+  std::vector<std::string> raw;
+  Lsn last = fs_->ReadLog(from, to, &raw);
+  out->reserve(out->size() + raw.size());
+  for (const std::string& buf : raw) {
+    RedoRecord rec;
+    Status s = RedoRecord::Deserialize(buf.data(), buf.size(), &rec);
+    if (!s.ok()) continue;  // corrupted entries are skipped defensively
+    out->push_back(std::move(rec));
+  }
+  return last;
+}
+
+}  // namespace imci

@@ -1,0 +1,288 @@
+#include "replication/pipeline.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/coding.h"
+
+namespace imci {
+
+ReplicationPipeline::ReplicationPipeline(PolarFs* fs, const Catalog* catalog,
+                                         BufferPool* ro_pool, ImciStore* imci,
+                                         ThreadPool* pool,
+                                         ReplicationOptions options,
+                                         RowStoreEngine* replica_engine)
+    : fs_(fs),
+      catalog_(catalog),
+      ro_pool_(ro_pool),
+      imci_(imci),
+      pool_(pool),
+      options_(options),
+      parser_(catalog, ro_pool, pool, options.parse_parallelism,
+              replica_engine),
+      reader_(fs) {}
+
+ReplicationPipeline::~ReplicationPipeline() { Stop(); }
+
+void ReplicationPipeline::Start(Lsn from_lsn, Vid start_vid) {
+  read_lsn_.store(from_lsn, std::memory_order_release);
+  applied_lsn_.store(from_lsn, std::memory_order_release);
+  applied_vid_.store(start_vid, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  coordinator_ = std::thread([this] { CoordinatorLoop(); });
+}
+
+void ReplicationPipeline::Stop() {
+  if (!running_.exchange(false)) return;
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+void ReplicationPipeline::CoordinatorLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    fs_->WaitForLog(read_lsn_.load(std::memory_order_acquire),
+                    options_.poll_timeout_us);
+    PollOnce();
+    uint64_t ckpt = checkpoint_request_.exchange(0);
+    if (ckpt != 0) TakeCheckpoint(ckpt);
+  }
+}
+
+uint64_t ReplicationPipeline::LsnDelay() const {
+  const Lsn written = fs_->written_lsn();
+  const Lsn read = read_lsn_.load(std::memory_order_acquire);
+  return written > read ? written - read : 0;
+}
+
+Lsn ReplicationPipeline::MinInflightLsn() const {
+  Lsn min = read_lsn_.load(std::memory_order_acquire);
+  for (const auto& [tid, buf] : txn_buffers_) {
+    if (buf->first_lsn != 0) min = std::min(min, buf->first_lsn - 1);
+  }
+  return min;
+}
+
+Status ReplicationPipeline::PollOnce() {
+  const Lsn from = read_lsn_.load(std::memory_order_acquire);
+  std::vector<RedoRecord> records;
+  const Lsn to = reader_.Read(from, from + options_.chunk_records, &records);
+  if (to == from) return Status::OK();
+
+  // Phase#1: parallel physical replay + logical DML reconstruction.
+  std::vector<LogicalDml> dmls;
+  std::vector<RedoParser::Decision> decisions;
+  IMCI_RETURN_NOT_OK(parser_.ParseChunk(records, &dmls, &decisions));
+
+  // Deliver DMLs into per-transaction buffers (CALS: this happens without
+  // waiting for the commit decision).
+  DeliverDmls(std::move(dmls));
+
+  // Turn decisions into a Phase#2 batch, in commit (LSN) order.
+  std::vector<CommittedTxn> batch;
+  if (!options_.commit_ahead && !delayed_.empty()) {
+    // CALS-off emulation: transactions committed in the previous poll are
+    // delivered now (ship-at-commit adds one propagation round).
+    batch = std::move(delayed_);
+    delayed_.clear();
+  }
+  std::vector<CommittedTxn> fresh;
+  for (const RedoParser::Decision& d : decisions) {
+    auto it = txn_buffers_.find(d.tid);
+    std::shared_ptr<TxnBuffer> buf;
+    if (it != txn_buffers_.end()) {
+      buf = it->second;
+      txn_buffers_.erase(it);
+    } else {
+      buf = std::make_shared<TxnBuffer>();
+      buf->tid = d.tid;
+    }
+    if (!d.commit) {
+      // Abort: free the buffer; pre-committed residue stays invisible and is
+      // reclaimed by compaction (§5.5).
+      aborted_txns_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (d.vid <= options_.skip_vids_upto) continue;  // in the checkpoint
+    CommittedTxn txn;
+    txn.buffer = std::move(buf);
+    txn.vid = d.vid;
+    txn.commit_ts_us = d.commit_ts_us;
+    txn.lsn = d.lsn;
+    fresh.push_back(std::move(txn));
+  }
+  if (options_.commit_ahead) {
+    for (auto& t : fresh) batch.push_back(std::move(t));
+  } else {
+    for (auto& t : fresh) delayed_.push_back(std::move(t));
+  }
+  if (!batch.empty()) ApplyBatch(batch);
+  // Publish the consumed position only after the batch landed, so
+  // "read_lsn >= X" implies everything committed at or before X is visible.
+  read_lsn_.store(to, std::memory_order_release);
+
+  if (++polls_since_maintenance_ >= options_.maintenance_interval) {
+    polls_since_maintenance_ = 0;
+    RunMaintenance();
+  }
+  return Status::OK();
+}
+
+Status ReplicationPipeline::CatchUp(Lsn target_lsn) {
+  while (read_lsn_.load(std::memory_order_acquire) < target_lsn) {
+    IMCI_RETURN_NOT_OK(PollOnce());
+  }
+  return Status::OK();
+}
+
+void ReplicationPipeline::DeliverDmls(std::vector<LogicalDml>&& dmls) {
+  for (LogicalDml& dml : dmls) {
+    auto& buf = txn_buffers_[dml.tid];
+    if (!buf) {
+      buf = std::make_shared<TxnBuffer>();
+      buf->tid = dml.tid;
+    }
+    if (buf->first_lsn == 0) buf->first_lsn = dml.lsn;
+    buf->dmls.push_back(std::move(dml));
+    MaybePreCommit(buf);
+  }
+}
+
+void ReplicationPipeline::MaybePreCommit(
+    const std::shared_ptr<TxnBuffer>& buf) {
+  if (buf->dmls.size() < options_.large_txn_dml_threshold) return;
+  // §5.5: write the buffered updates into Partial Packs with invalid VIDs
+  // (invisible), remember only (pk, rid) residue, and free the DML memory.
+  for (const LogicalDml& dml : buf->dmls) {
+    ColumnIndex* index = imci_->GetIndex(dml.table_id);
+    if (index == nullptr) continue;
+    switch (dml.op) {
+      case LogicalDml::Op::kInsert: {
+        const Rid rid = index->PreAllocate(1);
+        index->PreWrite(rid, dml.row);
+        buf->pre_ops.push_back({false, dml.table_id, dml.pk, rid});
+        break;
+      }
+      case LogicalDml::Op::kDelete:
+        buf->pre_ops.push_back({true, dml.table_id, dml.pk, kInvalidRid});
+        break;
+      case LogicalDml::Op::kUpdate: {
+        buf->pre_ops.push_back({true, dml.table_id, dml.pk, kInvalidRid});
+        const Rid rid = index->PreAllocate(1);
+        index->PreWrite(rid, dml.row);
+        buf->pre_ops.push_back({false, dml.table_id, dml.pk, rid});
+        break;
+      }
+    }
+  }
+  buf->dmls.clear();
+  buf->dmls.shrink_to_fit();
+  if (!buf->pre_committed) {
+    buf->pre_committed = true;
+    precommitted_txns_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ReplicationPipeline::ApplyBatch(std::vector<CommittedTxn>& batch) {
+  // Phase#2 (§5.4): row-grained conflict-free dispatch. Transactions are
+  // walked in commit order; every op lands on Hash(table, PK) mod N, so all
+  // modifications of one row hit the same worker in commit order.
+  const int n = std::max(1, options_.apply_parallelism);
+  std::vector<std::vector<ApplyOp>> shards(n);
+  auto shard_for = [&](TableId t, int64_t pk) -> std::vector<ApplyOp>& {
+    return shards[Hash64((static_cast<uint64_t>(t) << 48) ^
+                         static_cast<uint64_t>(pk)) %
+                  n];
+  };
+  for (CommittedTxn& txn : batch) {
+    TxnBuffer* buf = txn.buffer.get();
+    for (const TxnBuffer::PreOp& op : buf->pre_ops) {
+      ApplyOp a;
+      a.kind = op.is_delete ? ApplyOp::Kind::kDelete : ApplyOp::Kind::kRectify;
+      a.table_id = op.table_id;
+      a.pk = op.pk;
+      a.rid = op.rid;
+      a.vid = txn.vid;
+      shard_for(op.table_id, op.pk).push_back(std::move(a));
+    }
+    for (LogicalDml& dml : buf->dmls) {
+      ApplyOp a;
+      switch (dml.op) {
+        case LogicalDml::Op::kInsert: a.kind = ApplyOp::Kind::kInsert; break;
+        case LogicalDml::Op::kDelete: a.kind = ApplyOp::Kind::kDelete; break;
+        case LogicalDml::Op::kUpdate: a.kind = ApplyOp::Kind::kUpdate; break;
+      }
+      a.table_id = dml.table_id;
+      a.pk = dml.pk;
+      a.vid = txn.vid;
+      a.row = std::move(dml.row);
+      shard_for(dml.table_id, dml.pk).push_back(std::move(a));
+    }
+  }
+  uint64_t ops = 0;
+  for (auto& s : shards) ops += s.size();
+  ParallelFor(pool_, n, [&](int w) {
+    for (ApplyOp& op : shards[w]) {
+      ColumnIndex* index = imci_->GetIndex(op.table_id);
+      if (index == nullptr) continue;
+      switch (op.kind) {
+        case ApplyOp::Kind::kInsert:
+          index->Insert(op.row, op.vid);
+          break;
+        case ApplyOp::Kind::kDelete:
+          index->Delete(op.pk, op.vid);  // NotFound tolerated
+          break;
+        case ApplyOp::Kind::kUpdate:
+          index->Update(op.row, op.vid);
+          break;
+        case ApplyOp::Kind::kRectify:
+          index->RectifyInsert(op.rid, op.pk, op.vid);
+          break;
+      }
+    }
+  });
+  applied_ops_.fetch_add(ops, std::memory_order_relaxed);
+  // Batch commit: advance the node's read view only after every op of every
+  // transaction in the batch landed, so readers see transactions atomically.
+  const CommittedTxn& last = batch.back();
+  applied_vid_.store(last.vid, std::memory_order_release);
+  applied_lsn_.store(last.lsn, std::memory_order_release);
+  committed_txns_.fetch_add(batch.size(), std::memory_order_relaxed);
+  const uint64_t now = NowMicros();
+  for (const CommittedTxn& txn : batch) {
+    if (txn.commit_ts_us != 0 && now > txn.commit_ts_us) {
+      vd_.Record(now - txn.commit_ts_us);
+    }
+  }
+}
+
+void ReplicationPipeline::RunMaintenance() {
+  const Vid applied = applied_vid_.load(std::memory_order_acquire);
+  for (ColumnIndex* index : imci_->All()) {
+    index->FreezeFullGroups();
+    const Vid min_active = index->read_views()->MinActive(applied);
+    index->DropInsertVidMaps(min_active);
+    if (options_.enable_compaction) {
+      for (size_t gid :
+           index->FindUnderflowGroups(applied, options_.compaction_threshold)) {
+        uint32_t moved = 0;
+        if (index->CompactGroup(gid, applied, &moved).ok()) {
+          compactions_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    index->ReclaimRetired(index->read_views()->MinActive(applied));
+  }
+}
+
+Status ReplicationPipeline::TakeCheckpoint(uint64_t ckpt_id) {
+  // Quiesced at a batch boundary: applied state == applied_vid exactly.
+  IMCI_RETURN_NOT_OK(ro_pool_->FlushAllResident());
+  const Vid csn = applied_vid_.load(std::memory_order_acquire);
+  const Lsn start_lsn = MinInflightLsn();
+  return ImciCheckpoint::WriteSnapshot(*imci_, csn, start_lsn, fs_, ckpt_id);
+}
+
+void ReplicationPipeline::RequestCheckpoint(uint64_t ckpt_id) {
+  checkpoint_request_.store(ckpt_id, std::memory_order_release);
+}
+
+}  // namespace imci

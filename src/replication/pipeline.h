@@ -1,0 +1,143 @@
+#ifndef POLARDB_IMCI_REPLICATION_PIPELINE_H_
+#define POLARDB_IMCI_REPLICATION_PIPELINE_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/thread_pool.h"
+#include "imci/checkpoint.h"
+#include "imci/column_index.h"
+#include "redo/redo_writer.h"
+#include "replication/logical_dml.h"
+#include "replication/redo_parser.h"
+#include "rowstore/buffer_pool.h"
+
+namespace imci {
+
+struct ReplicationOptions {
+  int parse_parallelism = 4;   // Phase#1 workers (page-grained)
+  int apply_parallelism = 4;   // Phase#2 workers (row-grained)
+  size_t chunk_records = 8192; // max records fetched per poll
+  /// DML count at which a transaction buffer is pre-committed (§5.5).
+  size_t large_txn_dml_threshold = 8192;
+  /// Commit-Ahead Log Shipping (§5.1). When false (ablation), a committed
+  /// transaction's DMLs are delivered one poll cycle late, emulating
+  /// ship-at-commit propagation.
+  bool commit_ahead = true;
+  /// Transactions with commit VID <= this are skipped by Phase#2 (their
+  /// effects are already contained in the loaded checkpoint).
+  Vid skip_vids_upto = 0;
+  uint64_t poll_timeout_us = 2000;
+  /// Poll iterations between maintenance passes (freeze / compaction /
+  /// VID-map dropping / reclamation).
+  int maintenance_interval = 64;
+  bool enable_compaction = true;
+  double compaction_threshold = 0.5;
+};
+
+/// The RO node's update-propagation engine (§5): a coordinator thread tails
+/// the shared REDO log (woken by the RW's LSN broadcasts — CALS), runs
+/// Phase#1 (parallel physical replay + DML reconstruction) as entries
+/// arrive, buffers DMLs per transaction, and on each commit decision runs
+/// Phase#2 (parallel row-grained apply into the column indexes, batched
+/// commit of the applied VID).
+///
+/// Maintenance (pack freeze, compaction, insert-VID-map dropping, retired
+/// group reclamation) runs in the coordinator thread between batches, which
+/// serializes it with Phase#2 as ColumnIndex::CompactGroup requires.
+class ReplicationPipeline {
+ public:
+  ReplicationPipeline(PolarFs* fs, const Catalog* catalog,
+                      BufferPool* ro_pool, ImciStore* imci, ThreadPool* pool,
+                      ReplicationOptions options,
+                      RowStoreEngine* replica_engine = nullptr);
+  ~ReplicationPipeline();
+
+  /// Starts the background coordinator, tailing the log from `from_lsn`
+  /// (exclusive) with the column-index state already at `start_vid`.
+  void Start(Lsn from_lsn, Vid start_vid);
+  void Stop();
+
+  /// One synchronous poll iteration (used by tests and by CatchUp).
+  Status PollOnce();
+  /// Polls until everything appended up to `target_lsn` has been applied.
+  Status CatchUp(Lsn target_lsn);
+
+  /// Commit point visible to queries on this node (read view VID).
+  Vid applied_vid() const { return applied_vid_.load(std::memory_order_acquire); }
+  /// LSN up to which the log has been consumed.
+  Lsn read_lsn() const { return read_lsn_.load(std::memory_order_acquire); }
+  /// LSN of the last applied commit record.
+  Lsn applied_lsn() const { return applied_lsn_.load(std::memory_order_acquire); }
+  /// Shipped-but-unconsumed backlog (Fig. 14's "LSN delay").
+  uint64_t LsnDelay() const;
+
+  LatencyHistogram* vd_histogram() { return &vd_; }
+  RedoParser* parser() { return &parser_; }
+
+  uint64_t applied_ops() const { return applied_ops_.load(); }
+  uint64_t committed_txns() const { return committed_txns_.load(); }
+  uint64_t aborted_txns() const { return aborted_txns_.load(); }
+  uint64_t precommitted_txns() const { return precommitted_txns_.load(); }
+  uint64_t compactions() const { return compactions_.load(); }
+
+  /// Takes a checkpoint at the current applied state (RO-leader duty, §7):
+  /// flushes this node's row-store pages (with their page LSNs), then
+  /// persists all column indexes at CSN = applied_vid. Runs quiesced: call
+  /// from the coordinator thread context or while the pipeline is stopped;
+  /// PollOnce-driven tests may call it directly between polls.
+  Status TakeCheckpoint(uint64_t ckpt_id);
+
+  /// Requests the coordinator to take a checkpoint at the next boundary.
+  void RequestCheckpoint(uint64_t ckpt_id);
+
+ private:
+  struct CommittedTxn {
+    std::shared_ptr<TxnBuffer> buffer;
+    Vid vid = 0;
+    uint64_t commit_ts_us = 0;
+    Lsn lsn = 0;
+  };
+
+  void CoordinatorLoop();
+  void DeliverDmls(std::vector<LogicalDml>&& dmls);
+  void MaybePreCommit(const std::shared_ptr<TxnBuffer>& buf);
+  void ApplyBatch(std::vector<CommittedTxn>& batch);
+  void RunMaintenance();
+  Lsn MinInflightLsn() const;
+
+  PolarFs* fs_;
+  const Catalog* catalog_;
+  BufferPool* ro_pool_;
+  ImciStore* imci_;
+  ThreadPool* pool_;
+  ReplicationOptions options_;
+  RedoParser parser_;
+  RedoReader reader_;
+
+  std::unordered_map<Tid, std::shared_ptr<TxnBuffer>> txn_buffers_;
+  std::vector<CommittedTxn> delayed_;  // CALS-off emulation
+
+  std::atomic<Lsn> read_lsn_{0};
+  std::atomic<Lsn> applied_lsn_{0};
+  std::atomic<Vid> applied_vid_{0};
+  std::atomic<uint64_t> applied_ops_{0};
+  std::atomic<uint64_t> committed_txns_{0};
+  std::atomic<uint64_t> aborted_txns_{0};
+  std::atomic<uint64_t> precommitted_txns_{0};
+  std::atomic<uint64_t> compactions_{0};
+  LatencyHistogram vd_;
+
+  std::thread coordinator_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> checkpoint_request_{0};
+  int polls_since_maintenance_ = 0;
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_REPLICATION_PIPELINE_H_

@@ -1,0 +1,269 @@
+#include "rowstore/engine.h"
+
+#include "common/clock.h"
+#include "common/coding.h"
+
+namespace imci {
+
+RowStoreEngine::RowStoreEngine(PolarFs* fs, Catalog* catalog,
+                               size_t pool_capacity)
+    : fs_(fs), catalog_(catalog), pool_(fs, pool_capacity) {}
+
+Status RowStoreEngine::CreateTable(std::shared_ptr<const Schema> schema) {
+  catalog_->Register(schema);
+  PageId meta_id = page_alloc_.fetch_add(1) + 1;
+  auto table =
+      std::make_unique<RowTable>(schema, &pool_, &page_alloc_, meta_id);
+  IMCI_RETURN_NOT_OK(table->CreateEmpty());
+  std::lock_guard<std::mutex> g(mu_);
+  tables_[schema->table_id()] = std::move(table);
+  return Status::OK();
+}
+
+Status RowStoreEngine::AttachTable(std::shared_ptr<const Schema> schema,
+                                   PageId meta_page_id) {
+  catalog_->Register(schema);
+  auto table =
+      std::make_unique<RowTable>(schema, &pool_, &page_alloc_, meta_page_id);
+  // Make sure the local page allocator never collides with RW-allocated ids:
+  // RO-side allocation is unused, but keep it safely high.
+  PageId cur = page_alloc_.load();
+  if (meta_page_id + (1ull << 20) > cur) {
+    page_alloc_.store(meta_page_id + (1ull << 20));
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  tables_[schema->table_id()] = std::move(table);
+  return Status::OK();
+}
+
+RowTable* RowStoreEngine::GetTable(TableId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const RowTable* RowStoreEngine::GetTable(TableId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+RowTable* RowStoreEngine::GetTableByName(const std::string& name) {
+  auto schema = catalog_->GetByName(name);
+  return schema ? GetTable(schema->table_id()) : nullptr;
+}
+
+Status RowStoreEngine::CheckpointPages() {
+  IMCI_RETURN_NOT_OK(pool_.FlushAll());
+  std::string registry;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    PutFixed32(&registry, static_cast<uint32_t>(tables_.size()));
+    for (auto& [id, table] : tables_) {
+      PutFixed32(&registry, id);
+      PutFixed64(&registry, table->meta_page_id());
+    }
+  }
+  return fs_->WriteFile("rowstore/registry", std::move(registry));
+}
+
+Status RowStoreEngine::LoadRegistry(
+    PolarFs* fs, std::vector<std::pair<TableId, PageId>>* entries) {
+  std::string data;
+  IMCI_RETURN_NOT_OK(fs->ReadFile("rowstore/registry", &data));
+  if (data.size() < 4) return Status::Corruption("registry");
+  uint32_t n = GetFixed32(data.data());
+  size_t pos = 4;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (pos + 12 > data.size()) return Status::Corruption("registry entry");
+    TableId id = GetFixed32(data.data() + pos);
+    PageId meta = GetFixed64(data.data() + pos + 4);
+    entries->emplace_back(id, meta);
+    pos += 12;
+  }
+  return Status::OK();
+}
+
+TransactionManager::TransactionManager(RowStoreEngine* engine,
+                                       RedoWriter* redo, LockManager* locks,
+                                       BinlogWriter* binlog)
+    : engine_(engine), redo_(redo), locks_(locks), binlog_(binlog) {}
+
+void TransactionManager::Begin(Transaction* txn) {
+  *txn = Transaction();
+  txn->tid_ = next_tid_.fetch_add(1) + 1;
+}
+
+RowTable::RedoShipFn TransactionManager::MakeShip(Transaction* txn) {
+  // Stamps the user-DML records with the transaction id (SMO records keep
+  // TID 0 — system) and ships them immediately, non-durably: the eager
+  // append CALS depends on (§5.1). The table invokes this while holding its
+  // write latch so that log order always equals page-modification order —
+  // the prerequisite of Phase#1's per-page in-order replay.
+  return [this, txn](std::vector<RedoRecord>* redo) {
+    std::vector<RedoRecord*> ptrs;
+    ptrs.reserve(redo->size());
+    for (RedoRecord& r : *redo) {
+      if (r.type != RedoType::kSmo) {
+        r.tid = txn->tid_;
+        r.prev_lsn = txn->last_lsn_;
+      }
+      ptrs.push_back(&r);
+    }
+    txn->last_lsn_ = redo_->Append(std::move(ptrs), /*durable=*/false);
+    txn->dml_count_++;
+  };
+}
+
+Status TransactionManager::Insert(Transaction* txn, TableId table,
+                                  const Row& row) {
+  RowTable* t = engine_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  const int64_t pk = AsInt(row[t->schema().pk_col()]);
+  IMCI_RETURN_NOT_OK(locks_->Lock(txn->tid_, table, pk));
+  txn->locks_.emplace_back(table, pk);
+  std::vector<RedoRecord> redo;
+  IMCI_RETURN_NOT_OK(t->Insert(row, &redo, MakeShip(txn)));
+  txn->undo_.push_back({UndoEntry::Op::kInsert, table, pk, {}});
+  if (binlog_enabled_ && binlog_ != nullptr) {
+    std::string image;
+    RowCodec::Encode(t->schema(), row, &image);
+    txn->binlog_events_.push_back(
+        {BinlogWriter::Event::Op::kInsert, table, pk, std::move(image)});
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Update(Transaction* txn, TableId table, int64_t pk,
+                                  const Row& row) {
+  RowTable* t = engine_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  IMCI_RETURN_NOT_OK(locks_->Lock(txn->tid_, table, pk));
+  txn->locks_.emplace_back(table, pk);
+  std::vector<RedoRecord> redo;
+  Row old_row;
+  IMCI_RETURN_NOT_OK(t->Update(pk, row, &old_row, &redo, MakeShip(txn)));
+  std::string old_image;
+  RowCodec::Encode(t->schema(), old_row, &old_image);
+  txn->undo_.push_back(
+      {UndoEntry::Op::kUpdate, table, pk, std::move(old_image)});
+  if (binlog_enabled_ && binlog_ != nullptr) {
+    std::string image;
+    RowCodec::Encode(t->schema(), row, &image);
+    txn->binlog_events_.push_back(
+        {BinlogWriter::Event::Op::kUpdate, table, pk, std::move(image)});
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Delete(Transaction* txn, TableId table,
+                                  int64_t pk) {
+  RowTable* t = engine_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  IMCI_RETURN_NOT_OK(locks_->Lock(txn->tid_, table, pk));
+  txn->locks_.emplace_back(table, pk);
+  std::vector<RedoRecord> redo;
+  Row old_row;
+  IMCI_RETURN_NOT_OK(t->Delete(pk, &old_row, &redo, MakeShip(txn)));
+  std::string old_image;
+  RowCodec::Encode(t->schema(), old_row, &old_image);
+  txn->undo_.push_back(
+      {UndoEntry::Op::kDelete, table, pk, std::move(old_image)});
+  if (binlog_enabled_ && binlog_ != nullptr) {
+    txn->binlog_events_.push_back(
+        {BinlogWriter::Event::Op::kDelete, table, pk, {}});
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::GetForUpdate(Transaction* txn, TableId table,
+                                        int64_t pk, Row* row) {
+  RowTable* t = engine_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  IMCI_RETURN_NOT_OK(locks_->Lock(txn->tid_, table, pk));
+  txn->locks_.emplace_back(table, pk);
+  return t->Get(pk, row);
+}
+
+Status TransactionManager::Get(TableId table, int64_t pk, Row* row) const {
+  const RowTable* t = engine_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  return t->Get(pk, row);
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->finished_) return Status::InvalidArgument("finished txn");
+  txn->finished_ = true;
+  RedoRecord commit;
+  commit.type = RedoType::kCommit;
+  commit.tid = txn->tid_;
+  commit.prev_lsn = txn->last_lsn_;
+  {
+    // VID assignment and the durable commit append happen under one mutex so
+    // that commit-VID order equals commit-record LSN order — the property
+    // Phase#2 relies on when replaying transactions in commit order (§5.4).
+    std::lock_guard<std::mutex> g(commit_mu_);
+    txn->commit_vid_ = next_vid_.fetch_add(1) + 1;
+    commit.commit_vid = txn->commit_vid_;
+    commit.commit_ts_us = NowMicros();
+    redo_->AppendOne(&commit, /*durable=*/true);
+    if (binlog_enabled_ && binlog_ != nullptr) {
+      // MySQL's ordered group commit serializes the binlog flush with the
+      // engine commit (XA between binlog and redo): the strawman's extra
+      // fsync sits on the commit critical path, which is exactly the
+      // perturbation Fig. 11 measures.
+      binlog_->CommitTxn(txn->tid_, txn->binlog_events_);
+    }
+  }
+  ReleaseLocks(txn);
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TransactionManager::Rollback(Transaction* txn) {
+  if (txn->finished_) return Status::InvalidArgument("finished txn");
+  txn->finished_ = true;
+  // Undo in reverse order, emitting compensating *system* records (TID 0):
+  // replica pages must converge, but Phase#1 must not surface these as user
+  // DMLs — the aborted transaction's buffered DMLs are simply discarded when
+  // the abort record arrives (§5.1).
+  // Compensating system records (TID 0) are shipped under each table's
+  // latch, like forward operations, to preserve per-page log order.
+  auto comp_ship = [this](std::vector<RedoRecord>* redo) {
+    std::vector<RedoRecord*> ptrs;
+    for (RedoRecord& r : *redo) ptrs.push_back(&r);
+    redo_->Append(std::move(ptrs), /*durable=*/false);
+    redo->clear();
+  };
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    RowTable* t = engine_->GetTable(it->table_id);
+    if (t == nullptr) continue;
+    std::vector<RedoRecord> comp;
+    switch (it->op) {
+      case UndoEntry::Op::kInsert:
+        t->DeleteImage(it->pk, &comp, comp_ship);
+        break;
+      case UndoEntry::Op::kUpdate:
+        t->UpdateImage(it->pk, it->old_image, &comp, comp_ship);
+        break;
+      case UndoEntry::Op::kDelete:
+        t->InsertImage(it->pk, it->old_image, &comp, comp_ship);
+        break;
+    }
+  }
+  RedoRecord abort;
+  abort.type = RedoType::kAbort;
+  abort.tid = txn->tid_;
+  abort.prev_lsn = txn->last_lsn_;
+  redo_->AppendOne(&abort, /*durable=*/false);
+  ReleaseLocks(txn);
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void TransactionManager::ReleaseLocks(Transaction* txn) {
+  for (auto& [table, pk] : txn->locks_) locks_->Unlock(txn->tid_, table, pk);
+  txn->locks_.clear();
+}
+
+}  // namespace imci

@@ -1,0 +1,138 @@
+#ifndef POLARDB_IMCI_ROWSTORE_ENGINE_H_
+#define POLARDB_IMCI_ROWSTORE_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/schema.h"
+#include "polarfs/polarfs.h"
+#include "redo/redo_writer.h"
+#include "rowstore/binlog.h"
+#include "rowstore/buffer_pool.h"
+#include "rowstore/lock_manager.h"
+#include "rowstore/table.h"
+
+namespace imci {
+
+/// Node-local row storage engine: tables + buffer pool + page allocation.
+/// The RW node owns the authoritative instance; RO nodes own replicas whose
+/// pages are maintained by Phase#1 replay.
+class RowStoreEngine {
+ public:
+  RowStoreEngine(PolarFs* fs, Catalog* catalog, size_t pool_capacity = 0);
+
+  /// Creates an empty table and registers the schema in the shared catalog.
+  Status CreateTable(std::shared_ptr<const Schema> schema);
+
+  /// Attaches to a table whose pages already exist in shared storage (RO
+  /// boot path). `meta_page_id` comes from the RW's table registry file.
+  Status AttachTable(std::shared_ptr<const Schema> schema,
+                     PageId meta_page_id);
+
+  RowTable* GetTable(TableId id);
+  const RowTable* GetTable(TableId id) const;
+  RowTable* GetTableByName(const std::string& name);
+
+  BufferPool* buffer_pool() { return &pool_; }
+  Catalog* catalog() { return catalog_; }
+  const Catalog* catalog() const { return catalog_; }
+  std::atomic<PageId>* page_allocator() { return &page_alloc_; }
+
+  /// Flushes all dirty pages to shared storage and persists the table
+  /// registry (table id -> meta page id) so other nodes can attach.
+  Status CheckpointPages();
+
+  /// Loads the table registry persisted by CheckpointPages.
+  static Status LoadRegistry(
+      PolarFs* fs, std::vector<std::pair<TableId, PageId>>* entries);
+
+ private:
+  PolarFs* fs_;
+  Catalog* catalog_;
+  BufferPool pool_;
+  std::atomic<PageId> page_alloc_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<TableId, std::unique_ptr<RowTable>> tables_;
+};
+
+/// Undo record kept RW-side for rollback.
+struct UndoEntry {
+  enum class Op : uint8_t { kInsert, kUpdate, kDelete } op;
+  TableId table_id;
+  int64_t pk;
+  std::string old_image;  // for update/delete undo
+};
+
+/// A client transaction on the RW node. Created by TransactionManager;
+/// not thread-safe (one session uses one transaction at a time).
+class Transaction {
+ public:
+  Tid tid() const { return tid_; }
+  Vid commit_vid() const { return commit_vid_; }
+
+ private:
+  friend class TransactionManager;
+  Tid tid_ = 0;
+  Lsn last_lsn_ = 0;
+  Vid commit_vid_ = 0;
+  uint32_t dml_count_ = 0;
+  bool finished_ = false;
+  std::vector<UndoEntry> undo_;
+  std::vector<std::pair<TableId, int64_t>> locks_;
+  std::vector<BinlogWriter::Event> binlog_events_;
+};
+
+/// Transaction execution on the RW node (§3.1 "Transaction Exe."): strict
+/// 2PL row locks, eager (commit-ahead) REDO shipping of DML records, a single
+/// durable commit record per transaction, and compensating system records on
+/// rollback so replica pages converge without exposing aborted DMLs.
+class TransactionManager {
+ public:
+  TransactionManager(RowStoreEngine* engine, RedoWriter* redo,
+                     LockManager* locks, BinlogWriter* binlog = nullptr);
+
+  void Begin(Transaction* txn);
+
+  Status Insert(Transaction* txn, TableId table, const Row& row);
+  Status Update(Transaction* txn, TableId table, int64_t pk, const Row& row);
+  Status Delete(Transaction* txn, TableId table, int64_t pk);
+  /// Locks the row, then reads it (SELECT ... FOR UPDATE).
+  Status GetForUpdate(Transaction* txn, TableId table, int64_t pk, Row* row);
+  /// Unlocked read-committed read.
+  Status Get(TableId table, int64_t pk, Row* row) const;
+
+  /// Commits: assigns the commit sequence number (VID) and durably appends
+  /// the commit record; in binlog mode additionally flushes the logical log
+  /// (the strawman's second fsync). Returns the commit VID via the txn.
+  Status Commit(Transaction* txn);
+  Status Rollback(Transaction* txn);
+
+  /// Enables/disables the Binlog strawman (Fig. 11).
+  void set_binlog_enabled(bool on) { binlog_enabled_ = on; }
+
+  Vid last_commit_vid() const { return next_vid_.load(); }
+  uint64_t commits() const { return commits_.load(); }
+  uint64_t aborts() const { return aborts_.load(); }
+
+ private:
+  RowTable::RedoShipFn MakeShip(Transaction* txn);
+  void ReleaseLocks(Transaction* txn);
+
+  RowStoreEngine* engine_;
+  RedoWriter* redo_;
+  LockManager* locks_;
+  BinlogWriter* binlog_;
+  bool binlog_enabled_ = false;
+  std::atomic<Tid> next_tid_{0};
+  std::atomic<Vid> next_vid_{0};
+  std::mutex commit_mu_;  // keeps VID order == commit-record LSN order
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_ROWSTORE_ENGINE_H_

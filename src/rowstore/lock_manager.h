@@ -1,0 +1,91 @@
+#ifndef POLARDB_IMCI_ROWSTORE_LOCK_MANAGER_H_
+#define POLARDB_IMCI_ROWSTORE_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/coding.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace imci {
+
+/// Row-level exclusive lock table for the RW node (strict 2PL, released at
+/// commit/rollback). Deadlocks are resolved by lock-wait timeout -> the
+/// requesting transaction receives Status::Busy and is expected to abort and
+/// retry, which is how the TPC-C driver handles contention.
+class LockManager {
+ public:
+  explicit LockManager(uint64_t timeout_us = 50'000) : timeout_us_(timeout_us) {}
+
+  /// Acquires the exclusive lock on (table_id, key) for `tid`. Re-entrant
+  /// for the owner.
+  Status Lock(Tid tid, TableId table_id, int64_t key) {
+    Shard& shard = ShardFor(table_id, key);
+    const LockKey k{table_id, key};
+    std::unique_lock<std::mutex> l(shard.mu);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(timeout_us_);
+    for (;;) {
+      auto it = shard.owners.find(k);
+      if (it == shard.owners.end()) {
+        shard.owners.emplace(k, tid);
+        return Status::OK();
+      }
+      if (it->second == tid) return Status::OK();  // re-entrant
+      if (shard.cv.wait_until(l, deadline) == std::cv_status::timeout) {
+        return Status::Busy("lock wait timeout");
+      }
+    }
+  }
+
+  /// Releases one lock held by `tid` (no-op if not the owner).
+  void Unlock(Tid tid, TableId table_id, int64_t key) {
+    Shard& shard = ShardFor(table_id, key);
+    const LockKey k{table_id, key};
+    {
+      std::lock_guard<std::mutex> g(shard.mu);
+      auto it = shard.owners.find(k);
+      if (it == shard.owners.end() || it->second != tid) return;
+      shard.owners.erase(it);
+    }
+    shard.cv.notify_all();
+  }
+
+ private:
+  struct LockKey {
+    TableId table_id;
+    int64_t key;
+    bool operator==(const LockKey& o) const {
+      return table_id == o.table_id && key == o.key;
+    }
+  };
+  struct LockKeyHash {
+    size_t operator()(const LockKey& k) const {
+      return Hash64((static_cast<uint64_t>(k.table_id) << 48) ^
+                    static_cast<uint64_t>(k.key));
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<LockKey, Tid, LockKeyHash> owners;
+  };
+
+  static constexpr int kShards = 64;
+  Shard& ShardFor(TableId t, int64_t k) {
+    return shards_[Hash64((static_cast<uint64_t>(t) << 48) ^
+                          static_cast<uint64_t>(k)) %
+                   kShards];
+  }
+
+  uint64_t timeout_us_;
+  Shard shards_[kShards];
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_ROWSTORE_LOCK_MANAGER_H_

@@ -1,0 +1,107 @@
+#include "rowstore/page.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace imci {
+
+int Page::FindSlot(int64_t key) const {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return -1;
+  return static_cast<int>(it - keys.begin());
+}
+
+int Page::LowerBound(int64_t key) const {
+  return static_cast<int>(
+      std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+int Page::ChildIndexFor(int64_t key) const {
+  // keys[i] is the separator: child[i] holds keys < keys[i]; child[i+1]
+  // holds keys >= keys[i].
+  auto it = std::upper_bound(keys.begin(), keys.end(), key);
+  return static_cast<int>(it - keys.begin());
+}
+
+void Page::Serialize(std::string* out) const {
+  out->push_back(static_cast<char>(type));
+  PutFixed64(out, id);
+  PutFixed32(out, table_id);
+  PutFixed64(out, next_leaf);
+  PutFixed64(out, root_page);
+  PutFixed64(out, first_leaf);
+  PutFixed64(out, page_lsn);
+  PutFixed32(out, static_cast<uint32_t>(keys.size()));
+  for (int64_t k : keys) PutFixed64(out, static_cast<uint64_t>(k));
+  if (type == PageType::kLeaf) {
+    for (const std::string& p : payloads) {
+      PutFixed32(out, static_cast<uint32_t>(p.size()));
+      out->append(p);
+    }
+  } else if (type == PageType::kInternal) {
+    PutFixed32(out, static_cast<uint32_t>(children.size()));
+    for (PageId c : children) PutFixed64(out, c);
+  }
+}
+
+Status Page::Deserialize(const char* data, size_t size, Page* page) {
+  constexpr size_t kHeader = 1 + 8 + 4 + 8 + 8 + 8 + 8 + 4;
+  if (size < kHeader) return Status::Corruption("page header");
+  size_t pos = 0;
+  page->type = static_cast<PageType>(data[pos]);
+  pos += 1;
+  page->id = GetFixed64(data + pos);
+  pos += 8;
+  page->table_id = GetFixed32(data + pos);
+  pos += 4;
+  page->next_leaf = GetFixed64(data + pos);
+  pos += 8;
+  page->root_page = GetFixed64(data + pos);
+  pos += 8;
+  page->first_leaf = GetFixed64(data + pos);
+  pos += 8;
+  page->page_lsn = GetFixed64(data + pos);
+  pos += 8;
+  uint32_t nkeys = GetFixed32(data + pos);
+  pos += 4;
+  if (pos + 8ull * nkeys > size) return Status::Corruption("page keys");
+  page->keys.resize(nkeys);
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    page->keys[i] = static_cast<int64_t>(GetFixed64(data + pos));
+    pos += 8;
+  }
+  page->payloads.clear();
+  page->children.clear();
+  if (page->type == PageType::kLeaf) {
+    page->payloads.resize(nkeys);
+    for (uint32_t i = 0; i < nkeys; ++i) {
+      if (pos + 4 > size) return Status::Corruption("page payload len");
+      uint32_t len = GetFixed32(data + pos);
+      pos += 4;
+      if (pos + len > size) return Status::Corruption("page payload body");
+      page->payloads[i].assign(data + pos, len);
+      pos += len;
+    }
+  } else if (page->type == PageType::kInternal) {
+    if (pos + 4 > size) return Status::Corruption("page child count");
+    uint32_t nchildren = GetFixed32(data + pos);
+    pos += 4;
+    if (pos + 8ull * nchildren > size) return Status::Corruption("children");
+    page->children.resize(nchildren);
+    for (uint32_t i = 0; i < nchildren; ++i) {
+      page->children[i] = GetFixed64(data + pos);
+      pos += 8;
+    }
+  }
+  page->byte_size = page->RecomputeByteSize();
+  return Status::OK();
+}
+
+size_t Page::RecomputeByteSize() const {
+  size_t s = 64 + keys.size() * 8 + children.size() * 8;
+  for (const std::string& p : payloads) s += p.size() + 4;
+  return s;
+}
+
+}  // namespace imci

@@ -1,0 +1,77 @@
+#ifndef POLARDB_IMCI_ROWSTORE_PAGE_H_
+#define POLARDB_IMCI_ROWSTORE_PAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace imci {
+
+enum class PageType : uint8_t {
+  kMeta = 0,      // one per table: root page id + first leaf id
+  kInternal = 1,  // B+tree internal node
+  kLeaf = 2,      // B+tree leaf: sorted (key, row image) entries
+};
+
+/// A row-store page. Pages are the unit of physical REDO logging: DML redo
+/// records address rows by (PageID, SlotID), and B+tree structural changes
+/// ship full page images (kSmo records). Pages carry the owning table id in
+/// their header so Phase#1 can recover schemas (§5.3).
+///
+/// The page is a structured object rather than a raw 16 KiB buffer; the
+/// serialized form (Serialize/Deserialize) is what PolarFS stores and what
+/// SMO records embed. `kSoftCapacityBytes` plays the role of the physical
+/// page size for split decisions.
+struct Page {
+  static constexpr size_t kSoftCapacityBytes = 15 * 1024;
+
+  PageId id = kInvalidPageId;
+  TableId table_id = 0;
+  PageType type = PageType::kLeaf;
+  PageId next_leaf = kInvalidPageId;  // leaf chain for full scans
+
+  // kMeta payload.
+  PageId root_page = kInvalidPageId;
+  PageId first_leaf = kInvalidPageId;
+
+  // kLeaf: keys[i] -> payloads[i]. kInternal: children.size()==keys.size()+1,
+  // keys[i] is the smallest key under children[i+1].
+  std::vector<int64_t> keys;
+  std::vector<std::string> payloads;
+  std::vector<PageId> children;
+
+  /// Approximate occupied bytes (maintained incrementally by the B+tree).
+  size_t byte_size = 0;
+  /// LSN of the last redo record applied to this page (idempotent replay on
+  /// RO nodes; mirrors the page-LSN protocol of ARIES-style systems).
+  Lsn page_lsn = 0;
+
+  /// On RO nodes, Phase#1 replay (writes) and the row engine (reads) touch
+  /// pages concurrently; this latch arbitrates. The RW node's table-level
+  /// latching makes it redundant there.
+  mutable std::shared_mutex latch;
+
+  /// Finds the index of `key` in a leaf, or -1.
+  int FindSlot(int64_t key) const;
+  /// Lower-bound position for `key` among `keys`.
+  int LowerBound(int64_t key) const;
+  /// For internal pages: index of the child to follow for `key`.
+  int ChildIndexFor(int64_t key) const;
+
+  void Serialize(std::string* out) const;
+  static Status Deserialize(const char* data, size_t size, Page* page);
+
+  size_t RecomputeByteSize() const;
+};
+
+using PageRef = std::shared_ptr<Page>;
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_ROWSTORE_PAGE_H_

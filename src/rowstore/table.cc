@@ -1,0 +1,240 @@
+#include "rowstore/table.h"
+
+#include <algorithm>
+
+namespace imci {
+
+RowTable::RowTable(std::shared_ptr<const Schema> schema, BufferPool* pool,
+                   std::atomic<PageId>* page_alloc, PageId meta_page_id)
+    : schema_(std::move(schema)),
+      btree_(pool, page_alloc, schema_->table_id(), meta_page_id) {
+  for (int col : schema_->secondary_index_cols()) {
+    sec_index_[col];  // create empty index
+  }
+}
+
+Status RowTable::CreateEmpty() { return btree_.CreateEmpty(); }
+
+Status RowTable::Insert(const Row& row, std::vector<RedoRecord>* redo,
+                        const RedoShipFn& ship) {
+  const int64_t pk = AsInt(row[schema_->pk_col()]);
+  std::string image;
+  RowCodec::Encode(*schema_, row, &image);
+  std::unique_lock<std::shared_mutex> g(latch_);
+  IMCI_RETURN_NOT_OK(btree_.Insert(pk, image, redo));
+  IndexInsert(row, pk);
+  row_count_.fetch_add(1, std::memory_order_relaxed);
+  if (ship) ship(redo);  // under the latch: log order == page-op order
+  return Status::OK();
+}
+
+Status RowTable::Update(int64_t pk, const Row& new_row, Row* old_row,
+                        std::vector<RedoRecord>* redo,
+                        const RedoShipFn& ship) {
+  std::string new_image;
+  RowCodec::Encode(*schema_, new_row, &new_image);
+  std::unique_lock<std::shared_mutex> g(latch_);
+  std::string old_image;
+  IMCI_RETURN_NOT_OK(btree_.Update(pk, new_image, &old_image, redo));
+  IMCI_RETURN_NOT_OK(
+      RowCodec::Decode(*schema_, old_image.data(), old_image.size(), old_row));
+  IndexRemove(*old_row, pk);
+  IndexInsert(new_row, pk);
+  if (ship) ship(redo);
+  return Status::OK();
+}
+
+Status RowTable::Delete(int64_t pk, Row* old_row,
+                        std::vector<RedoRecord>* redo,
+                        const RedoShipFn& ship) {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  std::string old_image;
+  IMCI_RETURN_NOT_OK(btree_.Delete(pk, &old_image, redo));
+  IMCI_RETURN_NOT_OK(
+      RowCodec::Decode(*schema_, old_image.data(), old_image.size(), old_row));
+  IndexRemove(*old_row, pk);
+  row_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (ship) ship(redo);
+  return Status::OK();
+}
+
+Status RowTable::Get(int64_t pk, Row* row) const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  std::string image;
+  IMCI_RETURN_NOT_OK(btree_.Lookup(pk, &image));
+  return RowCodec::Decode(*schema_, image.data(), image.size(), row);
+}
+
+bool RowTable::Exists(int64_t pk) const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  std::string image;
+  return btree_.Lookup(pk, &image).ok();
+}
+
+Status RowTable::InsertImage(int64_t pk, const std::string& image,
+                             std::vector<RedoRecord>* redo,
+                             const RedoShipFn& ship) {
+  Row row;
+  IMCI_RETURN_NOT_OK(RowCodec::Decode(*schema_, image.data(), image.size(),
+                                      &row));
+  std::unique_lock<std::shared_mutex> g(latch_);
+  IMCI_RETURN_NOT_OK(btree_.Insert(pk, image, redo));
+  IndexInsert(row, pk);
+  row_count_.fetch_add(1, std::memory_order_relaxed);
+  if (ship) ship(redo);
+  return Status::OK();
+}
+
+Status RowTable::UpdateImage(int64_t pk, const std::string& image,
+                             std::vector<RedoRecord>* redo,
+                             const RedoShipFn& ship) {
+  Row new_row;
+  IMCI_RETURN_NOT_OK(
+      RowCodec::Decode(*schema_, image.data(), image.size(), &new_row));
+  std::unique_lock<std::shared_mutex> g(latch_);
+  std::string old_image;
+  IMCI_RETURN_NOT_OK(btree_.Update(pk, image, &old_image, redo));
+  Row old_row;
+  IMCI_RETURN_NOT_OK(
+      RowCodec::Decode(*schema_, old_image.data(), old_image.size(), &old_row));
+  IndexRemove(old_row, pk);
+  IndexInsert(new_row, pk);
+  if (ship) ship(redo);
+  return Status::OK();
+}
+
+Status RowTable::DeleteImage(int64_t pk, std::vector<RedoRecord>* redo,
+                             const RedoShipFn& ship) {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  std::string old_image;
+  IMCI_RETURN_NOT_OK(btree_.Delete(pk, &old_image, redo));
+  Row old_row;
+  IMCI_RETURN_NOT_OK(
+      RowCodec::Decode(*schema_, old_image.data(), old_image.size(), &old_row));
+  IndexRemove(old_row, pk);
+  row_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (ship) ship(redo);
+  return Status::OK();
+}
+
+Status RowTable::Scan(
+    const std::function<bool(int64_t, const Row&)>& fn) const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  Row row;
+  return btree_.Scan([&](int64_t pk, const std::string& image) {
+    if (!RowCodec::Decode(*schema_, image.data(), image.size(), &row).ok()) {
+      return true;
+    }
+    return fn(pk, row);
+  });
+}
+
+Status RowTable::ScanRange(
+    int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const Row&)>& fn) const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  Row row;
+  return btree_.ScanRange(lo, hi, [&](int64_t pk, const std::string& image) {
+    if (!RowCodec::Decode(*schema_, image.data(), image.size(), &row).ok()) {
+      return true;
+    }
+    return fn(pk, row);
+  });
+}
+
+Status RowTable::IndexLookup(int col, int64_t key,
+                             std::vector<int64_t>* pks) const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  auto idx = sec_index_.find(col);
+  if (idx == sec_index_.end()) return Status::NotSupported("no index");
+  auto it = idx->second.find(key);
+  if (it != idx->second.end()) {
+    pks->assign(it->second.begin(), it->second.end());
+  }
+  return Status::OK();
+}
+
+Status RowTable::IndexLookupRange(int col, int64_t lo, int64_t hi,
+                                  std::vector<int64_t>* pks) const {
+  std::shared_lock<std::shared_mutex> g(latch_);
+  auto idx = sec_index_.find(col);
+  if (idx == sec_index_.end()) return Status::NotSupported("no index");
+  for (auto it = idx->second.lower_bound(lo);
+       it != idx->second.end() && it->first <= hi; ++it) {
+    pks->insert(pks->end(), it->second.begin(), it->second.end());
+  }
+  return Status::OK();
+}
+
+Status RowTable::BulkLoad(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    return AsInt(a[schema_->pk_col()]) < AsInt(b[schema_->pk_col()]);
+  });
+  std::vector<std::pair<int64_t, std::string>> encoded;
+  encoded.reserve(rows.size());
+  for (const Row& r : rows) {
+    std::string image;
+    RowCodec::Encode(*schema_, r, &image);
+    encoded.emplace_back(AsInt(r[schema_->pk_col()]), std::move(image));
+  }
+  std::unique_lock<std::shared_mutex> g(latch_);
+  IMCI_RETURN_NOT_OK(btree_.BulkLoad(encoded));
+  for (const Row& r : rows) IndexInsert(r, AsInt(r[schema_->pk_col()]));
+  row_count_.store(rows.size());
+  return Status::OK();
+}
+
+Status RowTable::RebuildIndexesFromPages() {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  for (auto& [col, index] : sec_index_) index.clear();
+  uint64_t count = 0;
+  Row row;
+  IMCI_RETURN_NOT_OK(btree_.Scan([&](int64_t pk, const std::string& image) {
+    if (RowCodec::Decode(*schema_, image.data(), image.size(), &row).ok()) {
+      IndexInsert(row, pk);
+      ++count;
+    }
+    return true;
+  }));
+  row_count_.store(count);
+  return Status::OK();
+}
+
+void RowTable::NoteReplicaInsert(const Row& row) {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  IndexInsert(row, AsInt(row[schema_->pk_col()]));
+  row_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RowTable::NoteReplicaDelete(const Row& row) {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  IndexRemove(row, AsInt(row[schema_->pk_col()]));
+  row_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void RowTable::NoteReplicaUpdate(const Row& old_row, const Row& new_row) {
+  std::unique_lock<std::shared_mutex> g(latch_);
+  const int64_t pk = AsInt(new_row[schema_->pk_col()]);
+  IndexRemove(old_row, pk);
+  IndexInsert(new_row, pk);
+}
+
+void RowTable::IndexInsert(const Row& row, int64_t pk) {
+  for (auto& [col, index] : sec_index_) {
+    if (IsNull(row[col])) continue;
+    index[AsInt(row[col])].insert(pk);
+  }
+}
+
+void RowTable::IndexRemove(const Row& row, int64_t pk) {
+  for (auto& [col, index] : sec_index_) {
+    if (IsNull(row[col])) continue;
+    auto it = index.find(AsInt(row[col]));
+    if (it != index.end()) {
+      it->second.erase(pk);
+      if (it->second.empty()) index.erase(it);
+    }
+  }
+}
+
+}  // namespace imci

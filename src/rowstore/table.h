@@ -1,0 +1,104 @@
+#ifndef POLARDB_IMCI_ROWSTORE_TABLE_H_
+#define POLARDB_IMCI_ROWSTORE_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "rowstore/btree.h"
+
+namespace imci {
+
+/// A row-store table: B+tree primary index plus optional in-memory secondary
+/// indexes over integer-family columns. Writers are serialized by an
+/// exclusive latch; readers take the latch shared (the paper's row store is
+/// similarly single-writer per tree at the SMO level).
+///
+/// All mutating methods append physical REDO records (tid/lsn unset) to
+/// `redo`; the transaction layer stamps and ships them. When a `ship`
+/// callback is passed, it runs *before the write latch is released*: log
+/// order must equal page-modification order or Phase#1 replay applies slot
+/// operations out of order. Single-threaded callers (tests, bulk tools) may
+/// omit it and ship afterwards.
+class RowTable {
+ public:
+  /// Ships stamped records to the log; invoked under the table write latch.
+  using RedoShipFn = std::function<void(std::vector<RedoRecord>*)>;
+
+  RowTable(std::shared_ptr<const Schema> schema, BufferPool* pool,
+           std::atomic<PageId>* page_alloc, PageId meta_page_id);
+
+  Status CreateEmpty();
+
+  const Schema& schema() const { return *schema_; }
+  PageId meta_page_id() const { return btree_.meta_page_id(); }
+
+  Status Insert(const Row& row, std::vector<RedoRecord>* redo,
+                const RedoShipFn& ship = nullptr);
+  Status Update(int64_t pk, const Row& new_row, Row* old_row,
+                std::vector<RedoRecord>* redo,
+                const RedoShipFn& ship = nullptr);
+  Status Delete(int64_t pk, Row* old_row, std::vector<RedoRecord>* redo,
+                const RedoShipFn& ship = nullptr);
+  Status Get(int64_t pk, Row* row) const;
+  bool Exists(int64_t pk) const;
+
+  /// Raw-image variants used by transaction rollback (no re-encode).
+  Status InsertImage(int64_t pk, const std::string& image,
+                     std::vector<RedoRecord>* redo,
+                     const RedoShipFn& ship = nullptr);
+  Status UpdateImage(int64_t pk, const std::string& image,
+                     std::vector<RedoRecord>* redo,
+                     const RedoShipFn& ship = nullptr);
+  Status DeleteImage(int64_t pk, std::vector<RedoRecord>* redo,
+                     const RedoShipFn& ship = nullptr);
+
+  /// Key-ordered full scan (shared latch held during the whole scan).
+  Status Scan(const std::function<bool(int64_t, const Row&)>& fn) const;
+  Status ScanRange(int64_t lo, int64_t hi,
+                   const std::function<bool(int64_t, const Row&)>& fn) const;
+
+  /// Secondary-index equality lookup: returns the PKs whose `col` equals
+  /// `key`. Returns NotSupported if no index exists on `col`.
+  Status IndexLookup(int col, int64_t key, std::vector<int64_t>* pks) const;
+  Status IndexLookupRange(int col, int64_t lo, int64_t hi,
+                          std::vector<int64_t>* pks) const;
+  bool HasIndexOn(int col) const { return sec_index_.count(col) > 0; }
+
+  /// Bulk-loads rows sorted by PK without redo; also builds secondary
+  /// indexes. Used for the initial data load.
+  Status BulkLoad(std::vector<Row> rows);
+
+  /// Rebuilds secondary indexes and the row count by scanning the B+tree.
+  /// Used when attaching to a replica whose pages already exist (RO boot).
+  Status RebuildIndexesFromPages();
+
+  /// Replica-side metadata maintenance: Phase#1 replay applies page changes
+  /// directly, bypassing Insert/Update/Delete, and calls these to keep the
+  /// secondary indexes and row count of the RO row-store replica current.
+  void NoteReplicaInsert(const Row& row);
+  void NoteReplicaDelete(const Row& row);
+  void NoteReplicaUpdate(const Row& old_row, const Row& new_row);
+
+  uint64_t row_count() const { return row_count_.load(); }
+
+ private:
+  void IndexInsert(const Row& row, int64_t pk);
+  void IndexRemove(const Row& row, int64_t pk);
+
+  std::shared_ptr<const Schema> schema_;
+  BTree btree_;
+  mutable std::shared_mutex latch_;
+  // col -> (key -> pk set)
+  std::map<int, std::map<int64_t, std::set<int64_t>>> sec_index_;
+  std::atomic<uint64_t> row_count_{0};
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_ROWSTORE_TABLE_H_

@@ -1,0 +1,399 @@
+#include "workloads/chbench.h"
+
+#include "workloads/tpch_internal.h"
+
+namespace imci {
+namespace chbench {
+
+namespace {
+ColumnDef C(const char* name, DataType t, bool nullable = false) {
+  ColumnDef d;
+  d.name = name;
+  d.type = t;
+  d.nullable = nullable;
+  d.in_column_index = true;
+  return d;
+}
+const int32_t kEpoch = MakeDate(2023, 1, 1);
+}  // namespace
+
+ChBench::ChBench(int warehouses, int items_per_wh, uint64_t seed)
+    : warehouses_(warehouses), items_(items_per_wh), seed_(seed) {}
+
+std::vector<std::shared_ptr<const Schema>> ChBench::Schemas() const {
+  std::vector<std::shared_ptr<const Schema>> v;
+  v.push_back(std::make_shared<Schema>(
+      kItem, "item",
+      std::vector<ColumnDef>{C("i_id", DataType::kInt64),
+                             C("i_name", DataType::kString),
+                             C("i_price", DataType::kDouble)},
+      0));
+  v.push_back(std::make_shared<Schema>(
+      kWarehouse, "warehouse",
+      std::vector<ColumnDef>{C("w_id", DataType::kInt64),
+                             C("w_name", DataType::kString),
+                             C("w_ytd", DataType::kDouble)},
+      0));
+  v.push_back(std::make_shared<Schema>(
+      kDistrict, "district",
+      std::vector<ColumnDef>{C("d_pk", DataType::kInt64),
+                             C("d_w_id", DataType::kInt64),
+                             C("d_id", DataType::kInt64),
+                             C("d_next_o_id", DataType::kInt64),
+                             C("d_next_del_o_id", DataType::kInt64),
+                             C("d_ytd", DataType::kDouble)},
+      0));
+  v.push_back(std::make_shared<Schema>(
+      kCustomer, "ch_customer",
+      std::vector<ColumnDef>{C("c_pk", DataType::kInt64),
+                             C("c_w_id", DataType::kInt64),
+                             C("c_d_id", DataType::kInt64),
+                             C("c_id", DataType::kInt64),
+                             C("c_last", DataType::kString),
+                             C("c_balance", DataType::kDouble),
+                             C("c_ytd_payment", DataType::kDouble),
+                             C("c_payment_cnt", DataType::kInt64),
+                             C("c_delivery_cnt", DataType::kInt64)},
+      0));
+  v.push_back(std::make_shared<Schema>(
+      kStock, "stock",
+      std::vector<ColumnDef>{C("s_pk", DataType::kInt64),
+                             C("s_w_id", DataType::kInt64),
+                             C("s_i_id", DataType::kInt64),
+                             C("s_quantity", DataType::kInt64),
+                             C("s_ytd", DataType::kInt64),
+                             C("s_order_cnt", DataType::kInt64)},
+      0));
+  v.push_back(std::make_shared<Schema>(
+      kOrder, "ch_order",
+      std::vector<ColumnDef>{C("o_pk", DataType::kInt64),
+                             C("o_w_id", DataType::kInt64),
+                             C("o_d_id", DataType::kInt64),
+                             C("o_id", DataType::kInt64),
+                             C("o_c_pk", DataType::kInt64),
+                             C("o_entry_d", DataType::kDate),
+                             C("o_ol_cnt", DataType::kInt64),
+                             C("o_carrier_id", DataType::kInt64, true)},
+      0));
+  v.push_back(std::make_shared<Schema>(
+      kOrderLine, "order_line",
+      std::vector<ColumnDef>{C("ol_pk", DataType::kInt64),
+                             C("ol_o_pk", DataType::kInt64),
+                             C("ol_w_id", DataType::kInt64),
+                             C("ol_d_id", DataType::kInt64),
+                             C("ol_number", DataType::kInt64),
+                             C("ol_i_id", DataType::kInt64),
+                             C("ol_quantity", DataType::kInt64),
+                             C("ol_amount", DataType::kDouble),
+                             C("ol_delivery_d", DataType::kDate, true)},
+      0));
+  v.push_back(std::make_shared<Schema>(
+      kNewOrder, "new_order",
+      std::vector<ColumnDef>{C("no_pk", DataType::kInt64),
+                             C("no_w_id", DataType::kInt64),
+                             C("no_d_id", DataType::kInt64),
+                             C("no_o_id", DataType::kInt64)},
+      0));
+  return v;
+}
+
+std::vector<Row> ChBench::Generate(ChTable table) {
+  Rng rng(seed_ + table * 31);
+  std::vector<Row> rows;
+  const int kInitOrders = 30;
+  switch (table) {
+    case kItem:
+      for (int64_t i = 1; i <= items_; ++i) {
+        rows.push_back({i, "item-" + std::to_string(i),
+                        1.0 + rng.UniformDouble() * 99.0});
+      }
+      break;
+    case kWarehouse:
+      for (int w = 1; w <= warehouses_; ++w) {
+        rows.push_back({int64_t(w), "wh-" + std::to_string(w), 0.0});
+      }
+      break;
+    case kDistrict:
+      for (int w = 1; w <= warehouses_; ++w) {
+        for (int d = 1; d <= 10; ++d) {
+          rows.push_back({DistrictPk(w, d), int64_t(w), int64_t(d),
+                          int64_t(kInitOrders + 1), int64_t(1), 0.0});
+        }
+      }
+      break;
+    case kCustomer:
+      for (int w = 1; w <= warehouses_; ++w) {
+        for (int d = 1; d <= 10; ++d) {
+          for (int c = 1; c <= customers_per_district_; ++c) {
+            rows.push_back({CustomerPk(w, d, c), int64_t(w), int64_t(d),
+                            int64_t(c), rng.RandomString(8, 16),
+                            -10.0 + rng.UniformDouble() * 100, 0.0,
+                            int64_t(0), int64_t(0)});
+          }
+        }
+      }
+      break;
+    case kStock:
+      for (int w = 1; w <= warehouses_; ++w) {
+        for (int64_t i = 1; i <= items_; ++i) {
+          rows.push_back({StockPk(w, i), int64_t(w), i,
+                          int64_t(10 + rng.Next() % 91), int64_t(0),
+                          int64_t(0)});
+        }
+      }
+      break;
+    case kOrder:
+      for (int w = 1; w <= warehouses_; ++w) {
+        for (int d = 1; d <= 10; ++d) {
+          for (int o = 1; o <= kInitOrders; ++o) {
+            const int64_t cpk = CustomerPk(
+                w, d, 1 + static_cast<int>(rng.Next() %
+                                           customers_per_district_));
+            rows.push_back({OrderPk(w, d, o), int64_t(w), int64_t(d),
+                            int64_t(o), cpk, int64_t(kEpoch + o % 60),
+                            int64_t(5), Value{}});
+          }
+        }
+      }
+      break;
+    case kOrderLine:
+      for (int w = 1; w <= warehouses_; ++w) {
+        for (int d = 1; d <= 10; ++d) {
+          for (int o = 1; o <= kInitOrders; ++o) {
+            const int64_t opk = OrderPk(w, d, o);
+            for (int ol = 1; ol <= 5; ++ol) {
+              rows.push_back({OrderLinePk(opk, ol), opk, int64_t(w),
+                              int64_t(d), int64_t(ol),
+                              int64_t(1 + rng.Next() % items_),
+                              int64_t(1 + rng.Next() % 10),
+                              rng.UniformDouble() * 300.0, Value{}});
+            }
+          }
+        }
+      }
+      break;
+    case kNewOrder:
+      break;  // starts empty; deliveries consume inserted orders
+  }
+  return rows;
+}
+
+Status ChBench::RunTransaction(TransactionManager* txns, Rng* rng) {
+  const uint64_t pick = rng->Next() % 100;
+  if (pick < 48) return NewOrder(txns, rng);
+  if (pick < 91) return Payment(txns, rng);
+  return Delivery(txns, rng);
+}
+
+Status ChBench::NewOrder(TransactionManager* txns, Rng* rng) {
+  const int w = 1 + static_cast<int>(rng->Next() % warehouses_);
+  const int d = 1 + static_cast<int>(rng->Next() % 10);
+  const int c = 1 + static_cast<int>(rng->Next() % customers_per_district_);
+  Transaction txn;
+  txns->Begin(&txn);
+  auto fail = [&](const Status& s) {
+    txns->Rollback(&txn);
+    return s;
+  };
+  Row district;
+  Status s = txns->GetForUpdate(&txn, kDistrict, DistrictPk(w, d), &district);
+  if (!s.ok()) return fail(s);
+  const int64_t o_id = AsInt(district[3]);
+  district[3] = o_id + 1;
+  s = txns->Update(&txn, kDistrict, DistrictPk(w, d), district);
+  if (!s.ok()) return fail(s);
+  const int ol_cnt = 5 + static_cast<int>(rng->Next() % 11);
+  const int64_t opk = OrderPk(w, d, o_id);
+  s = txns->Insert(&txn, kOrder,
+                   {opk, int64_t(w), int64_t(d), o_id,
+                    CustomerPk(w, d, c),
+                    int64_t(kEpoch + static_cast<int>(o_id % 365)),
+                    int64_t(ol_cnt), Value{}});
+  if (!s.ok()) return fail(s);
+  s = txns->Insert(&txn, kNewOrder, {opk, int64_t(w), int64_t(d), o_id});
+  if (!s.ok()) return fail(s);
+  for (int ol = 1; ol <= ol_cnt; ++ol) {
+    const int64_t item = 1 + static_cast<int64_t>(rng->Next() % items_);
+    Row stock;
+    s = txns->GetForUpdate(&txn, kStock, StockPk(w, item), &stock);
+    if (!s.ok()) return fail(s);
+    int64_t qty = AsInt(stock[3]);
+    const int64_t order_qty = 1 + static_cast<int64_t>(rng->Next() % 10);
+    qty = qty >= order_qty + 10 ? qty - order_qty : qty - order_qty + 91;
+    stock[3] = qty;
+    stock[4] = AsInt(stock[4]) + order_qty;
+    stock[5] = AsInt(stock[5]) + 1;
+    s = txns->Update(&txn, kStock, StockPk(w, item), stock);
+    if (!s.ok()) return fail(s);
+    s = txns->Insert(&txn, kOrderLine,
+                     {OrderLinePk(opk, ol), opk, int64_t(w), int64_t(d),
+                      int64_t(ol), item, order_qty,
+                      static_cast<double>(order_qty) *
+                          (1.0 + rng->UniformDouble() * 99.0),
+                      Value{}});
+    if (!s.ok()) return fail(s);
+  }
+  // TPC-C: 1% of NewOrder transactions roll back (invalid item).
+  if (rng->Next() % 100 == 0) {
+    txns->Rollback(&txn);
+    return Status::Aborted("invalid item");
+  }
+  IMCI_RETURN_NOT_OK(txns->Commit(&txn));
+  new_orders_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ChBench::Payment(TransactionManager* txns, Rng* rng) {
+  const int w = 1 + static_cast<int>(rng->Next() % warehouses_);
+  const int d = 1 + static_cast<int>(rng->Next() % 10);
+  const int c = 1 + static_cast<int>(rng->Next() % customers_per_district_);
+  const double amount = 1.0 + rng->UniformDouble() * 4999.0;
+  Transaction txn;
+  txns->Begin(&txn);
+  auto fail = [&](const Status& s) {
+    txns->Rollback(&txn);
+    return s;
+  };
+  Row wh;
+  Status s = txns->GetForUpdate(&txn, kWarehouse, w, &wh);
+  if (!s.ok()) return fail(s);
+  wh[2] = AsDouble(wh[2]) + amount;
+  s = txns->Update(&txn, kWarehouse, w, wh);
+  if (!s.ok()) return fail(s);
+  Row district;
+  s = txns->GetForUpdate(&txn, kDistrict, DistrictPk(w, d), &district);
+  if (!s.ok()) return fail(s);
+  district[5] = AsDouble(district[5]) + amount;
+  s = txns->Update(&txn, kDistrict, DistrictPk(w, d), district);
+  if (!s.ok()) return fail(s);
+  Row cust;
+  s = txns->GetForUpdate(&txn, kCustomer, CustomerPk(w, d, c), &cust);
+  if (!s.ok()) return fail(s);
+  cust[5] = AsDouble(cust[5]) - amount;
+  cust[6] = AsDouble(cust[6]) + amount;
+  cust[7] = AsInt(cust[7]) + 1;
+  s = txns->Update(&txn, kCustomer, CustomerPk(w, d, c), cust);
+  if (!s.ok()) return fail(s);
+  return txns->Commit(&txn);
+}
+
+Status ChBench::Delivery(TransactionManager* txns, Rng* rng) {
+  const int w = 1 + static_cast<int>(rng->Next() % warehouses_);
+  const int d = 1 + static_cast<int>(rng->Next() % 10);
+  Transaction txn;
+  txns->Begin(&txn);
+  auto fail = [&](const Status& s) {
+    txns->Rollback(&txn);
+    return s;
+  };
+  Row district;
+  Status s = txns->GetForUpdate(&txn, kDistrict, DistrictPk(w, d), &district);
+  if (!s.ok()) return fail(s);
+  const int64_t del_o = AsInt(district[4]);
+  if (del_o >= AsInt(district[3])) {
+    txns->Rollback(&txn);
+    return Status::OK();  // nothing to deliver
+  }
+  district[4] = del_o + 1;
+  s = txns->Update(&txn, kDistrict, DistrictPk(w, d), district);
+  if (!s.ok()) return fail(s);
+  const int64_t opk = OrderPk(w, d, del_o);
+  // The order may not exist yet (initial orders only): tolerate.
+  Row order;
+  s = txns->GetForUpdate(&txn, kOrder, opk, &order);
+  if (s.ok()) {
+    order[7] = int64_t(1 + rng->Next() % 10);  // carrier
+    s = txns->Update(&txn, kOrder, opk, order);
+    if (!s.ok()) return fail(s);
+    const int64_t ol_cnt = AsInt(order[6]);
+    double total = 0;
+    for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
+      Row line;
+      s = txns->GetForUpdate(&txn, kOrderLine, OrderLinePk(opk, ol), &line);
+      if (!s.ok()) continue;
+      line[8] = int64_t(kEpoch + 400);
+      total += AsDouble(line[7]);
+      s = txns->Update(&txn, kOrderLine, OrderLinePk(opk, ol), line);
+      if (!s.ok()) return fail(s);
+    }
+    Row cust;
+    const int64_t cpk = AsInt(order[4]);
+    s = txns->GetForUpdate(&txn, kCustomer, cpk, &cust);
+    if (s.ok()) {
+      cust[5] = AsDouble(cust[5]) + total;
+      cust[8] = AsInt(cust[8]) + 1;
+      s = txns->Update(&txn, kCustomer, cpk, cust);
+      if (!s.ok()) return fail(s);
+    }
+    if (txns->Get(kNewOrder, opk, &order).ok()) {
+      s = txns->Delete(&txn, kNewOrder, opk);
+      if (!s.ok() && !s.IsNotFound()) return fail(s);
+    }
+  }
+  return txns->Commit(&txn);
+}
+
+Status ChBench::RunAnalytical(int i, const Catalog& cat,
+                              const tpch::ExecFn& exec,
+                              std::vector<Row>* out) {
+  using tpch::S;
+  using tpch::CC;
+  out->clear();
+  switch (i) {
+    case 0: {
+      // CH-Q1: delivered order lines summarized by line number.
+      auto ol = S(cat, "order_line",
+                  {"ol_number", "ol_quantity", "ol_amount", "ol_delivery_d"});
+      auto scan = ol.Plan(Not(IsNull(ol.c("ol_delivery_d"))));
+      auto agg = LAgg(scan, {0},
+                      {AggSpec{AggKind::kSum, ol.c("ol_quantity")},
+                       AggSpec{AggKind::kSum, ol.c("ol_amount")},
+                       AggSpec{AggKind::kAvg, ol.c("ol_quantity")},
+                       AggSpec{AggKind::kCountStar, nullptr}});
+      return exec(LSort(agg, {{0, false}}), out);
+    }
+    case 1: {
+      // CH-Q6: revenue for mid-size quantities.
+      auto ol = S(cat, "order_line", {"ol_quantity", "ol_amount"});
+      auto scan = ol.Plan(Between(ol.c("ol_quantity"), ConstInt(2),
+                                  ConstInt(8)));
+      return exec(LAgg(scan, {}, {AggSpec{AggKind::kSum, ol.c("ol_amount")}}),
+                  out);
+    }
+    case 2: {
+      // CH-Q3 flavor: revenue per district via order join.
+      auto ol = S(cat, "order_line", {"ol_o_pk", "ol_amount"});
+      auto od = S(cat, "ch_order", {"o_pk", "o_d_id"});
+      auto j = LJoin(ol.Plan(), od.Plan(), {0}, {0});
+      auto agg = LAgg(j, {3}, {AggSpec{AggKind::kSum,
+                                       CC(1, DataType::kDouble)}});
+      return exec(LSort(agg, {{1, true}}), out);
+    }
+    case 3: {
+      // CH-Q12 flavor: order count by line count and delivery status.
+      auto od = S(cat, "ch_order", {"o_ol_cnt", "o_carrier_id"});
+      auto proj = LProject(
+          od.Plan(), {od.c("o_ol_cnt"),
+                      Case(IsNull(od.c("o_carrier_id")), ConstInt(0),
+                           ConstInt(1))});
+      auto agg = LAgg(proj, {0, 1}, {AggSpec{AggKind::kCountStar, nullptr}});
+      return exec(LSort(agg, {{0, false}, {1, false}}), out);
+    }
+    case 4: {
+      // CH-Q19 flavor: revenue for premium items at small quantities.
+      auto ol = S(cat, "order_line", {"ol_i_id", "ol_quantity", "ol_amount"});
+      auto scan = ol.Plan(Between(ol.c("ol_quantity"), ConstInt(1),
+                                  ConstInt(5)));
+      auto it = S(cat, "item", {"i_id", "i_price"});
+      auto item = it.Plan(Gt(it.c("i_price"), ConstDouble(50.0)));
+      auto j = LJoin(scan, item, {0}, {0});
+      return exec(LAgg(j, {}, {AggSpec{AggKind::kSum,
+                                       CC(2, DataType::kDouble)}}),
+                  out);
+    }
+  }
+  return Status::InvalidArgument("analytical query index");
+}
+
+}  // namespace chbench
+}  // namespace imci

@@ -1,0 +1,71 @@
+#ifndef POLARDB_IMCI_WORKLOADS_CHBENCH_H_
+#define POLARDB_IMCI_WORKLOADS_CHBENCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "plan/logical.h"
+#include "rowstore/engine.h"
+#include "workloads/tpch.h"
+
+namespace imci {
+namespace chbench {
+
+/// CH-benCHmark (§8.1): TPC-C transactions (NewOrder / Payment / Delivery)
+/// on the RW node plus TPC-H-style analytical queries over the same schema
+/// on RO nodes. Scaled by warehouse count.
+enum ChTable : TableId {
+  kItem = 21, kWarehouse = 22, kDistrict = 23, kCustomer = 24,
+  kStock = 25, kOrder = 26, kOrderLine = 27, kNewOrder = 28,
+};
+
+class ChBench {
+ public:
+  ChBench(int warehouses, int items_per_wh = 1000, uint64_t seed = 7);
+
+  std::vector<std::shared_ptr<const Schema>> Schemas() const;
+  std::vector<Row> Generate(ChTable table);
+
+  /// One transaction of the standard mix. Returns Busy on lock timeouts
+  /// (caller retries) and the paper-visible commit on success.
+  Status RunTransaction(TransactionManager* txns, Rng* rng);
+  Status NewOrder(TransactionManager* txns, Rng* rng);
+  Status Payment(TransactionManager* txns, Rng* rng);
+  Status Delivery(TransactionManager* txns, Rng* rng);
+
+  /// Analytical queries (CH-benCHmark flavors of TPC-H Q1/Q3/Q6/Q12/Q19).
+  /// `i` in [0,5).
+  static Status RunAnalytical(int i, const Catalog& cat,
+                              const tpch::ExecFn& exec, std::vector<Row>* out);
+  static constexpr int kNumAnalytical = 5;
+
+  int warehouses() const { return warehouses_; }
+
+  // Key packing.
+  static int64_t DistrictPk(int w, int d) { return w * 100 + d; }
+  static int64_t CustomerPk(int w, int d, int c) {
+    return DistrictPk(w, d) * 100000 + c;
+  }
+  static int64_t StockPk(int w, int64_t i) { return w * 1000000LL + i; }
+  static int64_t OrderPk(int w, int d, int64_t o) {
+    return (DistrictPk(w, d) << 32) + o;
+  }
+  static int64_t OrderLinePk(int64_t order_pk, int ol) {
+    return order_pk * 16 + ol;
+  }
+
+  uint64_t new_orders() const { return new_orders_.load(); }
+
+ private:
+  int warehouses_;
+  int items_;
+  int customers_per_district_ = 300;
+  uint64_t seed_;
+  std::atomic<uint64_t> new_orders_{0};
+};
+
+}  // namespace chbench
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_WORKLOADS_CHBENCH_H_

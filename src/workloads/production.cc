@@ -1,0 +1,199 @@
+#include "workloads/production.h"
+
+#include "workloads/tpch_internal.h"
+
+namespace imci {
+namespace production {
+
+namespace {
+ColumnDef C(const char* name, DataType t) {
+  ColumnDef d;
+  d.name = name;
+  d.type = t;
+  d.nullable = false;
+  d.in_column_index = true;
+  return d;
+}
+ColumnDef CN(const std::string& name, DataType t) {
+  ColumnDef d;
+  d.name = name;
+  d.type = t;
+  d.nullable = false;
+  d.in_column_index = true;
+  return d;
+}
+}  // namespace
+
+std::vector<CustomerProfile> Profiles(double scale) {
+  // Relative sizes follow Table 2: Cust1 2.6 TB >> Cust3 736 GB > Cust2
+  // 163 GB > Cust4 48 GB; column widths 11/27/30/14; joins 2/1.3/1.7/9.
+  std::vector<CustomerProfile> v;
+  v.push_back({"Cust1: Finance", 2,
+               static_cast<int64_t>(400000 * scale), 11, 2, 300});
+  v.push_back({"Cust2: Logistics", 1,
+               static_cast<int64_t>(60000 * scale), 27, 1, 320});
+  v.push_back({"Cust3: Video Marketing", 2,
+               static_cast<int64_t>(200000 * scale), 30, 2, 340});
+  v.push_back({"Cust4: Gaming", 4,
+               static_cast<int64_t>(30000 * scale), 14, 4, 360});
+  return v;
+}
+
+CustomerWorkload::CustomerWorkload(CustomerProfile profile, uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed) {}
+
+std::vector<std::shared_ptr<const Schema>> CustomerWorkload::Schemas() const {
+  std::vector<std::shared_ptr<const Schema>> v;
+  // Fact table: pk, dim FKs, event date, category, metrics, then string
+  // filler up to the profile's column width.
+  std::vector<ColumnDef> cols;
+  cols.push_back(C("f_pk", DataType::kInt64));
+  for (int d = 0; d < profile_.num_dim_tables; ++d) {
+    cols.push_back(CN("f_fk" + std::to_string(d), DataType::kInt64));
+  }
+  cols.push_back(C("f_date", DataType::kDate));
+  cols.push_back(C("f_category", DataType::kInt64));
+  cols.push_back(C("f_amount", DataType::kDouble));
+  cols.push_back(C("f_score", DataType::kDouble));
+  while (static_cast<int>(cols.size()) < profile_.fact_columns) {
+    cols.push_back(CN("f_attr" + std::to_string(cols.size()),
+                      cols.size() % 3 == 0 ? DataType::kString
+                                           : DataType::kInt64));
+  }
+  v.push_back(std::make_shared<Schema>(profile_.base_table_id,
+                                       profile_.name + "/fact", cols, 0));
+  for (int d = 0; d < profile_.num_dim_tables; ++d) {
+    v.push_back(std::make_shared<Schema>(
+        profile_.base_table_id + 1 + d,
+        profile_.name + "/dim" + std::to_string(d),
+        std::vector<ColumnDef>{C("d_pk", DataType::kInt64),
+                               C("d_name", DataType::kString),
+                               C("d_group", DataType::kInt64)},
+        0));
+  }
+  return v;
+}
+
+std::vector<Row> CustomerWorkload::Generate(TableId table) {
+  Rng rng(seed_ + table * 97);
+  std::vector<Row> rows;
+  const auto schemas = Schemas();
+  if (table == profile_.base_table_id) {
+    const auto& schema = *schemas[0];
+    const int32_t d0 = MakeDate(2022, 1, 1);
+    rows.reserve(profile_.fact_rows);
+    for (int64_t i = 1; i <= profile_.fact_rows; ++i) {
+      Row r;
+      r.reserve(schema.num_columns());
+      r.push_back(i);
+      for (int d = 0; d < profile_.num_dim_tables; ++d) {
+        r.push_back(static_cast<int64_t>(1 + rng.Next() % 1000));
+      }
+      r.push_back(static_cast<int64_t>(d0 + rng.Next() % 365));
+      r.push_back(static_cast<int64_t>(rng.Next() % 50));
+      r.push_back(rng.UniformDouble() * 10000.0);
+      r.push_back(rng.UniformDouble());
+      for (int c = static_cast<int>(r.size()); c < schema.num_columns();
+           ++c) {
+        if (schema.column(c).type == DataType::kString) {
+          r.push_back(rng.RandomString(8, 24));
+        } else {
+          r.push_back(static_cast<int64_t>(rng.Next() % 100000));
+        }
+      }
+      rows.push_back(std::move(r));
+    }
+  } else {
+    for (int64_t i = 1; i <= 1000; ++i) {
+      rows.push_back({i, "dim-" + std::to_string(i),
+                      static_cast<int64_t>(rng.Next() % 20)});
+    }
+  }
+  return rows;
+}
+
+Status CustomerWorkload::RunQuery(int i, const Catalog& cat,
+                                  const tpch::ExecFn& exec,
+                                  std::vector<Row>* out) const {
+  using tpch::CC;
+  out->clear();
+  auto fact_schema = cat.Get(profile_.base_table_id);
+  const int nd = profile_.num_dim_tables;
+  const int c_date = 1 + nd;
+  const int c_cat = 2 + nd;
+  const int c_amount = 3 + nd;
+  const int c_score = 4 + nd;
+  auto fact_scan = [&](ExprRef filter, std::vector<int> cols) {
+    return LScan(profile_.base_table_id, std::move(cols), std::move(filter));
+  };
+  const int32_t d0 = MakeDate(2022, 1, 1);
+  switch (i) {
+    case 0: {
+      // Selective PK-range lookup (the row engine's home turf).
+      auto scan = fact_scan(
+          Between(Col(0, DataType::kInt64), ConstInt(100), ConstInt(160)),
+          {0, c_cat, c_amount});
+      return exec(
+          LAgg(scan, {}, {AggSpec{AggKind::kSum, Col(2, DataType::kDouble)},
+                          AggSpec{AggKind::kCountStar, nullptr}}),
+          out);
+    }
+    case 1: {
+      // Full-scan aggregation by category.
+      auto scan = fact_scan(nullptr, {c_cat, c_amount, c_score});
+      auto agg = LAgg(scan, {0},
+                      {AggSpec{AggKind::kSum, Col(1, DataType::kDouble)},
+                       AggSpec{AggKind::kAvg, Col(2, DataType::kDouble)},
+                       AggSpec{AggKind::kCountStar, nullptr}});
+      return exec(LSort(agg, {{1, true}}), out);
+    }
+    case 2: {
+      // Quarter-window scan with predicate.
+      auto scan = fact_scan(
+          And(Between(Col(0, DataType::kDate), ConstInt(d0 + 90),
+                      ConstInt(d0 + 180)),
+              Gt(Col(2, DataType::kDouble), ConstDouble(5000.0))),
+          {c_date, c_cat, c_amount});
+      auto agg = LAgg(scan, {1},
+                      {AggSpec{AggKind::kSum, Col(2, DataType::kDouble)}});
+      return exec(LSort(agg, {{1, true}}), out);
+    }
+    case 3: {
+      // Join with the first dimension, grouped by dim group.
+      auto scan = fact_scan(nullptr, {1, c_amount});
+      auto dim = LScan(profile_.base_table_id + 1, {0, 2});
+      auto j = LJoin(scan, dim, {0}, {0});
+      auto agg = LAgg(j, {3},
+                      {AggSpec{AggKind::kSum, Col(1, DataType::kDouble)},
+                       AggSpec{AggKind::kCountStar, nullptr}});
+      return exec(LSort(agg, {{1, true}}), out);
+    }
+    case 4: {
+      // Multi-join analytics across all dimensions (Cust4-style plans with
+      // many joins).
+      std::vector<int> cols;
+      for (int d = 0; d < nd; ++d) cols.push_back(1 + d);
+      cols.push_back(c_amount);
+      cols.push_back(c_score);
+      LogicalRef plan = fact_scan(nullptr, cols);
+      int width = static_cast<int>(cols.size());
+      int group_col = -1;
+      for (int d = 0; d < nd; ++d) {
+        auto dim = LScan(profile_.base_table_id + 1 + d, {0, 2});
+        plan = LJoin(plan, dim, {d}, {0});
+        group_col = width + 1;  // d_group of the last joined dim
+        width += 2;
+      }
+      auto agg =
+          LAgg(plan, {group_col},
+               {AggSpec{AggKind::kSum, Col(nd, DataType::kDouble)},
+                AggSpec{AggKind::kAvg, Col(nd + 1, DataType::kDouble)},
+                AggSpec{AggKind::kCountStar, nullptr}});
+      return exec(LSort(agg, {{1, true}}, 20), out);
+    }
+  }
+  return Status::InvalidArgument("query index");
+}
+
+}  // namespace production
+}  // namespace imci

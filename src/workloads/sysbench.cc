@@ -1,0 +1,76 @@
+#include "workloads/sysbench.h"
+
+namespace imci {
+namespace sysbench {
+
+Sysbench::Sysbench(int num_tables, int64_t rows_per_table, Pattern pattern,
+                   double zipf_theta, uint64_t seed)
+    : num_tables_(num_tables),
+      rows_per_table_(rows_per_table),
+      pattern_(pattern),
+      zipf_theta_(zipf_theta),
+      seed_(seed) {}
+
+std::vector<std::shared_ptr<const Schema>> Sysbench::Schemas() const {
+  std::vector<std::shared_ptr<const Schema>> v;
+  for (int i = 0; i < num_tables_; ++i) {
+    ColumnDef id{"id", DataType::kInt64, false, true};
+    ColumnDef k{"k", DataType::kInt64, false, true};
+    // ~188 bytes per record: 120-char c + 60-char pad (sysbench layout).
+    ColumnDef c{"c", DataType::kString, false, true};
+    ColumnDef pad{"pad", DataType::kString, false, true};
+    v.push_back(std::make_shared<Schema>(
+        kBaseTableId + i, "sbtest" + std::to_string(i + 1),
+        std::vector<ColumnDef>{id, k, c, pad}, 0, std::vector<int>{1}));
+  }
+  return v;
+}
+
+Row Sysbench::MakeRow(int64_t pk, Rng* rng) const {
+  return {pk, static_cast<int64_t>(rng->Next() % 1000000),
+          rng->RandomString(119, 119), rng->RandomString(59, 59)};
+}
+
+std::vector<Row> Sysbench::Generate(int table_idx) {
+  Rng rng(seed_ + table_idx);
+  std::vector<Row> rows;
+  rows.reserve(rows_per_table_);
+  for (int64_t pk = 1; pk <= rows_per_table_; ++pk) {
+    rows.push_back(MakeRow(pk, &rng));
+  }
+  return rows;
+}
+
+Status Sysbench::RunOp(TransactionManager* txns, int thread_id, Rng* rng,
+                       Zipf* zipf) {
+  const TableId table =
+      kBaseTableId + static_cast<TableId>(rng->Next() % num_tables_);
+  Transaction txn;
+  txns->Begin(&txn);
+  Status s;
+  if (pattern_ == Pattern::kInsertOnly) {
+    // Fresh keys: per-thread disjoint ranges above the loaded rows.
+    const int64_t seq = insert_counter_.fetch_add(1) + 1;
+    const int64_t pk =
+        rows_per_table_ + static_cast<int64_t>(thread_id) * (1LL << 40) + seq;
+    s = txns->Insert(&txn, table, MakeRow(pk, rng));
+  } else {
+    const int64_t pk = 1 + static_cast<int64_t>(zipf->Next()) %
+                               rows_per_table_;
+    Row row;
+    s = txns->GetForUpdate(&txn, table, pk, &row);
+    if (s.ok()) {
+      row[1] = static_cast<int64_t>(rng->Next() % 1000000);
+      row[2] = rng->RandomString(119, 119);
+      s = txns->Update(&txn, table, pk, row);
+    }
+  }
+  if (!s.ok()) {
+    txns->Rollback(&txn);
+    return s;
+  }
+  return txns->Commit(&txn);
+}
+
+}  // namespace sysbench
+}  // namespace imci

@@ -1,0 +1,49 @@
+#ifndef POLARDB_IMCI_WORKLOADS_SYSBENCH_H_
+#define POLARDB_IMCI_WORKLOADS_SYSBENCH_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "rowstore/engine.h"
+
+namespace imci {
+namespace sysbench {
+
+/// sysbench-style OLTP pressure workloads (§8.1): N tables with 64-bit
+/// integer primary keys and ~188-byte records; insert-only and write-only
+/// (update) patterns with Zipfian key distribution.
+enum class Pattern { kInsertOnly, kWriteOnly };
+
+class Sysbench {
+ public:
+  static constexpr TableId kBaseTableId = 100;
+
+  Sysbench(int num_tables, int64_t rows_per_table, Pattern pattern,
+           double zipf_theta = 0.99, uint64_t seed = 11);
+
+  std::vector<std::shared_ptr<const Schema>> Schemas() const;
+  std::vector<Row> Generate(int table_idx);
+
+  /// One single-statement transaction from `thread_id`'s key space.
+  Status RunOp(TransactionManager* txns, int thread_id, Rng* rng, Zipf* zipf);
+
+  int num_tables() const { return num_tables_; }
+  int64_t rows_per_table() const { return rows_per_table_; }
+
+ private:
+  Row MakeRow(int64_t pk, Rng* rng) const;
+
+  int num_tables_;
+  int64_t rows_per_table_;
+  Pattern pattern_;
+  double zipf_theta_;
+  uint64_t seed_;
+  std::atomic<int64_t> insert_counter_{0};
+};
+
+}  // namespace sysbench
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_WORKLOADS_SYSBENCH_H_

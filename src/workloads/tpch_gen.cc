@@ -1,0 +1,343 @@
+#include <array>
+
+#include "common/coding.h"
+#include "workloads/tpch.h"
+
+namespace imci {
+namespace tpch {
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+// nation -> region mapping per the TPC-H spec.
+const std::pair<const char*, int> kNations[] = {
+    {"ALGERIA", 0},   {"ARGENTINA", 1}, {"BRAZIL", 1},    {"CANADA", 1},
+    {"EGYPT", 4},     {"ETHIOPIA", 0},  {"FRANCE", 3},    {"GERMANY", 3},
+    {"INDIA", 2},     {"INDONESIA", 2}, {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},     {"JORDAN", 4},    {"KENYA", 0},     {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0},{"PERU", 1},      {"CHINA", 2},     {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2},{"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                            "TRUCK"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kContainers[] = {"SM CASE", "SM BOX", "SM PACK", "SM PKG",
+                             "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+                             "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+                             "JUMBO BOX", "JUMBO CASE", "JUMBO PKG",
+                             "WRAP CASE", "WRAP BOX", "WRAP PKG"};
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                         "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kColors[] = {"almond", "antique", "aquamarine", "azure", "beige",
+                         "bisque", "black", "blanched", "blue", "blush",
+                         "brown", "burlywood", "chartreuse", "chiffon",
+                         "chocolate", "coral", "cornflower", "cream", "cyan",
+                         "dark", "dodger", "drab", "firebrick", "forest",
+                         "frosted", "gainsboro", "ghost", "goldenrod",
+                         "green", "grey", "honeydew", "hot", "indian",
+                         "ivory", "khaki", "lace", "lavender", "lawn",
+                         "lemon", "light", "lime", "linen", "magenta",
+                         "maroon", "medium", "metallic", "midnight", "mint",
+                         "misty", "moccasin"};
+
+// o_orderdate must be recomputable while generating lineitem (l_shipdate is
+// derived from it); make it a pure function of the order key. Orders are
+// mostly time-ordered by key — the arrival pattern of a production OLTP
+// table, and what makes Pack min/max pruning effective (§4.1) — with ±5%
+// jitter so date windows never align exactly with key ranges.
+int32_t OrderDateForScaled(uint64_t seed, int64_t orderkey,
+                           int64_t n_orders) {
+  const int32_t d0 = MakeDate(1992, 1, 1);
+  const int32_t d1 = MakeDate(1998, 8, 2);
+  const int64_t span = d1 - d0;
+  const int64_t base = orderkey * span * 9 / (n_orders * 10);
+  const int64_t jitter =
+      static_cast<int64_t>(
+          Hash64(seed ^ static_cast<uint64_t>(orderkey * 2654435761)) %
+          static_cast<uint64_t>(span / 10 + 1));
+  return d0 + static_cast<int32_t>(std::min<int64_t>(base + jitter, span - 1));
+}
+
+std::string CommentWith(Rng& rng, const char* inject1, const char* inject2) {
+  std::string c = rng.RandomString(10, 30);
+  if (inject1 != nullptr) {
+    c += " ";
+    c += inject1;
+    if (inject2 != nullptr) {
+      c += rng.RandomString(1, 6);
+      c += inject2;
+    }
+  }
+  return c;
+}
+
+ColumnDef C(const char* name, DataType t, bool nullable = false) {
+  ColumnDef d;
+  d.name = name;
+  d.type = t;
+  d.nullable = nullable;
+  d.in_column_index = true;
+  return d;
+}
+
+}  // namespace
+
+int ColOf(const Schema& schema, const std::string& name) {
+  return schema.ColumnIndex(name);
+}
+
+TpchGen::TpchGen(double sf, uint64_t seed) : sf_(sf), seed_(seed) {
+  n_customer_ = static_cast<int64_t>(150000 * sf);
+  n_orders_ = n_customer_ * 10;
+  n_part_ = static_cast<int64_t>(200000 * sf);
+  n_supplier_ = std::max<int64_t>(10, static_cast<int64_t>(10000 * sf));
+  n_partsupp_ = n_part_ * 4;
+  if (n_customer_ < 10) n_customer_ = 10;
+  if (n_orders_ < 100) n_orders_ = 100;
+  if (n_part_ < 20) n_part_ = 20;
+}
+
+std::vector<std::shared_ptr<const Schema>> TpchGen::Schemas() const {
+  std::vector<std::shared_ptr<const Schema>> v;
+  v.push_back(std::make_shared<Schema>(
+      kRegion, "region",
+      std::vector<ColumnDef>{C("r_regionkey", DataType::kInt64),
+                             C("r_name", DataType::kString),
+                             C("r_comment", DataType::kString)},
+      0));
+  v.push_back(std::make_shared<Schema>(
+      kNation, "nation",
+      std::vector<ColumnDef>{C("n_nationkey", DataType::kInt64),
+                             C("n_name", DataType::kString),
+                             C("n_regionkey", DataType::kInt64),
+                             C("n_comment", DataType::kString)},
+      0));
+  v.push_back(std::make_shared<Schema>(
+      kSupplier, "supplier",
+      std::vector<ColumnDef>{C("s_suppkey", DataType::kInt64),
+                             C("s_name", DataType::kString),
+                             C("s_address", DataType::kString),
+                             C("s_nationkey", DataType::kInt64),
+                             C("s_phone", DataType::kString),
+                             C("s_acctbal", DataType::kDouble),
+                             C("s_comment", DataType::kString)},
+      0, std::vector<int>{3}));
+  v.push_back(std::make_shared<Schema>(
+      kPart, "part",
+      std::vector<ColumnDef>{C("p_partkey", DataType::kInt64),
+                             C("p_name", DataType::kString),
+                             C("p_mfgr", DataType::kString),
+                             C("p_brand", DataType::kString),
+                             C("p_type", DataType::kString),
+                             C("p_size", DataType::kInt64),
+                             C("p_container", DataType::kString),
+                             C("p_retailprice", DataType::kDouble),
+                             C("p_comment", DataType::kString)},
+      0, std::vector<int>{5}));
+  v.push_back(std::make_shared<Schema>(
+      kPartsupp, "partsupp",
+      std::vector<ColumnDef>{C("ps_pk", DataType::kInt64),
+                             C("ps_partkey", DataType::kInt64),
+                             C("ps_suppkey", DataType::kInt64),
+                             C("ps_availqty", DataType::kInt64),
+                             C("ps_supplycost", DataType::kDouble),
+                             C("ps_comment", DataType::kString)},
+      0, std::vector<int>{1, 2}));
+  v.push_back(std::make_shared<Schema>(
+      kCustomer, "customer",
+      std::vector<ColumnDef>{C("c_custkey", DataType::kInt64),
+                             C("c_name", DataType::kString),
+                             C("c_address", DataType::kString),
+                             C("c_nationkey", DataType::kInt64),
+                             C("c_phone", DataType::kString),
+                             C("c_acctbal", DataType::kDouble),
+                             C("c_mktsegment", DataType::kString),
+                             C("c_comment", DataType::kString)},
+      0, std::vector<int>{3}));
+  v.push_back(std::make_shared<Schema>(
+      kOrders, "orders",
+      std::vector<ColumnDef>{C("o_orderkey", DataType::kInt64),
+                             C("o_custkey", DataType::kInt64),
+                             C("o_orderstatus", DataType::kString),
+                             C("o_totalprice", DataType::kDouble),
+                             C("o_orderdate", DataType::kDate),
+                             C("o_orderpriority", DataType::kString),
+                             C("o_clerk", DataType::kString),
+                             C("o_shippriority", DataType::kInt64),
+                             C("o_comment", DataType::kString)},
+      0, std::vector<int>{1, 4}));
+  v.push_back(std::make_shared<Schema>(
+      kLineitem, "lineitem",
+      std::vector<ColumnDef>{C("l_pk", DataType::kInt64),
+                             C("l_orderkey", DataType::kInt64),
+                             C("l_partkey", DataType::kInt64),
+                             C("l_suppkey", DataType::kInt64),
+                             C("l_linenumber", DataType::kInt64),
+                             C("l_quantity", DataType::kDouble),
+                             C("l_extendedprice", DataType::kDouble),
+                             C("l_discount", DataType::kDouble),
+                             C("l_tax", DataType::kDouble),
+                             C("l_returnflag", DataType::kString),
+                             C("l_linestatus", DataType::kString),
+                             C("l_shipdate", DataType::kDate),
+                             C("l_commitdate", DataType::kDate),
+                             C("l_receiptdate", DataType::kDate),
+                             C("l_shipinstruct", DataType::kString),
+                             C("l_shipmode", DataType::kString),
+                             C("l_comment", DataType::kString)},
+      0, std::vector<int>{1, 11}));
+  return v;
+}
+
+std::vector<Row> TpchGen::Generate(TpchTable table) {
+  Rng rng(seed_ + table * 7919);
+  std::vector<Row> rows;
+  auto pick = [&](auto& arr) -> std::string {
+    return arr[rng.Next() % (sizeof(arr) / sizeof(arr[0]))];
+  };
+  switch (table) {
+    case kRegion: {
+      for (int i = 0; i < 5; ++i) {
+        rows.push_back({int64_t(i), std::string(kRegions[i]),
+                        rng.RandomString(10, 30)});
+      }
+      break;
+    }
+    case kNation: {
+      for (int i = 0; i < 25; ++i) {
+        rows.push_back({int64_t(i), std::string(kNations[i].first),
+                        int64_t(kNations[i].second),
+                        rng.RandomString(10, 30)});
+      }
+      break;
+    }
+    case kSupplier: {
+      rows.reserve(n_supplier_);
+      for (int64_t i = 1; i <= n_supplier_; ++i) {
+        const bool complaint = rng.Next() % 200 == 0;
+        rows.push_back(
+            {i, "Supplier#" + std::to_string(i), rng.RandomString(10, 25),
+             int64_t(rng.Next() % 25),
+             std::to_string(10 + rng.Next() % 25) + "-" +
+                 std::to_string(100 + rng.Next() % 900),
+             -999.99 + rng.UniformDouble() * 10998.98,
+             CommentWith(rng, complaint ? "Customer" : nullptr,
+                         complaint ? "Complaints" : nullptr)});
+      }
+      break;
+    }
+    case kPart: {
+      rows.reserve(n_part_);
+      for (int64_t i = 1; i <= n_part_; ++i) {
+        std::string name = pick(kColors);
+        name += " ";
+        name += pick(kColors);
+        const int mfgr = 1 + static_cast<int>(rng.Next() % 5);
+        const int brand = mfgr * 10 + 1 + static_cast<int>(rng.Next() % 5);
+        std::string type = pick(kTypes1);
+        type += " ";
+        type += pick(kTypes2);
+        type += " ";
+        type += pick(kTypes3);
+        rows.push_back({i, std::move(name),
+                        "Manufacturer#" + std::to_string(mfgr),
+                        "Brand#" + std::to_string(brand), std::move(type),
+                        int64_t(1 + rng.Next() % 50), pick(kContainers),
+                        900.0 + (i % 1000) + rng.UniformDouble() * 100,
+                        rng.RandomString(5, 15)});
+      }
+      break;
+    }
+    case kPartsupp: {
+      rows.reserve(n_partsupp_);
+      for (int64_t p = 1; p <= n_part_; ++p) {
+        for (int s = 0; s < 4; ++s) {
+          const int64_t suppkey =
+              1 + (p + s * (n_supplier_ / 4 + 1)) % n_supplier_;
+          rows.push_back({PartsuppPk(p, suppkey), p, suppkey,
+                          int64_t(1 + rng.Next() % 9999),
+                          1.0 + rng.UniformDouble() * 999.0,
+                          rng.RandomString(10, 30)});
+        }
+      }
+      break;
+    }
+    case kCustomer: {
+      rows.reserve(n_customer_);
+      for (int64_t i = 1; i <= n_customer_; ++i) {
+        const int64_t nation = rng.Next() % 25;
+        // c_phone country code = nationkey + 10 (used by Q22).
+        std::string phone = std::to_string(10 + nation) + "-" +
+                            std::to_string(100 + rng.Next() % 900) + "-" +
+                            std::to_string(1000 + rng.Next() % 9000);
+        rows.push_back({i, "Customer#" + std::to_string(i),
+                        rng.RandomString(10, 25), nation, std::move(phone),
+                        -999.99 + rng.UniformDouble() * 10998.98,
+                        pick(kSegments), rng.RandomString(10, 40)});
+      }
+      break;
+    }
+    case kOrders: {
+      rows.reserve(n_orders_);
+      for (int64_t i = 1; i <= n_orders_; ++i) {
+        const int64_t cust = 1 + rng.Next() % n_customer_;
+        const int32_t date = OrderDateForScaled(seed_, i, n_orders_);
+        const bool special = rng.Next() % 100 < 2;
+        const char status =
+            date < MakeDate(1995, 6, 17) ? 'F' : (rng.Next() % 2 ? 'O' : 'P');
+        rows.push_back(
+            {i, cust, std::string(1, status),
+             1000.0 + rng.UniformDouble() * 450000.0, int64_t(date),
+             pick(kPriorities), "Clerk#" + std::to_string(rng.Next() % 1000),
+             int64_t(0),
+             CommentWith(rng, special ? "special" : nullptr,
+                         special ? "requests" : nullptr)});
+      }
+      break;
+    }
+    case kLineitem: {
+      rows.reserve(n_orders_ * 4);
+      for (int64_t o = 1; o <= n_orders_; ++o) {
+        const int32_t odate = OrderDateForScaled(seed_, o, n_orders_);
+        const int nlines = 1 + static_cast<int>(rng.Next() % 7);
+        for (int ln = 1; ln <= nlines; ++ln) {
+          const double qty = 1 + static_cast<double>(rng.Next() % 50);
+          const double price = 900.0 + rng.UniformDouble() * 10000.0;
+          const int32_t ship =
+              odate + 1 + static_cast<int32_t>(rng.Next() % 121);
+          const int32_t commit =
+              odate + 30 + static_cast<int32_t>(rng.Next() % 60);
+          const int32_t receipt =
+              ship + 1 + static_cast<int32_t>(rng.Next() % 30);
+          const char rf = receipt <= MakeDate(1995, 6, 17)
+                              ? (rng.Next() % 2 ? 'R' : 'A')
+                              : 'N';
+          const char ls = ship > MakeDate(1995, 6, 17) ? 'O' : 'F';
+          rows.push_back(
+              {LineitemPk(o, ln), o, int64_t(1 + rng.Next() % n_part_),
+               int64_t(1 + rng.Next() % n_supplier_), int64_t(ln), qty,
+               qty * price / 10.0,
+               static_cast<double>(rng.Next() % 11) / 100.0,
+               static_cast<double>(rng.Next() % 9) / 100.0,
+               std::string(1, rf), std::string(1, ls), int64_t(ship),
+               int64_t(commit), int64_t(receipt), pick(kInstructs),
+               pick(kShipModes), rng.RandomString(10, 40)});
+        }
+      }
+      break;
+    }
+  }
+  return rows;
+}
+
+}  // namespace tpch
+}  // namespace imci

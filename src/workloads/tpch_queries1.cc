@@ -1,0 +1,331 @@
+#include "workloads/tpch_internal.h"
+
+namespace imci {
+namespace tpch {
+
+namespace {
+
+ExprRef Rev(ExprRef price, ExprRef disc) {
+  return Mul(std::move(price), Sub(ConstDouble(1.0), std::move(disc)));
+}
+
+AggSpec Sum(ExprRef e) { return {AggKind::kSum, std::move(e)}; }
+AggSpec Avg(ExprRef e) { return {AggKind::kAvg, std::move(e)}; }
+AggSpec Min(ExprRef e) { return {AggKind::kMin, std::move(e)}; }
+AggSpec CountStar() { return {AggKind::kCountStar, nullptr}; }
+
+}  // namespace
+
+Status RunQ1to11(int q, const Catalog& cat, const ExecFn& exec,
+                 std::vector<Row>* out) {
+  switch (q) {
+    case 1: {
+      // Pricing summary report.
+      auto li = S(cat, "lineitem",
+                  {"l_returnflag", "l_linestatus", "l_quantity",
+                   "l_extendedprice", "l_discount", "l_tax", "l_shipdate"});
+      auto scan = li.Plan(Le(li.c("l_shipdate"), ConstDate(1998, 9, 2)));
+      auto price = li.c("l_extendedprice");
+      auto disc = li.c("l_discount");
+      auto agg = LAgg(
+          scan, {0, 1},
+          {Sum(li.c("l_quantity")), Sum(price), Sum(Rev(price, disc)),
+           Sum(Mul(Rev(price, disc), Add(ConstDouble(1.0), li.c("l_tax")))),
+           Avg(li.c("l_quantity")), Avg(price), Avg(disc), CountStar()});
+      return exec(LSort(agg, {{0, false}, {1, false}}), out);
+    }
+    case 2: {
+      // Minimum-cost supplier in EUROPE for size-15 %BRASS parts.
+      auto na = S(cat, "nation", {"n_nationkey", "n_name", "n_regionkey"});
+      auto re = S(cat, "region", {"r_regionkey", "r_name"});
+      auto nr = LJoin(na.Plan(), re.Plan(Eq(re.c("r_name"),
+                                            ConstString("EUROPE"))),
+                      {na.at("n_regionkey")}, {re.at("r_regionkey")});
+      auto su = S(cat, "supplier",
+                  {"s_suppkey", "s_name", "s_address", "s_nationkey",
+                   "s_phone", "s_acctbal", "s_comment"});
+      // sup: s 0..6, n_nationkey 7, n_name 8, n_regionkey 9, r 10,11
+      auto sup = LJoin(su.Plan(), nr, {su.at("s_nationkey")}, {0});
+      auto ps = S(cat, "partsupp",
+                  {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+      // psup: ps 0..2, sup 3..14
+      auto psup = LJoin(ps.Plan(), sup, {1}, {0});
+      auto mincost =
+          LAgg(psup, {0}, {Min(CC(2, DataType::kDouble))});  // partkey,min
+      auto pa = S(cat, "part", {"p_partkey", "p_mfgr", "p_size", "p_type"});
+      auto part = pa.Plan(And(Eq(pa.c("p_size"), ConstInt(15)),
+                              Like(pa.c("p_type"), "%BRASS")));
+      // partj: part 0..3, partkey 4, min 5
+      auto partj = LJoin(part, mincost, {0}, {0});
+      // final: partj 0..5, psup 6..20
+      auto final = LJoin(partj, psup, {0, 5}, {0, 2});
+      auto proj = LProject(
+          final, {CC(14, DataType::kDouble), CC(10, DataType::kString),
+                  CC(17, DataType::kString), CC(0, DataType::kInt64),
+                  CC(1, DataType::kString), CC(11, DataType::kString),
+                  CC(13, DataType::kString), CC(15, DataType::kString)});
+      return exec(LSort(proj, {{0, true}, {2, false}, {1, false}, {3, false}},
+                        100),
+                  out);
+    }
+    case 3: {
+      // Shipping priority.
+      auto cu = S(cat, "customer", {"c_custkey", "c_mktsegment"});
+      auto cust = cu.Plan(Eq(cu.c("c_mktsegment"), ConstString("BUILDING")));
+      auto od = S(cat, "orders",
+                  {"o_orderkey", "o_custkey", "o_orderdate",
+                   "o_shippriority"});
+      auto orders = od.Plan(Lt(od.c("o_orderdate"), ConstDate(1995, 3, 15)));
+      // j1: o 0..3, c 4,5
+      auto j1 = LJoin(orders, cust, {1}, {0});
+      auto li = S(cat, "lineitem",
+                  {"l_orderkey", "l_extendedprice", "l_discount",
+                   "l_shipdate"});
+      auto lis = li.Plan(Gt(li.c("l_shipdate"), ConstDate(1995, 3, 15)));
+      // j2: li 0..3, j1 4..9
+      auto j2 = LJoin(lis, j1, {0}, {0});
+      auto agg = LAgg(j2, {0, 6, 7},
+                      {Sum(Rev(CC(1, DataType::kDouble),
+                               CC(2, DataType::kDouble)))});
+      auto proj = LProject(agg, {CC(0, DataType::kInt64),
+                                 CC(3, DataType::kDouble),
+                                 CC(1, DataType::kDate),
+                                 CC(2, DataType::kInt64)});
+      return exec(LSort(proj, {{1, true}, {2, false}}, 10), out);
+    }
+    case 4: {
+      // Order priority checking (EXISTS -> semi join).
+      auto od = S(cat, "orders",
+                  {"o_orderkey", "o_orderdate", "o_orderpriority"});
+      auto orders =
+          od.Plan(And(Ge(od.c("o_orderdate"), ConstDate(1993, 7, 1)),
+                      Lt(od.c("o_orderdate"), ConstDate(1993, 10, 1))));
+      auto li = S(cat, "lineitem",
+                  {"l_orderkey", "l_commitdate", "l_receiptdate"});
+      auto lis = li.Plan(Lt(li.c("l_commitdate"), li.c("l_receiptdate")));
+      auto semi = LJoin(orders, lis, {0}, {0}, JoinType::kSemi);
+      auto agg = LAgg(semi, {2}, {CountStar()});
+      return exec(LSort(agg, {{0, false}}), out);
+    }
+    case 5: {
+      // Local supplier volume, region ASIA, 1994.
+      auto na = S(cat, "nation", {"n_nationkey", "n_name", "n_regionkey"});
+      auto re = S(cat, "region", {"r_regionkey", "r_name"});
+      auto nr = LJoin(na.Plan(), re.Plan(Eq(re.c("r_name"),
+                                            ConstString("ASIA"))),
+                      {na.at("n_regionkey")}, {re.at("r_regionkey")});
+      auto su = S(cat, "supplier", {"s_suppkey", "s_nationkey"});
+      // sup: s 0,1, n 2,3,4, r 5,6
+      auto sup = LJoin(su.Plan(), nr, {1}, {0});
+      auto cu = S(cat, "customer", {"c_custkey", "c_nationkey"});
+      auto od = S(cat, "orders", {"o_orderkey", "o_custkey", "o_orderdate"});
+      auto orders =
+          od.Plan(And(Ge(od.c("o_orderdate"), ConstDate(1994, 1, 1)),
+                      Lt(od.c("o_orderdate"), ConstDate(1995, 1, 1))));
+      // oc: o 0..2, c 3,4
+      auto oc = LJoin(orders, cu.Plan(), {1}, {0});
+      auto li = S(cat, "lineitem",
+                  {"l_orderkey", "l_suppkey", "l_extendedprice",
+                   "l_discount"});
+      // j: li 0..3, oc 4..8
+      auto j = LJoin(li.Plan(), oc, {0}, {0});
+      // j2: j 0..8, sup 9..15 ; join on (l_suppkey, c_nationkey)
+      auto j2 = LJoin(j, sup, {1, 8}, {0, 1});
+      auto agg = LAgg(j2, {12},
+                      {Sum(Rev(CC(2, DataType::kDouble),
+                               CC(3, DataType::kDouble)))});
+      return exec(LSort(agg, {{1, true}}), out);
+    }
+    case 6: {
+      // Forecasting revenue change.
+      auto li = S(cat, "lineitem",
+                  {"l_extendedprice", "l_discount", "l_quantity",
+                   "l_shipdate"});
+      auto scan = li.Plan(
+          And(And(Ge(li.c("l_shipdate"), ConstDate(1994, 1, 1)),
+                  Lt(li.c("l_shipdate"), ConstDate(1995, 1, 1))),
+              And(Between(li.c("l_discount"), ConstDouble(0.05),
+                          ConstDouble(0.07)),
+                  Lt(li.c("l_quantity"), ConstDouble(24)))));
+      auto agg =
+          LAgg(scan, {}, {Sum(Mul(li.c("l_extendedprice"),
+                                  li.c("l_discount")))});
+      return exec(agg, out);
+    }
+    case 7: {
+      // Volume shipping FRANCE <-> GERMANY.
+      std::vector<Value> fr_de = {std::string("FRANCE"),
+                                  std::string("GERMANY")};
+      auto n1 = S(cat, "nation", {"n_nationkey", "n_name"});
+      auto su = S(cat, "supplier", {"s_suppkey", "s_nationkey"});
+      // sup: s 0,1, n 2,3
+      auto sup = LJoin(su.Plan(), n1.Plan(In(n1.c("n_name"), fr_de)),
+                       {1}, {0});
+      auto cu = S(cat, "customer", {"c_custkey", "c_nationkey"});
+      auto cust = LJoin(cu.Plan(), n1.Plan(In(n1.c("n_name"), fr_de)),
+                        {1}, {0});
+      auto od = S(cat, "orders", {"o_orderkey", "o_custkey"});
+      // oc: o 0,1, cust 2..5 (c_custkey2 c_nationkey3 n_nationkey4 n_name5)
+      auto oc = LJoin(od.Plan(), cust, {1}, {0});
+      auto li = S(cat, "lineitem",
+                  {"l_orderkey", "l_suppkey", "l_extendedprice",
+                   "l_discount", "l_shipdate"});
+      auto lis = li.Plan(Between(li.c("l_shipdate"), ConstDate(1995, 1, 1),
+                                 ConstDate(1996, 12, 31)));
+      // j: li 0..4, oc 5..10 (cust_nation 10)
+      auto j = LJoin(lis, oc, {0}, {0});
+      // j2: j 0..10, sup 11..14 (supp_nation 14)
+      auto j2 = LJoin(j, sup, {1}, {0});
+      auto pair_filter = LFilter(
+          j2, Or(And(Eq(CC(14, DataType::kString), ConstString("FRANCE")),
+                     Eq(CC(10, DataType::kString), ConstString("GERMANY"))),
+                 And(Eq(CC(14, DataType::kString), ConstString("GERMANY")),
+                     Eq(CC(10, DataType::kString), ConstString("FRANCE")))));
+      auto proj = LProject(
+          pair_filter,
+          {CC(14, DataType::kString), CC(10, DataType::kString),
+           Year(CC(4, DataType::kDate)),
+           Rev(CC(2, DataType::kDouble), CC(3, DataType::kDouble))});
+      auto agg = LAgg(proj, {0, 1, 2}, {Sum(CC(3, DataType::kDouble))});
+      return exec(LSort(agg, {{0, false}, {1, false}, {2, false}}), out);
+    }
+    case 8: {
+      // National market share (BRAZIL, AMERICA, ECONOMY ANODIZED STEEL).
+      auto pa = S(cat, "part", {"p_partkey", "p_type"});
+      auto part = pa.Plan(
+          Eq(pa.c("p_type"), ConstString("ECONOMY ANODIZED STEEL")));
+      auto li = S(cat, "lineitem",
+                  {"l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice",
+                   "l_discount"});
+      // j1: li 0..4, part 5,6
+      auto j1 = LJoin(li.Plan(), part, {1}, {0});
+      auto od = S(cat, "orders", {"o_orderkey", "o_custkey", "o_orderdate"});
+      auto orders =
+          od.Plan(Between(od.c("o_orderdate"), ConstDate(1995, 1, 1),
+                          ConstDate(1996, 12, 31)));
+      // j2: j1 0..6, orders 7..9
+      auto j2 = LJoin(j1, orders, {0}, {0});
+      auto cu = S(cat, "customer", {"c_custkey", "c_nationkey"});
+      // j3: j2 0..9, cust 10,11
+      auto j3 = LJoin(j2, cu.Plan(), {8}, {0});
+      auto na = S(cat, "nation", {"n_nationkey", "n_name", "n_regionkey"});
+      auto re = S(cat, "region", {"r_regionkey", "r_name"});
+      auto nr = LJoin(na.Plan(), re.Plan(Eq(re.c("r_name"),
+                                            ConstString("AMERICA"))),
+                      {2}, {0});
+      // j4: j3 0..11, nr 12..16 (customer-side nation/region)
+      auto j4 = LJoin(j3, nr, {11}, {0});
+      auto su = S(cat, "supplier", {"s_suppkey", "s_nationkey"});
+      // j5: j4 0..16, sup 17,18
+      auto j5 = LJoin(j4, su.Plan(), {2}, {0});
+      auto n2 = S(cat, "nation", {"n_nationkey", "n_name"});
+      // j6: j5 0..18, n2 19,20 (supplier nation name at 20)
+      auto j6 = LJoin(j5, n2.Plan(), {18}, {0});
+      auto vol = Rev(CC(3, DataType::kDouble), CC(4, DataType::kDouble));
+      auto proj = LProject(
+          j6, {Year(CC(9, DataType::kDate)), vol,
+               Case(Eq(CC(20, DataType::kString), ConstString("BRAZIL")),
+                    vol, ConstDouble(0.0))});
+      auto agg = LAgg(proj, {0}, {Sum(CC(2, DataType::kDouble)),
+                                  Sum(CC(1, DataType::kDouble))});
+      auto share = LProject(
+          agg, {CC(0, DataType::kInt64),
+                Div(CC(1, DataType::kDouble), CC(2, DataType::kDouble))});
+      return exec(LSort(share, {{0, false}}), out);
+    }
+    case 9: {
+      // Product type profit measure (%green%).
+      auto pa = S(cat, "part", {"p_partkey", "p_name"});
+      auto part = pa.Plan(Like(pa.c("p_name"), "%green%"));
+      auto li = S(cat, "lineitem",
+                  {"l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
+                   "l_extendedprice", "l_discount"});
+      // j1: li 0..5, part 6,7
+      auto j1 = LJoin(li.Plan(), part, {1}, {0});
+      auto ps = S(cat, "partsupp",
+                  {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+      // j2: j1 0..7, ps 8..10
+      auto j2 = LJoin(j1, ps.Plan(), {2, 1}, {1, 0});
+      auto su = S(cat, "supplier", {"s_suppkey", "s_nationkey"});
+      // j3: j2 0..10, sup 11,12
+      auto j3 = LJoin(j2, su.Plan(), {2}, {0});
+      auto na = S(cat, "nation", {"n_nationkey", "n_name"});
+      // j4: j3 0..12, nation 13,14
+      auto j4 = LJoin(j3, na.Plan(), {12}, {0});
+      auto od = S(cat, "orders", {"o_orderkey", "o_orderdate"});
+      // j5: j4 0..14, orders 15,16
+      auto j5 = LJoin(j4, od.Plan(), {0}, {0});
+      auto amount =
+          Sub(Rev(CC(4, DataType::kDouble), CC(5, DataType::kDouble)),
+              Mul(CC(10, DataType::kDouble), CC(3, DataType::kDouble)));
+      auto proj = LProject(j5, {CC(14, DataType::kString),
+                                Year(CC(16, DataType::kDate)), amount});
+      auto agg = LAgg(proj, {0, 1}, {Sum(CC(2, DataType::kDouble))});
+      return exec(LSort(agg, {{0, false}, {1, true}}), out);
+    }
+    case 10: {
+      // Returned item reporting.
+      auto od = S(cat, "orders", {"o_orderkey", "o_custkey", "o_orderdate"});
+      auto orders =
+          od.Plan(And(Ge(od.c("o_orderdate"), ConstDate(1993, 10, 1)),
+                      Lt(od.c("o_orderdate"), ConstDate(1994, 1, 1))));
+      auto cu = S(cat, "customer",
+                  {"c_custkey", "c_name", "c_acctbal", "c_phone",
+                   "c_nationkey", "c_address", "c_comment"});
+      // j1: orders 0..2, cust 3..9
+      auto j1 = LJoin(orders, cu.Plan(), {1}, {0});
+      auto li = S(cat, "lineitem",
+                  {"l_orderkey", "l_extendedprice", "l_discount",
+                   "l_returnflag"});
+      auto lis = li.Plan(Eq(li.c("l_returnflag"), ConstString("R")));
+      // j2: li 0..3, j1 4..13 (c_custkey 7, c_name 8, acctbal 9, phone 10,
+      //     nationkey 11, address 12, comment 13)
+      auto j2 = LJoin(lis, j1, {0}, {0});
+      auto na = S(cat, "nation", {"n_nationkey", "n_name"});
+      // j3: j2 0..13, nation 14,15
+      auto j3 = LJoin(j2, na.Plan(), {11}, {0});
+      auto agg =
+          LAgg(j3, {7, 8, 9, 10, 15, 12, 13},
+               {Sum(Rev(CC(1, DataType::kDouble), CC(2, DataType::kDouble)))});
+      auto proj = LProject(
+          agg, {CC(0, DataType::kInt64), CC(1, DataType::kString),
+                CC(7, DataType::kDouble), CC(2, DataType::kDouble),
+                CC(4, DataType::kString), CC(5, DataType::kString),
+                CC(3, DataType::kString), CC(6, DataType::kString)});
+      return exec(LSort(proj, {{2, true}}, 20), out);
+    }
+    case 11: {
+      // Important stock identification (GERMANY).
+      auto ps = S(cat, "partsupp",
+                  {"ps_partkey", "ps_suppkey", "ps_availqty",
+                   "ps_supplycost"});
+      auto su = S(cat, "supplier", {"s_suppkey", "s_nationkey"});
+      auto na = S(cat, "nation", {"n_nationkey", "n_name"});
+      auto nat = na.Plan(Eq(na.c("n_name"), ConstString("GERMANY")));
+      // j1: ps 0..3, sup 4,5
+      auto j1 = LJoin(ps.Plan(), su.Plan(), {1}, {0});
+      // j2: j1 0..5, nation 6,7
+      auto j2 = LJoin(j1, nat, {5}, {0});
+      auto value = Mul(CC(3, DataType::kDouble), CC(2, DataType::kInt64));
+      auto per_part = LAgg(LProject(j2, {CC(0, DataType::kInt64), value}),
+                           {0}, {Sum(CC(1, DataType::kDouble))});
+      // Scalar subquery: total value.
+      std::vector<Row> total_rows;
+      IMCI_RETURN_NOT_OK(exec(
+          LAgg(LProject(j2, {value}), {}, {Sum(CC(0, DataType::kDouble))}),
+          &total_rows));
+      const double total =
+          total_rows.empty() || IsNull(total_rows[0][0])
+              ? 0.0
+              : NumericValue(total_rows[0][0]);
+      auto having =
+          LFilter(per_part, Gt(CC(1, DataType::kDouble),
+                               ConstDouble(total * 0.0001)));
+      return exec(LSort(having, {{1, true}}), out);
+    }
+  }
+  return Status::InvalidArgument("q out of range");
+}
+
+}  // namespace tpch
+}  // namespace imci

@@ -1,0 +1,318 @@
+#include "workloads/tpch_internal.h"
+
+namespace imci {
+namespace tpch {
+
+namespace {
+
+ExprRef Rev(ExprRef price, ExprRef disc) {
+  return Mul(std::move(price), Sub(ConstDouble(1.0), std::move(disc)));
+}
+
+AggSpec Sum(ExprRef e) { return {AggKind::kSum, std::move(e)}; }
+AggSpec Avg(ExprRef e) { return {AggKind::kAvg, std::move(e)}; }
+AggSpec Count(ExprRef e) { return {AggKind::kCount, std::move(e)}; }
+AggSpec CountStar() { return {AggKind::kCountStar, nullptr}; }
+AggSpec CountDistinct(ExprRef e) {
+  return {AggKind::kCountDistinct, std::move(e)};
+}
+AggSpec Max(ExprRef e) { return {AggKind::kMax, std::move(e)}; }
+
+std::vector<Value> Strs(std::initializer_list<const char*> vals) {
+  std::vector<Value> v;
+  for (const char* s : vals) v.emplace_back(std::string(s));
+  return v;
+}
+
+}  // namespace
+
+Status RunQ12to22(int q, const Catalog& cat, const ExecFn& exec,
+                  std::vector<Row>* out) {
+  switch (q) {
+    case 12: {
+      // Shipping modes and order priority.
+      auto li = S(cat, "lineitem",
+                  {"l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate",
+                   "l_receiptdate"});
+      auto lis = li.Plan(
+          And(And(In(li.c("l_shipmode"), Strs({"MAIL", "SHIP"})),
+                  Lt(li.c("l_commitdate"), li.c("l_receiptdate"))),
+              And(And(Lt(li.c("l_shipdate"), li.c("l_commitdate")),
+                      Ge(li.c("l_receiptdate"), ConstDate(1994, 1, 1))),
+                  Lt(li.c("l_receiptdate"), ConstDate(1995, 1, 1)))));
+      auto od = S(cat, "orders", {"o_orderkey", "o_orderpriority"});
+      // j: li 0..4, orders 5,6
+      auto j = LJoin(lis, od.Plan(), {0}, {0});
+      auto high = In(CC(6, DataType::kString),
+                     Strs({"1-URGENT", "2-HIGH"}));
+      auto proj = LProject(
+          j, {CC(1, DataType::kString),
+              Case(high, ConstInt(1), ConstInt(0)),
+              Case(high, ConstInt(0), ConstInt(1))});
+      auto agg = LAgg(proj, {0}, {Sum(CC(1, DataType::kInt64)),
+                                  Sum(CC(2, DataType::kInt64))});
+      return exec(LSort(agg, {{0, false}}), out);
+    }
+    case 13: {
+      // Customer distribution (LEFT JOIN + NOT LIKE).
+      auto od = S(cat, "orders", {"o_orderkey", "o_custkey", "o_comment"});
+      auto orders =
+          od.Plan(NotLike(od.c("o_comment"), "%special%requests%"));
+      auto cu = S(cat, "customer", {"c_custkey"});
+      // left join: cust 0, orders 1..3
+      auto j = LJoin(cu.Plan(), orders, {0}, {1}, JoinType::kLeft);
+      auto per_cust =
+          LAgg(j, {0}, {Count(CC(1, DataType::kInt64))});  // custkey, c_count
+      auto dist = LAgg(per_cust, {1}, {CountStar()});
+      return exec(LSort(dist, {{1, true}, {0, true}}), out);
+    }
+    case 14: {
+      // Promotion effect.
+      auto li = S(cat, "lineitem",
+                  {"l_partkey", "l_extendedprice", "l_discount",
+                   "l_shipdate"});
+      auto lis = li.Plan(And(Ge(li.c("l_shipdate"), ConstDate(1995, 9, 1)),
+                             Lt(li.c("l_shipdate"), ConstDate(1995, 10, 1))));
+      auto pa = S(cat, "part", {"p_partkey", "p_type"});
+      // j: li 0..3, part 4,5
+      auto j = LJoin(lis, pa.Plan(), {0}, {0});
+      auto rev = Rev(CC(1, DataType::kDouble), CC(2, DataType::kDouble));
+      auto proj = LProject(
+          j, {Case(Like(CC(5, DataType::kString), "PROMO%"), rev,
+                   ConstDouble(0.0)),
+              rev});
+      auto agg = LAgg(proj, {}, {Sum(CC(0, DataType::kDouble)),
+                                 Sum(CC(1, DataType::kDouble))});
+      auto pct = LProject(
+          agg, {Mul(ConstDouble(100.0),
+                    Div(CC(0, DataType::kDouble), CC(1, DataType::kDouble)))});
+      return exec(pct, out);
+    }
+    case 15: {
+      // Top supplier (view + scalar max).
+      auto li = S(cat, "lineitem",
+                  {"l_suppkey", "l_extendedprice", "l_discount",
+                   "l_shipdate"});
+      auto lis = li.Plan(And(Ge(li.c("l_shipdate"), ConstDate(1996, 1, 1)),
+                             Lt(li.c("l_shipdate"), ConstDate(1996, 4, 1))));
+      auto revenue = LAgg(
+          lis, {0},
+          {Sum(Rev(CC(1, DataType::kDouble), CC(2, DataType::kDouble)))});
+      std::vector<Row> max_rows;
+      IMCI_RETURN_NOT_OK(
+          exec(LAgg(revenue, {}, {Max(CC(1, DataType::kDouble))}),
+               &max_rows));
+      const double max_rev = max_rows.empty() || IsNull(max_rows[0][0])
+                                 ? 0.0
+                                 : NumericValue(max_rows[0][0]);
+      auto top = LFilter(revenue, Ge(CC(1, DataType::kDouble),
+                                     ConstDouble(max_rev - 1e-6)));
+      auto su = S(cat, "supplier",
+                  {"s_suppkey", "s_name", "s_address", "s_phone"});
+      // j: supplier 0..3, revenue 4,5
+      auto j = LJoin(su.Plan(), top, {0}, {0});
+      auto proj = LProject(
+          j, {CC(0, DataType::kInt64), CC(1, DataType::kString),
+              CC(2, DataType::kString), CC(3, DataType::kString),
+              CC(5, DataType::kDouble)});
+      return exec(LSort(proj, {{0, false}}), out);
+    }
+    case 16: {
+      // Parts/supplier relationship.
+      auto pa = S(cat, "part", {"p_partkey", "p_brand", "p_type", "p_size"});
+      auto part = pa.Plan(And(
+          And(Ne(pa.c("p_brand"), ConstString("Brand#45")),
+              NotLike(pa.c("p_type"), "MEDIUM POLISHED%")),
+          In(pa.c("p_size"),
+             {int64_t(49), int64_t(14), int64_t(23), int64_t(45), int64_t(19),
+              int64_t(3), int64_t(36), int64_t(9)})));
+      auto su = S(cat, "supplier", {"s_suppkey", "s_comment"});
+      auto complainers =
+          su.Plan(Like(su.c("s_comment"), "%Customer%Complaints%"));
+      auto ps = S(cat, "partsupp", {"ps_partkey", "ps_suppkey"});
+      auto ps_clean = LJoin(ps.Plan(), complainers, {1}, {0},
+                            JoinType::kAnti);
+      // j: ps 0,1, part 2..5
+      auto j = LJoin(ps_clean, part, {0}, {0});
+      auto agg = LAgg(j, {3, 4, 5},
+                      {CountDistinct(CC(1, DataType::kInt64))});
+      return exec(
+          LSort(agg, {{3, true}, {0, false}, {1, false}, {2, false}}), out);
+    }
+    case 17: {
+      // Small-quantity-order revenue (decorrelated avg per part).
+      auto pa = S(cat, "part", {"p_partkey", "p_brand", "p_container"});
+      auto part = pa.Plan(And(Eq(pa.c("p_brand"), ConstString("Brand#23")),
+                              Eq(pa.c("p_container"),
+                                 ConstString("MED BOX"))));
+      auto li = S(cat, "lineitem",
+                  {"l_partkey", "l_quantity", "l_extendedprice"});
+      auto avg_per_part =
+          LAgg(li.Plan(), {0}, {Avg(CC(1, DataType::kDouble))});
+      // j1: li 0..2, part 3..5
+      auto j1 = LJoin(li.Plan(), part, {0}, {0});
+      // j2: j1 0..5, avg 6,7
+      auto j2 = LJoin(j1, avg_per_part, {0}, {0});
+      auto filt = LFilter(
+          j2, Lt(CC(1, DataType::kDouble),
+                 Mul(ConstDouble(0.2), CC(7, DataType::kDouble))));
+      auto agg = LAgg(filt, {}, {Sum(CC(2, DataType::kDouble))});
+      auto proj = LProject(
+          agg, {Div(CC(0, DataType::kDouble), ConstDouble(7.0))});
+      return exec(proj, out);
+    }
+    case 18: {
+      // Large volume customers.
+      auto li = S(cat, "lineitem", {"l_orderkey", "l_quantity"});
+      auto per_order = LAgg(li.Plan(), {0}, {Sum(CC(1, DataType::kDouble))});
+      auto big = LFilter(per_order, Gt(CC(1, DataType::kDouble),
+                                       ConstDouble(300.0)));
+      auto od = S(cat, "orders",
+                  {"o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"});
+      // j1: orders 0..3, big 4,5
+      auto j1 = LJoin(od.Plan(), big, {0}, {0});
+      auto cu = S(cat, "customer", {"c_custkey", "c_name"});
+      // j2: j1 0..5, cust 6,7
+      auto j2 = LJoin(j1, cu.Plan(), {1}, {0});
+      auto proj = LProject(
+          j2, {CC(7, DataType::kString), CC(6, DataType::kInt64),
+               CC(0, DataType::kInt64), CC(2, DataType::kDate),
+               CC(3, DataType::kDouble), CC(5, DataType::kDouble)});
+      return exec(LSort(proj, {{4, true}, {3, false}}, 100), out);
+    }
+    case 19: {
+      // Discounted revenue (three-way disjunction).
+      auto li = S(cat, "lineitem",
+                  {"l_partkey", "l_quantity", "l_extendedprice", "l_discount",
+                   "l_shipinstruct", "l_shipmode"});
+      auto lis = li.Plan(
+          And(In(li.c("l_shipmode"), Strs({"AIR", "AIR REG"})),
+              Eq(li.c("l_shipinstruct"), ConstString("DELIVER IN PERSON"))));
+      auto pa = S(cat, "part",
+                  {"p_partkey", "p_brand", "p_container", "p_size"});
+      // j: li 0..5, part 6..9
+      auto j = LJoin(lis, pa.Plan(), {0}, {0});
+      auto brand = CC(7, DataType::kString);
+      auto container = CC(8, DataType::kString);
+      auto size = CC(9, DataType::kInt64);
+      auto qty = CC(1, DataType::kDouble);
+      auto c1 = And(
+          And(Eq(brand, ConstString("Brand#12")),
+              In(container, Strs({"SM CASE", "SM BOX", "SM PACK", "SM PKG"}))),
+          And(Between(qty, ConstDouble(1), ConstDouble(11)),
+              Between(size, ConstInt(1), ConstInt(5))));
+      auto c2 = And(
+          And(Eq(brand, ConstString("Brand#23")),
+              In(container, Strs({"MED BAG", "MED BOX", "MED PKG",
+                                  "MED PACK"}))),
+          And(Between(qty, ConstDouble(10), ConstDouble(20)),
+              Between(size, ConstInt(1), ConstInt(10))));
+      auto c3 = And(
+          And(Eq(brand, ConstString("Brand#34")),
+              In(container, Strs({"LG CASE", "LG BOX", "LG PACK", "LG PKG"}))),
+          And(Between(qty, ConstDouble(20), ConstDouble(30)),
+              Between(size, ConstInt(1), ConstInt(15))));
+      auto filt = LFilter(j, Or(Or(c1, c2), c3));
+      auto agg = LAgg(filt, {}, {Sum(Rev(CC(2, DataType::kDouble),
+                                         CC(3, DataType::kDouble)))});
+      return exec(agg, out);
+    }
+    case 20: {
+      // Potential part promotion (forest%, CANADA).
+      auto pa = S(cat, "part", {"p_partkey", "p_name"});
+      auto part = pa.Plan(Like(pa.c("p_name"), "forest%"));
+      auto li = S(cat, "lineitem",
+                  {"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"});
+      auto lis = li.Plan(And(Ge(li.c("l_shipdate"), ConstDate(1994, 1, 1)),
+                             Lt(li.c("l_shipdate"), ConstDate(1995, 1, 1))));
+      auto shipped =
+          LAgg(lis, {0, 1}, {Sum(CC(2, DataType::kDouble))});  // pk, sk, qty
+      auto ps = S(cat, "partsupp",
+                  {"ps_partkey", "ps_suppkey", "ps_availqty"});
+      auto ps_forest = LJoin(ps.Plan(), part, {0}, {0}, JoinType::kSemi);
+      // j: ps 0..2, shipped 3..5
+      auto j = LJoin(ps_forest, shipped, {0, 1}, {0, 1});
+      auto enough = LFilter(
+          j, Gt(CC(2, DataType::kInt64),
+                Mul(ConstDouble(0.5), CC(5, DataType::kDouble))));
+      auto su = S(cat, "supplier",
+                  {"s_suppkey", "s_name", "s_address", "s_nationkey"});
+      auto na = S(cat, "nation", {"n_nationkey", "n_name"});
+      auto nat = na.Plan(Eq(na.c("n_name"), ConstString("CANADA")));
+      auto sup_ca = LJoin(su.Plan(), nat, {3}, {0});
+      auto sup = LJoin(sup_ca, enough, {0}, {1}, JoinType::kSemi);
+      auto proj = LProject(sup, {CC(1, DataType::kString),
+                                 CC(2, DataType::kString)});
+      return exec(LSort(proj, {{0, false}}), out);
+    }
+    case 21: {
+      // Suppliers who kept orders waiting (rewritten with per-order
+      // distinct-supplier counts).
+      auto li_all = S(cat, "lineitem", {"l_orderkey", "l_suppkey"});
+      auto all_cnt =
+          LAgg(li_all.Plan(), {0}, {CountDistinct(CC(1, DataType::kInt64))});
+      auto li = S(cat, "lineitem",
+                  {"l_orderkey", "l_suppkey", "l_receiptdate",
+                   "l_commitdate"});
+      auto late = li.Plan(Gt(li.c("l_receiptdate"), li.c("l_commitdate")));
+      auto late_cnt =
+          LAgg(late, {0}, {CountDistinct(CC(1, DataType::kInt64))});
+      auto su = S(cat, "supplier", {"s_suppkey", "s_name", "s_nationkey"});
+      // j1: late 0..3, supplier 4..6
+      auto j1 = LJoin(late, su.Plan(), {1}, {0});
+      auto na = S(cat, "nation", {"n_nationkey", "n_name"});
+      auto nat = na.Plan(Eq(na.c("n_name"), ConstString("SAUDI ARABIA")));
+      // j2: j1 0..6, nation 7,8
+      auto j2 = LJoin(j1, nat, {6}, {0});
+      auto od = S(cat, "orders", {"o_orderkey", "o_orderstatus"});
+      auto orders = od.Plan(Eq(od.c("o_orderstatus"), ConstString("F")));
+      // j3: j2 0..8, orders 9,10
+      auto j3 = LJoin(j2, orders, {0}, {0});
+      // j4: j3 0..10, all_cnt 11,12
+      auto j4 = LJoin(j3, all_cnt, {0}, {0});
+      // j5: j4 0..12, late_cnt 13,14
+      auto j5 = LJoin(j4, late_cnt, {0}, {0});
+      auto filt = LFilter(
+          j5, And(Gt(CC(12, DataType::kInt64), ConstInt(1)),
+                  Eq(CC(14, DataType::kInt64), ConstInt(1))));
+      auto agg = LAgg(filt, {5}, {CountStar()});
+      return exec(LSort(agg, {{1, true}, {0, false}}, 100), out);
+    }
+    case 22: {
+      // Global sales opportunity.
+      auto codes = Strs({"13", "31", "23", "29", "30", "18", "17"});
+      auto cu = S(cat, "customer", {"c_custkey", "c_phone", "c_acctbal"});
+      auto code_of = [&] { return Substr(cu.c("c_phone"), 1, 2); };
+      // Scalar: avg positive balance among the country codes.
+      auto pos = cu.Plan(And(In(code_of(), codes),
+                             Gt(cu.c("c_acctbal"), ConstDouble(0.0))));
+      std::vector<Row> avg_rows;
+      IMCI_RETURN_NOT_OK(
+          exec(LAgg(pos, {}, {Avg(CC(2, DataType::kDouble))}), &avg_rows));
+      const double avg_bal = avg_rows.empty() || IsNull(avg_rows[0][0])
+                                 ? 0.0
+                                 : NumericValue(avg_rows[0][0]);
+      auto rich = cu.Plan(And(In(code_of(), codes),
+                              Gt(cu.c("c_acctbal"), ConstDouble(avg_bal))));
+      auto od = S(cat, "orders", {"o_custkey"});
+      auto no_orders = LJoin(rich, od.Plan(), {0}, {0}, JoinType::kAnti);
+      auto proj = LProject(no_orders, {Substr(CC(1, DataType::kString), 1, 2),
+                                       CC(2, DataType::kDouble)});
+      auto agg = LAgg(proj, {0}, {CountStar(),
+                                  Sum(CC(1, DataType::kDouble))});
+      return exec(LSort(agg, {{0, false}}), out);
+    }
+  }
+  return Status::InvalidArgument("q out of range");
+}
+
+Status RunQuery(int q, const Catalog& cat, const ExecFn& exec,
+                std::vector<Row>* out) {
+  out->clear();
+  if (q >= 1 && q <= 11) return RunQ1to11(q, cat, exec, out);
+  if (q >= 12 && q <= 22) return RunQ12to22(q, cat, exec, out);
+  return Status::InvalidArgument("TPC-H query must be 1..22");
+}
+
+}  // namespace tpch
+}  // namespace imci

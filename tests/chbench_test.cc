@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/test_util.h"
+#include "workloads/chbench.h"
+
+namespace imci {
+namespace {
+
+using chbench::ChBench;
+
+class ChBenchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions opts;
+    opts.initial_ro_nodes = 1;
+    opts.ro.imci.row_group_size = 1024;
+    cluster_ = std::make_unique<Cluster>(opts);
+    bench_ = std::make_unique<ChBench>(/*warehouses=*/2, /*items=*/200);
+    for (auto& schema : bench_->Schemas()) {
+      ASSERT_TRUE(cluster_->CreateTable(schema).ok());
+    }
+    for (auto t : {chbench::kItem, chbench::kWarehouse, chbench::kDistrict,
+                   chbench::kCustomer, chbench::kStock, chbench::kOrder,
+                   chbench::kOrderLine, chbench::kNewOrder}) {
+      ASSERT_TRUE(cluster_->BulkLoad(t, bench_->Generate(t)).ok());
+    }
+    ASSERT_TRUE(cluster_->Open().ok());
+  }
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<ChBench> bench_;
+};
+
+TEST_F(ChBenchTest, TransactionMixRunsAndReplicates) {
+  auto* txns = cluster_->rw()->txn_manager();
+  Rng rng(3);
+  int committed = 0;
+  for (int i = 0; i < 300; ++i) {
+    Status s = bench_->RunTransaction(txns, &rng);
+    if (s.ok()) committed++;
+    // Busy (lock timeout) and Aborted (TPC-C 1% rollback) are expected.
+  }
+  EXPECT_GT(committed, 200);
+  RoNode* ro = cluster_->ro(0);
+  ASSERT_TRUE(ro->CatchUpNow().ok());
+  // District next-order ids advanced and replicated consistently.
+  Row district;
+  ASSERT_TRUE(txns->Get(chbench::kDistrict, ChBench::DistrictPk(1, 1),
+                        &district).ok());
+  Row ro_district;
+  ASSERT_TRUE(ro->imci()
+                  ->GetIndex(chbench::kDistrict)
+                  ->LookupByPk(ChBench::DistrictPk(1, 1), ro->applied_vid(),
+                               &ro_district)
+                  .ok());
+  EXPECT_EQ(AsInt(district[3]), AsInt(ro_district[3]));
+}
+
+TEST_F(ChBenchTest, NewOrderIsAtomicUnderConcurrency) {
+  auto* txns = cluster_->rw()->txn_manager();
+  std::vector<std::thread> threads;
+  std::atomic<int> new_orders{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < 100; ++i) {
+        if (bench_->NewOrder(txns, &rng).ok()) new_orders.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(new_orders.load(), 0);
+  RoNode* ro = cluster_->ro(0);
+  ASSERT_TRUE(ro->CatchUpNow().ok());
+  // Sum of per-district order counters == initial + committed new orders.
+  int64_t total_next = 0;
+  for (int w = 1; w <= 2; ++w) {
+    for (int d = 1; d <= 10; ++d) {
+      Row district;
+      ASSERT_TRUE(
+          txns->Get(chbench::kDistrict, ChBench::DistrictPk(w, d), &district)
+              .ok());
+      total_next += AsInt(district[3]) - 31;  // initial next_o_id is 31
+    }
+  }
+  EXPECT_EQ(total_next, new_orders.load());
+}
+
+TEST_F(ChBenchTest, AnalyticalQueriesAgreeAcrossEngines) {
+  auto* txns = cluster_->rw()->txn_manager();
+  Rng rng(5);
+  for (int i = 0; i < 150; ++i) bench_->RunTransaction(txns, &rng);
+  RoNode* ro = cluster_->ro(0);
+  ASSERT_TRUE(ro->CatchUpNow().ok());
+  ro->RefreshStats();
+  for (int q = 0; q < ChBench::kNumAnalytical; ++q) {
+    std::vector<Row> col_rows, row_rows;
+    auto col = [&](const LogicalRef& p, std::vector<Row>* out) {
+      return ro->ExecuteColumn(p, out);
+    };
+    auto row = [&](const LogicalRef& p, std::vector<Row>* out) {
+      return ro->ExecuteRow(p, out);
+    };
+    ASSERT_TRUE(ChBench::RunAnalytical(q, *cluster_->catalog(), col,
+                                       &col_rows).ok())
+        << "CH-A" << q;
+    ASSERT_TRUE(ChBench::RunAnalytical(q, *cluster_->catalog(), row,
+                                       &row_rows).ok())
+        << "CH-A" << q;
+    EXPECT_EQ(testing_util::Canonicalize(col_rows),
+              testing_util::Canonicalize(row_rows))
+        << "CH-A" << q;
+  }
+}
+
+TEST_F(ChBenchTest, DeliveryMarksOrderLines) {
+  auto* txns = cluster_->rw()->txn_manager();
+  Rng rng(11);
+  int delivered = 0;
+  for (int i = 0; i < 200 && delivered < 5; ++i) {
+    if (bench_->Delivery(txns, &rng).ok()) delivered++;
+  }
+  ASSERT_GT(delivered, 0);
+  RoNode* ro = cluster_->ro(0);
+  ASSERT_TRUE(ro->CatchUpNow().ok());
+  // Delivered lines have non-null delivery dates in the column index too.
+  auto ol = cluster_->catalog()->GetByName("order_line");
+  auto plan = LAgg(
+      LScan(ol->table_id(), {ol->ColumnIndex("ol_delivery_d")},
+            Not(IsNull(Col(0, DataType::kDate)))),
+      {}, {AggSpec{AggKind::kCountStar, nullptr}});
+  std::vector<Row> out;
+  ASSERT_TRUE(ro->ExecuteColumn(plan, &out).ok());
+  EXPECT_GT(AsInt(out[0][0]), 0);
+}
+
+}  // namespace
+}  // namespace imci

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace imci {
+namespace {
+
+std::shared_ptr<const Schema> SimpleSchema() {
+  std::vector<ColumnDef> cols;
+  cols.push_back({"id", DataType::kInt64, false, true});
+  cols.push_back({"v", DataType::kInt64, false, true});
+  return std::make_shared<Schema>(1, "t1", cols, 0);
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions opts;
+    opts.initial_ro_nodes = 2;
+    opts.ro.imci.row_group_size = 256;
+    cluster_ = std::make_unique<Cluster>(opts);
+    ASSERT_TRUE(cluster_->CreateTable(SimpleSchema()).ok());
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 1000; ++i) rows.push_back({i, i * 2});
+    ASSERT_TRUE(cluster_->BulkLoad(1, std::move(rows)).ok());
+    ASSERT_TRUE(cluster_->Open().ok());
+  }
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ClusterTest, BulkLoadedDataVisibleOnAllRoNodes) {
+  auto plan = LAgg(LScan(1, {0, 1}), {},
+                   {AggSpec{AggKind::kCountStar, nullptr},
+                    AggSpec{AggKind::kSum, Col(1, DataType::kInt64)}});
+  for (RoNode* ro : cluster_->ro_nodes()) {
+    std::vector<Row> out;
+    ASSERT_TRUE(ro->ExecuteColumn(plan, &out).ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(AsInt(out[0][0]), 1000);
+    EXPECT_DOUBLE_EQ(NumericValue(out[0][1]), 999.0 * 1000.0);
+  }
+}
+
+TEST_F(ClusterTest, ProxyBalancesByActiveSessions) {
+  RoNode* a = cluster_->ro(0);
+  RoNode* b = cluster_->ro(1);
+  a->EnterSession();
+  a->EnterSession();
+  EXPECT_EQ(cluster_->proxy()->PickRo(), b);
+  b->EnterSession();
+  b->EnterSession();
+  b->EnterSession();
+  EXPECT_EQ(cluster_->proxy()->PickRo(), a);
+  a->LeaveSession();
+  a->LeaveSession();
+  b->LeaveSession();
+  b->LeaveSession();
+  b->LeaveSession();
+}
+
+TEST_F(ClusterTest, StrongConsistencyReadsYourWrites) {
+  auto* txns = cluster_->rw()->txn_manager();
+  for (int round = 0; round < 20; ++round) {
+    Transaction txn;
+    txns->Begin(&txn);
+    ASSERT_TRUE(
+        txns->Insert(&txn, 1, {int64_t(10000 + round), int64_t(1)}).ok());
+    ASSERT_TRUE(txns->Commit(&txn).ok());
+    // A strong read issued right after commit must observe it (§6.4).
+    auto plan = LAgg(
+        LScan(1, {0}, Ge(Col(0, DataType::kInt64), ConstInt(10000))), {},
+        {AggSpec{AggKind::kCountStar, nullptr}});
+    std::vector<Row> out;
+    ASSERT_TRUE(cluster_->proxy()
+                    ->ExecuteQuery(plan, &out, Consistency::kStrong)
+                    .ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(AsInt(out[0][0]), round + 1);
+  }
+}
+
+TEST_F(ClusterTest, LeaderDesignationAndFailover) {
+  EXPECT_TRUE(cluster_->ro(0)->is_leader());
+  EXPECT_FALSE(cluster_->ro(1)->is_leader());
+  ASSERT_TRUE(cluster_->RemoveRoNode(0).ok());
+  ASSERT_NE(cluster_->leader(), nullptr);
+  EXPECT_TRUE(cluster_->ro(0)->is_leader());
+}
+
+TEST_F(ClusterTest, ScaleOutFromCheckpointAndCatchUp) {
+  auto* txns = cluster_->rw()->txn_manager();
+  // Apply some post-load churn.
+  for (int i = 0; i < 200; ++i) {
+    Transaction txn;
+    txns->Begin(&txn);
+    ASSERT_TRUE(txns->Insert(&txn, 1, {int64_t(5000 + i), int64_t(i)}).ok());
+    ASSERT_TRUE(txns->Commit(&txn).ok());
+  }
+  for (RoNode* ro : cluster_->ro_nodes()) {
+    ASSERT_TRUE(ro->CatchUpNow().ok());
+  }
+  // Leader takes a checkpoint.
+  ASSERT_TRUE(cluster_->TriggerCheckpoint().ok());
+  // Wait for the background coordinator to fulfil it.
+  for (int i = 0; i < 100; ++i) {
+    std::string cur;
+    if (cluster_->fs()->ReadFile("imci_ckpt/CURRENT", &cur).ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // More churn after the checkpoint.
+  for (int i = 0; i < 100; ++i) {
+    Transaction txn;
+    txns->Begin(&txn);
+    ASSERT_TRUE(txns->Insert(&txn, 1, {int64_t(7000 + i), int64_t(i)}).ok());
+    ASSERT_TRUE(txns->Commit(&txn).ok());
+  }
+  // Scale out: the new node boots from the checkpoint and catches up.
+  RoNode* fresh = nullptr;
+  ASSERT_TRUE(cluster_->AddRoNode(&fresh).ok());
+  ASSERT_TRUE(fresh->CatchUpNow().ok());
+  auto plan = LAgg(LScan(1, {0}), {},
+                   {AggSpec{AggKind::kCountStar, nullptr}});
+  std::vector<Row> out;
+  ASSERT_TRUE(fresh->ExecuteColumn(plan, &out).ok());
+  EXPECT_EQ(AsInt(out[0][0]), 1300);
+  // And it serves the same answer as an established node.
+  std::vector<Row> ref;
+  RoNode* old_node = cluster_->ro(0);
+  ASSERT_TRUE(old_node->CatchUpNow().ok());
+  ASSERT_TRUE(old_node->ExecuteColumn(plan, &ref).ok());
+  EXPECT_EQ(AsInt(ref[0][0]), 1300);
+}
+
+TEST_F(ClusterTest, ScaleOutWithoutCheckpointRebuildsFromRowStore) {
+  RoNode* fresh = nullptr;
+  ASSERT_TRUE(cluster_->AddRoNode(&fresh).ok());
+  ASSERT_TRUE(fresh->CatchUpNow().ok());
+  auto plan = LAgg(LScan(1, {0}), {},
+                   {AggSpec{AggKind::kCountStar, nullptr}});
+  std::vector<Row> out;
+  ASSERT_TRUE(fresh->ExecuteColumn(plan, &out).ok());
+  EXPECT_EQ(AsInt(out[0][0]), 1000);
+}
+
+TEST_F(ClusterTest, VisibilityDelayIsMeasured) {
+  auto* txns = cluster_->rw()->txn_manager();
+  for (int i = 0; i < 50; ++i) {
+    Transaction txn;
+    txns->Begin(&txn);
+    ASSERT_TRUE(txns->Insert(&txn, 1, {int64_t(20000 + i), int64_t(i)}).ok());
+    ASSERT_TRUE(txns->Commit(&txn).ok());
+  }
+  RoNode* ro = cluster_->ro(0);
+  ASSERT_TRUE(ro->CatchUpNow().ok());
+  EXPECT_GT(ro->pipeline()->vd_histogram()->Count(), 0u);
+  // Visibility delay at this scale should be well under a second.
+  EXPECT_LT(ro->pipeline()->vd_histogram()->Percentile(0.99), 1'000'000u);
+}
+
+}  // namespace
+}  // namespace imci

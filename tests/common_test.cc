@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/row.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace imci {
+namespace {
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+}
+
+TEST(DateTest, RoundTripAndYear) {
+  EXPECT_EQ(MakeDate(1970, 1, 1), 0);
+  EXPECT_EQ(DateToString(MakeDate(1998, 9, 2)), "1998-09-02");
+  EXPECT_EQ(DateYear(MakeDate(1992, 12, 31)), 1992);
+  EXPECT_EQ(DateYear(MakeDate(1993, 1, 1)), 1993);
+  // Leap-year handling.
+  EXPECT_EQ(MakeDate(1996, 3, 1) - MakeDate(1996, 2, 28), 2);
+  EXPECT_EQ(MakeDate(1995, 3, 1) - MakeDate(1995, 2, 28), 1);
+}
+
+TEST(ValueTest, CompareOrdersNullsFirst) {
+  EXPECT_LT(CompareValues(Value{}, Value{int64_t(1)}), 0);
+  EXPECT_EQ(CompareValues(Value{}, Value{}), 0);
+  EXPECT_GT(CompareValues(Value{int64_t(2)}, Value{int64_t(1)}), 0);
+  EXPECT_LT(CompareValues(Value{std::string("a")}, Value{std::string("b")}),
+            0);
+  EXPECT_EQ(CompareValues(Value{1.5}, Value{1.5}), 0);
+  // Mixed numeric: int widens to double.
+  EXPECT_LT(CompareValues(Value{int64_t(1)}, Value{1.5}), 0);
+}
+
+class RowCodecTest : public ::testing::Test {
+ protected:
+  RowCodecTest()
+      : schema_(1, "t",
+                {{"id", DataType::kInt64, false, true},
+                 {"d", DataType::kDouble, true, true},
+                 {"s", DataType::kString, true, true},
+                 {"dt", DataType::kDate, true, true}},
+                0) {}
+  Schema schema_;
+};
+
+TEST_F(RowCodecTest, RoundTrip) {
+  Row row = {int64_t(42), 3.14, std::string("hello"), int64_t(10000)};
+  std::string buf;
+  RowCodec::Encode(schema_, row, &buf);
+  Row decoded;
+  ASSERT_TRUE(RowCodec::Decode(schema_, buf.data(), buf.size(), &decoded).ok());
+  EXPECT_EQ(decoded, row);
+}
+
+TEST_F(RowCodecTest, NullsRoundTrip) {
+  Row row = {int64_t(1), Value{}, Value{}, Value{}};
+  std::string buf;
+  RowCodec::Encode(schema_, row, &buf);
+  Row decoded;
+  ASSERT_TRUE(RowCodec::Decode(schema_, buf.data(), buf.size(), &decoded).ok());
+  EXPECT_EQ(decoded, row);
+}
+
+TEST_F(RowCodecTest, DecodePkSkipsOtherColumns) {
+  Row row = {int64_t(77), 1.0, std::string("abc"), Value{}};
+  std::string buf;
+  RowCodec::Encode(schema_, row, &buf);
+  int64_t pk = 0;
+  ASSERT_TRUE(RowCodec::DecodePk(schema_, buf.data(), buf.size(), &pk).ok());
+  EXPECT_EQ(pk, 77);
+}
+
+TEST_F(RowCodecTest, TruncatedBufferIsCorruption) {
+  Row row = {int64_t(1), 2.0, std::string("xyz"), Value{}};
+  std::string buf;
+  RowCodec::Encode(schema_, row, &buf);
+  Row decoded;
+  for (size_t cut : {size_t(0), buf.size() / 2, buf.size() - 1}) {
+    Status s = RowCodec::Decode(schema_, buf.data(), cut, &decoded);
+    EXPECT_FALSE(s.ok()) << "cut=" << cut;
+  }
+}
+
+class RowDiffParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(RowDiffParam, ComputeApplyRoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string before = rng.RandomString(0, 60);
+    std::string after = before;
+    const int kind = rng.Next() % 4;
+    if (kind == 0 && !after.empty()) {
+      after[rng.Next() % after.size()] = 'Z';
+    } else if (kind == 1) {
+      after += rng.RandomString(1, 20);
+    } else if (kind == 2 && after.size() > 2) {
+      after.resize(after.size() / 2);
+    } else {
+      after = rng.RandomString(0, 60);
+    }
+    RowDiff diff = RowDiff::Compute(before, after);
+    std::string applied;
+    ASSERT_TRUE(diff.Apply(before, &applied).ok());
+    EXPECT_EQ(applied, after);
+    std::string buf;
+    diff.Serialize(&buf);
+    RowDiff diff2;
+    ASSERT_TRUE(RowDiff::Deserialize(buf.data(), buf.size(), &diff2).ok());
+    ASSERT_TRUE(diff2.Apply(before, &applied).ok());
+    EXPECT_EQ(applied, after);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RowDiffParam, ::testing::Values(1, 2, 3, 4));
+
+TEST(RowDiffTest, DiffIsSmallerThanFullImageForPointEdits) {
+  std::string before(200, 'a');
+  std::string after = before;
+  after[100] = 'b';
+  RowDiff diff = RowDiff::Compute(before, after);
+  EXPECT_LT(diff.ByteSize(), before.size() / 4);
+}
+
+TEST(HistogramTest, PercentilesAreOrdered) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  EXPECT_EQ(h.Count(), 10000u);
+  uint64_t p50 = h.Percentile(0.5);
+  uint64_t p99 = h.Percentile(0.99);
+  uint64_t p999 = h.Percentile(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_NEAR(static_cast<double>(p50), 5000, 700);
+  EXPECT_EQ(h.Max(), 10000u);
+  EXPECT_EQ(h.Min(), 1u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(RngTest, DeterministicAndUniformish) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng r(9);
+  int64_t low_half = 0;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Uniform(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+    if (v <= 15) low_half++;
+  }
+  EXPECT_GT(low_half, 350);
+  EXPECT_LT(low_half, 750);
+}
+
+TEST(ZipfTest, SkewsTowardSmallKeys) {
+  Zipf z(100000, 0.99, 3);
+  uint64_t small = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (z.Next() < 1000) small++;
+  }
+  // With theta=0.99 far more than 1% of draws land in the first 1%.
+  EXPECT_GT(small, 2000u);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(&pool, 64, [&](int i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, TaskGroupWaitsForCompletion) {
+  ThreadPool pool(4);
+  TaskGroup group;
+  std::atomic<int> done{0};
+  group.Add(100);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      done.fetch_add(1);
+      group.Done();
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(CodingTest, FixedIntsRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  EXPECT_EQ(GetFixed32(buf.data()), 0xdeadbeefu);
+  EXPECT_EQ(GetFixed64(buf.data() + 4), 0x0123456789abcdefull);
+}
+
+TEST(CodingTest, Hash64Spreads) {
+  std::set<uint64_t> buckets;
+  for (uint64_t i = 0; i < 1000; ++i) buckets.insert(Hash64(i) % 64);
+  EXPECT_EQ(buckets.size(), 64u);
+}
+
+}  // namespace
+}  // namespace imci

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "polarfs/polarfs.h"
+
+namespace imci {
+namespace {
+
+TEST(PolarFsTest, LogAppendAndRead) {
+  PolarFs fs;
+  EXPECT_EQ(fs.written_lsn(), 0u);
+  Lsn last = fs.AppendLog({"a", "b", "c"}, /*durable=*/true);
+  EXPECT_EQ(last, 3u);
+  EXPECT_EQ(fs.written_lsn(), 3u);
+  EXPECT_EQ(fs.fsync_count(), 1u);
+  std::vector<std::string> out;
+  Lsn read = fs.ReadLog(0, 10, &out);
+  EXPECT_EQ(read, 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "a");
+  EXPECT_EQ(out[2], "c");
+  // Partial range (from exclusive, to inclusive).
+  out.clear();
+  fs.ReadLog(1, 2, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "b");
+}
+
+TEST(PolarFsTest, NonDurableAppendSkipsFsync) {
+  PolarFs fs;
+  fs.AppendLog({"x"}, /*durable=*/false);
+  EXPECT_EQ(fs.fsync_count(), 0u);
+  fs.SyncLog();
+  EXPECT_EQ(fs.fsync_count(), 1u);
+}
+
+TEST(PolarFsTest, WaitForLogWakesOnAppend) {
+  PolarFs fs;
+  std::thread appender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fs.AppendLog({"hello"}, false);
+  });
+  Lsn got = fs.WaitForLog(0, 2'000'000);
+  EXPECT_GE(got, 1u);
+  appender.join();
+}
+
+TEST(PolarFsTest, WaitForLogTimesOut) {
+  PolarFs fs;
+  Lsn got = fs.WaitForLog(5, 20'000);
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(PolarFsTest, TruncatePrefixHidesOldRecords) {
+  PolarFs fs;
+  fs.AppendLog({"a", "b", "c", "d"}, false);
+  fs.TruncateLogPrefix(2);
+  std::vector<std::string> out;
+  fs.ReadLog(0, 10, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "c");
+  // LSNs keep counting after truncation.
+  EXPECT_EQ(fs.AppendLog({"e"}, false), 5u);
+}
+
+TEST(PolarFsTest, PageStore) {
+  PolarFs fs;
+  EXPECT_FALSE(fs.HasPage(7));
+  ASSERT_TRUE(fs.WritePage(7, "image7").ok());
+  EXPECT_TRUE(fs.HasPage(7));
+  std::string img;
+  ASSERT_TRUE(fs.ReadPage(7, &img).ok());
+  EXPECT_EQ(img, "image7");
+  EXPECT_TRUE(fs.ReadPage(8, &img).IsNotFound());
+  EXPECT_EQ(fs.page_writes(), 1u);
+  EXPECT_GE(fs.page_reads(), 2u);
+}
+
+TEST(PolarFsTest, FileStoreWithPrefixListing) {
+  PolarFs fs;
+  ASSERT_TRUE(fs.WriteFile("ckpt/1/a", "A").ok());
+  ASSERT_TRUE(fs.WriteFile("ckpt/1/b", "B").ok());
+  ASSERT_TRUE(fs.WriteFile("other", "O").ok());
+  auto files = fs.ListFiles("ckpt/");
+  EXPECT_EQ(files.size(), 2u);
+  std::string data;
+  ASSERT_TRUE(fs.ReadFile("ckpt/1/a", &data).ok());
+  EXPECT_EQ(data, "A");
+  ASSERT_TRUE(fs.DeleteFile("ckpt/1/a").ok());
+  EXPECT_TRUE(fs.ReadFile("ckpt/1/a", &data).IsNotFound());
+}
+
+TEST(PolarFsTest, ConcurrentAppendsAssignDenseLsns) {
+  PolarFs fs;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) fs.AppendLog({"r"}, false);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fs.written_lsn(), 800u);
+  std::vector<std::string> out;
+  EXPECT_EQ(fs.ReadLog(0, 10000, &out), 800u);
+  EXPECT_EQ(out.size(), 800u);
+}
+
+TEST(PolarFsTest, SimulatedFsyncLatency) {
+  PolarFs::Options opt;
+  opt.fsync_latency_us = 2000;
+  PolarFs fs(opt);
+  auto t0 = std::chrono::steady_clock::now();
+  fs.AppendLog({"x"}, true);
+  auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  EXPECT_GE(dt, 1500);
+}
+
+}  // namespace
+}  // namespace imci

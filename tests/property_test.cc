@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "imci/rid_locator.h"
+#include "rowstore/engine.h"
+
+namespace imci {
+namespace {
+
+std::shared_ptr<const Schema> ModelSchema() {
+  std::vector<ColumnDef> cols;
+  cols.push_back({"id", DataType::kInt64, false, true});
+  cols.push_back({"payload", DataType::kString, true, true});
+  return std::make_shared<Schema>(1, "t", cols, 0);
+}
+
+/// Model-based test: a random op sequence applied to both the page-based
+/// B+tree (through RowTable) and a std::map reference; states must agree at
+/// every checkpoint, and the scan must stay sorted.
+class BTreeModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeModelTest, MatchesReferenceModel) {
+  PolarFs fs;
+  Catalog catalog;
+  RowStoreEngine engine(&fs, &catalog);
+  ASSERT_TRUE(engine.CreateTable(ModelSchema()).ok());
+  RowTable* table = engine.GetTable(1);
+  std::map<int64_t, std::string> model;
+  Rng rng(GetParam());
+  std::vector<RedoRecord> redo;
+  for (int op = 0; op < 4000; ++op) {
+    const int64_t pk = static_cast<int64_t>(rng.Next() % 800);
+    const int action = rng.Next() % 3;
+    redo.clear();
+    if (action == 0) {
+      std::string payload = rng.RandomString(0, 120);
+      Status s = table->Insert({pk, payload}, &redo);
+      if (model.count(pk)) {
+        EXPECT_FALSE(s.ok()) << "duplicate insert must fail pk=" << pk;
+      } else {
+        ASSERT_TRUE(s.ok());
+        model[pk] = payload;
+      }
+    } else if (action == 1) {
+      std::string payload = rng.RandomString(0, 120);
+      Row old_row;
+      Status s = table->Update(pk, {pk, payload}, &old_row, &redo);
+      if (model.count(pk)) {
+        ASSERT_TRUE(s.ok());
+        model[pk] = payload;
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else {
+      Row old_row;
+      Status s = table->Delete(pk, &old_row, &redo);
+      if (model.count(pk)) {
+        ASSERT_TRUE(s.ok());
+        model.erase(pk);
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    }
+    if (op % 500 == 499) {
+      // Full-state comparison.
+      std::map<int64_t, std::string> got;
+      table->Scan([&](int64_t key, const Row& row) {
+        got[key] = IsNull(row[1]) ? "" : AsString(row[1]);
+        return true;
+      });
+      ASSERT_EQ(got.size(), model.size()) << "at op " << op;
+      EXPECT_EQ(got, model) << "at op " << op;
+      EXPECT_EQ(table->row_count(), model.size());
+    }
+  }
+  // Range scans agree with the model too.
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = static_cast<int64_t>(rng.Next() % 800);
+    int64_t hi = lo + static_cast<int64_t>(rng.Next() % 100);
+    size_t expect = std::distance(model.lower_bound(lo),
+                                  model.upper_bound(hi));
+    size_t got = 0;
+    table->ScanRange(lo, hi, [&](int64_t, const Row&) {
+      ++got;
+      return true;
+    });
+    EXPECT_EQ(got, expect) << "[" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeModelTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+/// Same approach for the RID locator (two-layer LSM): random put/erase
+/// against a map, with small memtables to force flushes and merges.
+class LocatorModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocatorModelTest, MatchesReferenceModel) {
+  RidLocator locator(/*memtable_limit=*/RidLocator::kShards * 8);
+  std::map<int64_t, Rid> model;
+  Rng rng(GetParam());
+  for (int op = 0; op < 20000; ++op) {
+    const int64_t pk = static_cast<int64_t>(rng.Next() % 3000);
+    if (rng.Next() % 3 != 0) {
+      const Rid rid = rng.Next();
+      locator.Put(pk, rid);
+      model[pk] = rid;
+    } else {
+      locator.Erase(pk);
+      model.erase(pk);
+    }
+    if (op % 2500 == 2499) {
+      for (int64_t key = 0; key < 3000; key += 7) {
+        Rid rid;
+        Status s = locator.Get(key, &rid);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          EXPECT_TRUE(s.IsNotFound()) << key;
+        } else {
+          ASSERT_TRUE(s.ok()) << key;
+          EXPECT_EQ(rid, it->second) << key;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocatorModelTest,
+                         ::testing::Values(5, 6, 7, 8));
+
+/// Failure injection: corrupted REDO entries in the shared log must be
+/// skipped by the reader without derailing later valid entries.
+TEST(FailureInjectionTest, CorruptLogEntriesAreSkipped) {
+  PolarFs fs;
+  RedoWriter writer(&fs);
+  RedoRecord a;
+  a.type = RedoType::kInsert;
+  a.after_image = "good";
+  writer.AppendOne(&a, false);
+  fs.AppendLog({"garbage-bytes-not-a-record"}, false);
+  RedoRecord b;
+  b.type = RedoType::kCommit;
+  b.commit_vid = 9;
+  // Writer and raw append share the LSN space; refresh the writer cursor.
+  RedoWriter writer2(&fs);
+  std::string buf;
+  b.lsn = fs.written_lsn() + 1;
+  b.Serialize(&buf);
+  fs.AppendLog({buf}, false);
+  RedoReader reader(&fs);
+  std::vector<RedoRecord> records;
+  reader.Read(0, 100, &records);
+  ASSERT_EQ(records.size(), 2u);  // the corrupt middle entry was dropped
+  EXPECT_EQ(records[0].type, RedoType::kInsert);
+  EXPECT_EQ(records[1].type, RedoType::kCommit);
+}
+
+}  // namespace
+}  // namespace imci

@@ -1,0 +1,63 @@
+#ifndef POLARDB_IMCI_TESTS_TEST_UTIL_H_
+#define POLARDB_IMCI_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "workloads/tpch.h"
+
+namespace imci {
+namespace testing_util {
+
+/// Normalizes a result set for engine-equivalence comparison: values are
+/// rendered to strings (doubles rounded to 2 decimals to absorb summation
+/// order differences) and rows sorted.
+inline std::vector<std::string> Canonicalize(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) {
+    std::string line;
+    for (const Value& v : r) {
+      if (std::holds_alternative<double>(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f|", std::get<double>(v));
+        line += buf;
+      } else {
+        line += ValueToString(v);
+        line += '|';
+      }
+    }
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Builds a cluster pre-loaded with TPC-H data at the given scale factor.
+inline std::unique_ptr<Cluster> MakeTpchCluster(double sf, int ros = 1,
+                                                uint32_t group_size = 4096) {
+  ClusterOptions opts;
+  opts.initial_ro_nodes = ros;
+  opts.ro.imci.row_group_size = group_size;
+  opts.ro.exec_threads = 8;
+  auto cluster = std::make_unique<Cluster>(opts);
+  tpch::TpchGen gen(sf);
+  for (auto& schema : gen.Schemas()) {
+    if (!cluster->CreateTable(schema).ok()) return nullptr;
+  }
+  for (auto table : {tpch::kRegion, tpch::kNation, tpch::kSupplier,
+                     tpch::kPart, tpch::kPartsupp, tpch::kCustomer,
+                     tpch::kOrders, tpch::kLineitem}) {
+    if (!cluster->BulkLoad(table, gen.Generate(table)).ok()) return nullptr;
+  }
+  if (!cluster->Open().ok()) return nullptr;
+  return cluster;
+}
+
+}  // namespace testing_util
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_TESTS_TEST_UTIL_H_

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workloads/production.h"
+#include "workloads/sysbench.h"
+#include "workloads/tpch.h"
+
+namespace imci {
+namespace {
+
+TEST(TpchGenTest, DeterministicAndScaled) {
+  tpch::TpchGen gen(0.01);
+  auto lineitem1 = gen.Generate(tpch::kLineitem);
+  tpch::TpchGen gen2(0.01);
+  auto lineitem2 = gen2.Generate(tpch::kLineitem);
+  EXPECT_EQ(lineitem1.size(), lineitem2.size());
+  EXPECT_EQ(lineitem1[0], lineitem2[0]);
+  EXPECT_EQ(lineitem1.back(), lineitem2.back());
+  // ~4 lines per order on average.
+  EXPECT_GT(lineitem1.size(), gen.num_orders() * 2u);
+  EXPECT_LT(lineitem1.size(), gen.num_orders() * 8u);
+  // Nation and region are fixed-size per the spec.
+  EXPECT_EQ(gen.Generate(tpch::kNation).size(), 25u);
+  EXPECT_EQ(gen.Generate(tpch::kRegion).size(), 5u);
+}
+
+TEST(TpchGenTest, LineitemDatesDerivedFromOrderDates) {
+  tpch::TpchGen gen(0.002);
+  auto orders = gen.Generate(tpch::kOrders);
+  auto lines = gen.Generate(tpch::kLineitem);
+  // Index orders by key.
+  std::map<int64_t, int64_t> odate;
+  for (auto& o : orders) odate[AsInt(o[0])] = AsInt(o[4]);
+  for (size_t i = 0; i < lines.size(); i += 97) {
+    const int64_t okey = AsInt(lines[i][1]);
+    const int64_t ship = AsInt(lines[i][11]);
+    ASSERT_TRUE(odate.count(okey));
+    EXPECT_GT(ship, odate[okey]);
+    EXPECT_LE(ship, odate[okey] + 122);
+  }
+}
+
+TEST(SysbenchTest, InsertOnlyGeneratesFreshKeys) {
+  ClusterOptions opts;
+  auto cluster = std::make_unique<Cluster>(opts);
+  sysbench::Sysbench sb(4, 100, sysbench::Pattern::kInsertOnly);
+  for (auto& schema : sb.Schemas()) {
+    ASSERT_TRUE(cluster->CreateTable(schema).ok());
+  }
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_TRUE(
+        cluster->BulkLoad(sysbench::Sysbench::kBaseTableId + t,
+                          sb.Generate(t)).ok());
+  }
+  ASSERT_TRUE(cluster->Open().ok());
+  auto* txns = cluster->rw()->txn_manager();
+  Rng rng(1);
+  Zipf zipf(100, 0.99, 1);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(sb.RunOp(txns, 0, &rng, &zipf).ok());
+  }
+  ASSERT_TRUE(cluster->ro(0)->CatchUpNow().ok());
+  uint64_t total = 0;
+  for (int t = 0; t < 4; ++t) {
+    total += cluster->rw()
+                 ->engine()
+                 ->GetTable(sysbench::Sysbench::kBaseTableId + t)
+                 ->row_count();
+  }
+  EXPECT_EQ(total, 4 * 100 + 200u);
+}
+
+TEST(SysbenchTest, WriteOnlyUpdatesExistingRows) {
+  ClusterOptions opts;
+  auto cluster = std::make_unique<Cluster>(opts);
+  sysbench::Sysbench sb(2, 500, sysbench::Pattern::kWriteOnly);
+  for (auto& schema : sb.Schemas()) {
+    ASSERT_TRUE(cluster->CreateTable(schema).ok());
+  }
+  for (int t = 0; t < 2; ++t) {
+    ASSERT_TRUE(cluster->BulkLoad(sysbench::Sysbench::kBaseTableId + t,
+                                  sb.Generate(t)).ok());
+  }
+  ASSERT_TRUE(cluster->Open().ok());
+  auto* txns = cluster->rw()->txn_manager();
+  Rng rng(2);
+  Zipf zipf(500, 0.99, 2);
+  int ok = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (sb.RunOp(txns, 0, &rng, &zipf).ok()) ok++;
+  }
+  EXPECT_EQ(ok, 300);
+  // Row count unchanged: pure updates.
+  EXPECT_EQ(cluster->rw()
+                ->engine()
+                ->GetTable(sysbench::Sysbench::kBaseTableId)
+                ->row_count(),
+            500u);
+  ASSERT_TRUE(cluster->ro(0)->CatchUpNow().ok());
+  EXPECT_EQ(cluster->ro(0)
+                ->imci()
+                ->GetIndex(sysbench::Sysbench::kBaseTableId)
+                ->visible_rows(cluster->ro(0)->applied_vid()),
+            500u);
+}
+
+class ProductionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProductionTest, CustomerQueriesAgreeAcrossEngines) {
+  auto profiles = production::Profiles(/*scale=*/0.02);
+  const auto& profile = profiles[GetParam()];
+  production::CustomerWorkload workload(profile);
+  ClusterOptions opts;
+  opts.ro.imci.row_group_size = 2048;
+  auto cluster = std::make_unique<Cluster>(opts);
+  auto schemas = workload.Schemas();
+  for (auto& schema : schemas) {
+    ASSERT_TRUE(cluster->CreateTable(schema).ok());
+  }
+  for (auto& schema : schemas) {
+    ASSERT_TRUE(cluster->BulkLoad(schema->table_id(),
+                                  workload.Generate(schema->table_id()))
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->Open().ok());
+  RoNode* ro = cluster->ro(0);
+  ASSERT_TRUE(ro->CatchUpNow().ok());
+  ro->RefreshStats();
+  for (int q = 0; q < production::CustomerWorkload::kQueriesPerCustomer;
+       ++q) {
+    std::vector<Row> col_rows, row_rows;
+    auto col = [&](const LogicalRef& p, std::vector<Row>* out) {
+      return ro->ExecuteColumn(p, out);
+    };
+    auto row = [&](const LogicalRef& p, std::vector<Row>* out) {
+      return ro->ExecuteRow(p, out);
+    };
+    ASSERT_TRUE(
+        workload.RunQuery(q, *cluster->catalog(), col, &col_rows).ok())
+        << profile.name << " Q" << q;
+    ASSERT_TRUE(
+        workload.RunQuery(q, *cluster->catalog(), row, &row_rows).ok())
+        << profile.name << " Q" << q;
+    EXPECT_EQ(testing_util::Canonicalize(col_rows),
+              testing_util::Canonicalize(row_rows))
+        << profile.name << " Q" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCustomers, ProductionTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace imci
