@@ -9,19 +9,23 @@ using namespace imci::bench;
 
 namespace {
 
-void RunOnce(bool cals, double secs) {
+void RunOnce(bool cals, double secs, BenchReport* report) {
   ClusterOptions opts;
   opts.ro.replication.commit_ahead = cals;
   chbench::ChBench bench(2, 300);
   auto cluster = MakeChBenchCluster(&bench, opts);
   if (!cluster) return;
   auto* txns = cluster->rw()->txn_manager();
-  DriveOltp(8, secs, [&](int t) {
+  const double tps = DriveOltp(8, secs, [&](int t) {
     thread_local Rng rng(41 + t);
     bench.RunTransaction(txns, &rng);
   });
   cluster->ro(0)->CatchUpNow();
   auto* vd = cluster->ro(0)->pipeline()->vd_histogram();
+  report->Row()
+      .Set("commit_ahead", cals ? 1 : 0)
+      .Set("oltp_tps", tps)
+      .Hist("vd", *vd);
   std::printf("%-18s %10.2f %10.2f %10.2f\n",
               cals ? "CALS (paper)" : "ship-at-commit",
               vd->Percentile(0.5) / 1000.0, vd->Percentile(0.99) / 1000.0,
@@ -34,8 +38,11 @@ int main(int argc, char** argv) {
   const double secs = Flag(argc, argv, "secs", 1.5);
   std::printf("# Ablation: CALS | visibility delay (ms) on TPC-C\n");
   std::printf("%-18s %10s %10s %10s\n", "mode", "p50", "p99", "max");
-  RunOnce(true, secs);
-  RunOnce(false, secs);
+  BenchReport report("ablation_cals");
+  report.Label("workload", "chbench");
+  RunOnce(true, secs, &report);
+  RunOnce(false, secs, &report);
   std::printf("# expectation: CALS p50/p99 strictly lower\n");
+  report.Write();
   return 0;
 }

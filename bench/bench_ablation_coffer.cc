@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
               (unsigned long)log_end);
   std::printf("%-10s %16s %14s %14s\n", "workers", "records/s", "dml_ops/s",
               "elapsed(s)");
+  BenchReport report("ablation_coffer");
+  report.Metric("log_records", static_cast<double>(log_end));
   for (int workers : {1, 2, 4, 8, 16}) {
     ClusterOptions opts;
     opts.ro.replication.parse_parallelism = workers;
@@ -35,11 +37,18 @@ int main(int argc, char** argv) {
     Timer t;
     node.CatchUpNow();
     const double elapsed = t.ElapsedSeconds();
+    report.Row()
+        .Set("workers", workers)
+        .Set("records_per_s",
+             node.pipeline()->parser()->records_applied() / elapsed)
+        .Set("dml_ops_per_s", node.pipeline()->applied_ops() / elapsed)
+        .Set("elapsed_s", elapsed);
     std::printf("%-10d %16.0f %14.0f %14.2f\n", workers,
                 node.pipeline()->parser()->records_applied() / elapsed,
                 node.pipeline()->applied_ops() / elapsed, elapsed);
   }
   std::printf("# expectation: throughput grows with workers until memory "
               "bandwidth saturates\n");
+  report.Write();
   return 0;
 }

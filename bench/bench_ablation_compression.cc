@@ -3,6 +3,10 @@
 // FOR+delta+bitpack integer codec and the string dictionary codec.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "imci/compression.h"
 
@@ -82,4 +86,30 @@ BENCHMARK(BM_DictEncode);
 }  // namespace
 }  // namespace imci
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_ablation_compression.json (honoring IMCI_BENCH_OUT_DIR) so this
+// bench emits a machine-readable report like the rest of the suite.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false, has_fmt = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+    if (arg.rfind("--benchmark_out_format=", 0) == 0) has_fmt = true;
+  }
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::string dir = ".";
+    if (const char* env = std::getenv("IMCI_BENCH_OUT_DIR")) {
+      if (*env != '\0') dir = env;
+    }
+    out_flag = "--benchmark_out=" + dir + "/BENCH_ablation_compression.json";
+    args.push_back(out_flag.data());
+    if (!has_fmt) args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

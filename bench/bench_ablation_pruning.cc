@@ -22,11 +22,16 @@ int main(int argc, char** argv) {
               li->num_groups());
   std::printf("%-24s %10s %10s %10s %12s\n", "window", "prune(ms)",
               "full(ms)", "pruned", "scanned");
+  BenchReport report("ablation_pruning");
+  report.Metric("sf", sf);
+  report.Metric("num_groups", static_cast<double>(li->num_groups()));
   struct Window {
     const char* name;
     int y0, y1;
-  } windows[] = {{"1 month", 0, 0}, {"1 year 1994", 1994, 1995},
-                 {"all time", 1992, 1999}};
+    int days;
+  } windows[] = {{"1 month", 0, 0, 30},
+                 {"1 year 1994", 1994, 1995, 365},
+                 {"all time", 1992, 1999, 2555}};
   for (auto& w : windows) {
     ExprRef filter;
     if (w.y0 == 0) {
@@ -58,10 +63,17 @@ int main(int argc, char** argv) {
         scanned = scan->groups_scanned();
       }
     }
+    report.Row()
+        .Set("window_days", w.days)
+        .Set("prune_ms", ms[0])
+        .Set("full_ms", ms[1])
+        .Set("groups_pruned", static_cast<double>(pruned))
+        .Set("groups_scanned", static_cast<double>(scanned));
     std::printf("%-24s %10.2f %10.2f %10lu %12lu\n", w.name, ms[0], ms[1],
                 (unsigned long)pruned, (unsigned long)scanned);
   }
   std::printf("# expectation: narrow windows skip most groups and run "
               "proportionally faster\n");
+  report.Write();
   return 0;
 }

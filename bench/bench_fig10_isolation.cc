@@ -53,6 +53,9 @@ int main(int argc, char** argv) {
               "clients grow\n", tp_saturation);
   std::printf("%-12s %14s %14s %10s\n", "ap_clients", "tp_tps", "ap_qps",
               "tp_loss");
+  BenchReport report("fig10_isolation");
+  report.Label("workload", "chbench");
+  report.Metric("tp_saturation_threads", tp_saturation);
   double tp_base = 0;
   for (int ap : {0, 2, 4, 8, 16}) {
     std::atomic<bool> stop{false};
@@ -84,6 +87,11 @@ int main(int argc, char** argv) {
     for (auto& th : ap_threads) th.join();
     const double ap_qps = ap_queries.load() / t.ElapsedSeconds();
     if (ap == 0) tp_base = tp_tps;
+    report.Row()
+        .Set("ap_clients", ap)
+        .Set("tp_tps", tp_tps)
+        .Set("ap_qps", ap_qps)
+        .Set("tp_loss_pct", 100.0 * (tp_base - tp_tps) / tp_base);
     std::printf("%-12d %14.0f %14.1f %9.1f%%\n", ap, tp_tps, ap_qps,
                 100.0 * (tp_base - tp_tps) / tp_base);
   }
@@ -112,10 +120,17 @@ int main(int argc, char** argv) {
     stop.store(true);
     for (auto& th : tp_threads) th.join();
     if (tp == 0) ap_base = ap_qps;
+    report.Row()
+        .Set("tp_clients", tp)
+        .Set("ap_qps", ap_qps)
+        .Set("tp_tps", tp_ops.load() / t.ElapsedSeconds())
+        .Set("ap_loss_pct",
+             100.0 * (ap_base - ap_qps) / std::max(ap_base, 1e-9));
     std::printf("%-12d %14.1f %14.0f %9.1f%%\n", tp, ap_qps,
                 tp_ops.load() / t.ElapsedSeconds(),
                 100.0 * (ap_base - ap_qps) / std::max(ap_base, 1e-9));
   }
   std::printf("# paper: OLAP loss < 20%% as TP clients grow (Fig 10b)\n");
+  report.Write();
   return 0;
 }

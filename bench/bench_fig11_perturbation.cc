@@ -49,15 +49,26 @@ int main(int argc, char** argv) {
   // Warm up the process (allocator arenas, code paths) so the first
   // measured configuration is not penalized.
   RunSysbench(false, false, 8, secs / 2, fsync_us);
+  BenchReport report("fig11_perturbation");
+  report.Label("workload", "sysbench-insert-only");
+  report.Metric("fsync_latency_us", fsync_us);
   for (int clients : {4, 8, 16, 32}) {
     const double base = RunSysbench(false, false, clients, secs, fsync_us);
     const double redo = RunSysbench(true, false, clients, secs, fsync_us);
     const double binlog = RunSysbench(true, true, clients, secs, fsync_us);
+    report.Row()
+        .Set("clients", clients)
+        .Set("baseline_tps", base)
+        .Set("reuse_redo_tps", redo)
+        .Set("binlog_tps", binlog)
+        .Set("redo_loss_pct", 100.0 * (base - redo) / base)
+        .Set("binlog_loss_pct", 100.0 * (base - binlog) / base);
     std::printf("%-10d %12.0f %12.0f %12.0f %9.1f%% %9.1f%%\n", clients, base,
                 redo, binlog, 100.0 * (base - redo) / base,
                 100.0 * (base - binlog) / base);
   }
   std::printf("# paper: reuse-REDO loss -0.5%%..-4.8%%; Binlog loss "
               "-23.9%%..-56.3%%\n");
+  report.Write();
   return 0;
 }

@@ -12,18 +12,22 @@ int main(int argc, char** argv) {
   std::printf("# Figure 12 | visibility delay on TPC-C (ms)\n");
   std::printf("%-10s %8s %8s %8s %8s %8s %9s %8s\n", "threads", "min", "p50",
               "p90", "p95", "p99", "p99.9", "max");
+  BenchReport report("fig12_freshness");
+  report.Label("workload", "chbench");
+  report.Metric("secs_per_point", secs);
   for (int threads : {4, 8, 16, 32}) {
     chbench::ChBench bench(/*warehouses=*/4, /*items=*/500);
     auto cluster = MakeChBenchCluster(&bench);
     if (!cluster) return 1;
     auto* txns = cluster->rw()->txn_manager();
-    DriveOltp(threads, secs, [&](int t) {
+    const double tps = DriveOltp(threads, secs, [&](int t) {
       thread_local Rng rng(31 + t);
       bench.RunTransaction(txns, &rng);
     });
     RoNode* ro = cluster->ro(0);
     ro->CatchUpNow();
     auto* vd = ro->pipeline()->vd_histogram();
+    report.Row().Set("threads", threads).Set("oltp_tps", tps).Hist("vd", *vd);
     std::printf("%-10d %8.2f %8.2f %8.2f %8.2f %8.2f %9.2f %8.2f\n", threads,
                 vd->Min() / 1000.0, vd->Percentile(0.5) / 1000.0,
                 vd->Percentile(0.9) / 1000.0, vd->Percentile(0.95) / 1000.0,
@@ -31,5 +35,6 @@ int main(int argc, char** argv) {
                 vd->Percentile(0.999) / 1000.0, vd->Max() / 1000.0);
   }
   std::printf("# paper: <5ms typical, <30ms at p99.999 under 1024 threads\n");
+  report.Write();
   return 0;
 }

@@ -60,9 +60,16 @@ int main(int argc, char** argv) {
   std::printf("# RW OLTP max: %.0f txn/s\n", rw_tps);
   std::printf("%-10s %16s %18s\n", "threads", "update_locator",
               "update_data_packs");
+  BenchReport report("fig13_replay");
+  report.Metric("rw_oltp_tps", rw_tps);
   for (int threads : {1, 2, 4, 8, 16}) {
-    std::printf("%-10d %16.0f %18.0f\n", threads,
-                LocatorTput(threads, secs), PackWriteTput(threads, secs));
+    const double locator = LocatorTput(threads, secs);
+    const double packs = PackWriteTput(threads, secs);
+    report.Row()
+        .Set("threads", threads)
+        .Set("update_locator_ops", locator)
+        .Set("update_data_packs_ops", packs);
+    std::printf("%-10d %16.0f %18.0f\n", threads, locator, packs);
   }
 
   // Phase#1 replay throughput on the row-store replica: replay the log the
@@ -89,6 +96,10 @@ int main(int argc, char** argv) {
                 records / std::max(replay_secs, 1e-9),
                 (unsigned long)records, replay_secs,
                 ops / std::max(replay_secs, 1e-9));
+    report.Metric("replay_records_per_s",
+                  records / std::max(replay_secs, 1e-9));
+    report.Metric("phase2_apply_ops_per_s",
+                  ops / std::max(replay_secs, 1e-9));
   }
 
   // §8.4 micro numbers: physical log parse per thread and commit rate.
@@ -114,6 +125,8 @@ int main(int argc, char** argv) {
     }
     std::printf("single_thread_commit: %.0f commits/s\n",
                 commits / commit_t.ElapsedSeconds());
+    report.Metric("single_thread_commits_per_s",
+                  commits / commit_t.ElapsedSeconds());
     // Parse throughput: deserialize the produced log.
     std::vector<std::string> raw;
     fs.ReadLog(0, writer.last_lsn(), &raw);
@@ -127,8 +140,11 @@ int main(int argc, char** argv) {
     }
     std::printf("log_parse_per_thread: %.0f entries/s (%zu entries)\n",
                 parsed / std::max(parse_t.ElapsedSeconds(), 1e-9), parsed);
+    report.Metric("log_parse_entries_per_s",
+                  parsed / std::max(parse_t.ElapsedSeconds(), 1e-9));
   }
   std::printf("# paper: locator/pack tput x30.2-x61.3 of RW OLTP; parse "
               "~34k/s/thread; commit ~459k/s\n");
+  report.Write();
   return 0;
 }

@@ -56,6 +56,9 @@ int main(int argc, char** argv) {
   std::printf("# Figure 14 | elasticity timeline (1 tick = 0.5s)\n");
   std::printf("%-6s %10s %8s %14s %14s\n", "t(s)", "olap_qps", "ro_nodes",
               "no1_lsn_delay", "no2_lsn_delay");
+  BenchReport report("fig14_elasticity");
+  report.Metric("sf", sf);
+  report.Metric("horizon_s", horizon);
   RoNode* no1 = nullptr;
   RoNode* no2 = nullptr;
   double no1_added = -1, no1_ready = -1, no2_added = -1, no2_ready = -1;
@@ -87,6 +90,12 @@ int main(int argc, char** argv) {
                   t, boot.ElapsedSeconds());
     }
     if (no2 && no2_ready < 0 && no2->LsnDelay() == 0) no2_ready = t;
+    report.Row()
+        .Set("t_s", t)
+        .Set("olap_qps", qps)
+        .Set("ro_nodes", static_cast<double>(cluster->ro_nodes().size()))
+        .Set("no1_lsn_delay", no1 ? static_cast<double>(no1->LsnDelay()) : 0)
+        .Set("no2_lsn_delay", no2 ? static_cast<double>(no2->LsnDelay()) : 0);
     std::printf("%-6.1f %10.1f %8zu %14lu %14lu\n", t, qps,
                 cluster->ro_nodes().size(),
                 no1 ? (unsigned long)no1->LsnDelay() : 0ul,
@@ -101,5 +110,12 @@ int main(int argc, char** argv) {
               no2_ready, no2_ready - no2_added);
   std::printf("# paper: service available ~10s after add, catch-up <=9s, "
               "No.2 catches up faster via newer checkpoint\n");
+  report.Metric("no1_added_s", no1_added);
+  report.Metric("no1_ready_s", no1_ready);
+  report.Metric("no1_catchup_s", no1_ready - no1_added);
+  report.Metric("no2_added_s", no2_added);
+  report.Metric("no2_ready_s", no2_ready);
+  report.Metric("no2_catchup_s", no2_ready - no2_added);
+  report.Write();
   return 0;
 }

@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
   };
   std::printf("%-4s %14s %16s %14s %10s\n", "Q", "IMCI(ms)", "CHsim(ms)",
               "Row(ms)", "Row/IMCI");
+  BenchReport report("fig9_tpch");
+  report.Metric("sf", sf);
+  report.Metric("threads", parallelism);
   std::vector<double> imci_ms, ch_ms, row_ms;
   for (int q = 1; q <= 22; ++q) {
     {
@@ -79,6 +82,12 @@ int main(int argc, char** argv) {
     imci_ms.push_back(times[0]);
     ch_ms.push_back(times[1]);
     row_ms.push_back(times[2]);
+    report.Row()
+        .Set("query", q)
+        .Set("imci_ms", times[0])
+        .Set("chsim_ms", times[1])
+        .Set("row_ms", times[2])
+        .Set("speedup_row_over_imci", times[2] / std::max(times[0], 1e-3));
     std::printf("Q%-3d %14.2f %16.2f %14.2f %9.1fx\n", q, times[0], times[1],
                 times[2], times[2] / std::max(times[0], 1e-3));
   }
@@ -99,5 +108,10 @@ int main(int argc, char** argv) {
                 return mx;
               }(),
               g_ch / g_imci);
+  report.Metric("gmean_imci_ms", g_imci);
+  report.Metric("gmean_chsim_ms", g_ch);
+  report.Metric("gmean_row_ms", g_row);
+  report.Metric("gmean_speedup_row_over_imci", g_row / g_imci);
+  report.Write();
   return 0;
 }

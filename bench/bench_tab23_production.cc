@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
 
   std::printf("\n# Figure 15 + Table 3 | per-query speedups (row engine / "
               "column engine)\n");
+  BenchReport report("tab23_production");
+  report.Metric("scale", scale);
   int dist[4][5] = {};  // customer x bucket
   const char* buckets[] = {"[1,2)", "[2,5)", "[5,10)", "[10,100)",
                            "[100,inf)"};
@@ -66,6 +68,12 @@ int main(int argc, char** argv) {
       int b = speedup < 2 ? 0 : speedup < 5 ? 1 : speedup < 10 ? 2
               : speedup < 100 ? 3 : 4;
       dist[ci][b]++;
+      report.Row()
+          .Set("customer", static_cast<double>(ci + 1))
+          .Set("query", q + 1)
+          .Set("column_ms", col_ms)
+          .Set("row_ms", row_ms)
+          .Set("speedup", speedup);
       std::printf("  Q%d: column %.2fms, row %.2fms -> x%.1f\n", q + 1,
                   col_ms, row_ms, speedup);
     }
@@ -85,5 +93,6 @@ int main(int argc, char** argv) {
   }
   std::printf("# paper: Cust3/Cust4 dominated by >x10 speedups; Cust1/2 "
               "mostly <x5 (selective queries)\n");
+  report.Write();
   return 0;
 }

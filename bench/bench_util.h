@@ -2,16 +2,19 @@
 #define POLARDB_IMCI_BENCH_BENCH_UTIL_H_
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "common/clock.h"
+#include "common/histogram.h"
 #include "workloads/chbench.h"
 #include "workloads/sysbench.h"
 #include "workloads/tpch.h"
@@ -93,6 +96,129 @@ inline double GeoMean(const std::vector<double>& xs) {
   for (double x : xs) acc += std::log(std::max(x, 1e-9));
   return std::exp(acc / xs.size());
 }
+
+/// Accumulates one benchmark's machine-readable results and writes them as
+/// `BENCH_<name>.json` into the working directory (override the directory
+/// with IMCI_BENCH_OUT_DIR), so every run adds a datapoint to the repo's
+/// perf trajectory. Top-level scalars go in via Label/Metric, per-
+/// configuration datapoints (one per thread count, query, phase, ...) via
+/// Row() followed by chained Set/Hist calls:
+///
+///   BenchReport report("fig12_freshness");
+///   report.Label("workload", "chbench");
+///   report.Row().Set("threads", 4).Hist("vd", *vd_histogram);
+///   report.Metric("total_txns", n);
+///   report.Write();
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Label(const std::string& key, const std::string& value) {
+    labels_.emplace_back(key, value);
+  }
+  void Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Starts a new datapoint in the "series" array; Set/Hist apply to it.
+  BenchReport& Row() {
+    series_.emplace_back();
+    return *this;
+  }
+  BenchReport& Set(const std::string& key, double value) {
+    series_.back().emplace_back(key, value);
+    return *this;
+  }
+  /// Flattens a latency histogram into <prefix>_{min,p50,p90,p95,p99,p999,
+  /// max,mean}_ms and <prefix>_count fields of the current row.
+  BenchReport& Hist(const std::string& prefix, const LatencyHistogram& h) {
+    auto ms = [](uint64_t micros) { return micros / 1000.0; };
+    Set(prefix + "_min_ms", h.Count() ? ms(h.Min()) : 0.0);
+    Set(prefix + "_p50_ms", ms(h.Percentile(0.5)));
+    Set(prefix + "_p90_ms", ms(h.Percentile(0.9)));
+    Set(prefix + "_p95_ms", ms(h.Percentile(0.95)));
+    Set(prefix + "_p99_ms", ms(h.Percentile(0.99)));
+    Set(prefix + "_p999_ms", ms(h.Percentile(0.999)));
+    Set(prefix + "_max_ms", ms(h.Max()));
+    Set(prefix + "_mean_ms", h.MeanMicros() / 1000.0);
+    Set(prefix + "_count", static_cast<double>(h.Count()));
+    return *this;
+  }
+
+  /// Writes BENCH_<name>.json and returns its path ("" on failure).
+  std::string Write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("IMCI_BENCH_OUT_DIR")) {
+      if (*env != '\0') dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot open %s\n", path.c_str());
+      return "";
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+    return path;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": " + Quoted(name_);
+    out += ",\n  \"labels\": {";
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      out += (i ? ", " : "") + Quoted(labels_[i].first) + ": " +
+             Quoted(labels_[i].second);
+    }
+    out += "},\n  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out += (i ? ", " : "") + Quoted(metrics_[i].first) + ": " +
+             Num(metrics_[i].second);
+    }
+    out += "},\n  \"series\": [";
+    for (size_t i = 0; i < series_.size(); ++i) {
+      out += i ? ",\n    {" : "\n    {";
+      for (size_t j = 0; j < series_[i].size(); ++j) {
+        out += (j ? ", " : "") + Quoted(series_[i][j].first) + ": " +
+               Num(series_[i][j].second);
+      }
+      out += "}";
+    }
+    out += series_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+  }
+
+ private:
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> labels_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::vector<std::pair<std::string, double>>> series_;
+};
 
 }  // namespace bench
 }  // namespace imci

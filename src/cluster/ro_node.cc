@@ -65,7 +65,7 @@ Status RoNode::RebuildFromRowStore() {
     if (table == nullptr) continue;
     ColumnIndex* index = imci_.CreateIndex(schema);
     Status inner = Status::OK();
-    IMCI_RETURN_NOT_OK(table->Scan([&](int64_t pk, const Row& row) {
+    IMCI_RETURN_NOT_OK(table->Scan([&](int64_t /*pk*/, const Row& row) {
       inner = index->Insert(row, 0);
       return inner.ok();
     }));

@@ -148,7 +148,7 @@ void RowScanOp::AppendRow(const Row& row, Batch* batch) const {
   batch->rows++;
 }
 
-Status RowScanOp::Execute(ExecContext* ctx, RowSet* out) {
+Status RowScanOp::Execute(ExecContext* /*ctx*/, RowSet* out) {
   out->types = out_types_;
   Batch batch = Batch::Make(out_types_);
   Status inner;
@@ -163,7 +163,7 @@ Status RowScanOp::Execute(ExecContext* ctx, RowSet* out) {
     batch = Batch::Make(out_types_);
     return Status::OK();
   };
-  auto visit = [&](int64_t pk, const Row& row) {
+  auto visit = [&](int64_t /*pk*/, const Row& row) {
     AppendRow(row, &batch);
     // Small batches: the row engine is a row-at-a-time interpreter with
     // early materialization; large vectors would misrepresent it (§2.1).
@@ -694,7 +694,7 @@ ValuesOp::ValuesOp(std::vector<DataType> types, std::vector<Row> rows)
   out_types_ = std::move(types);
 }
 
-Status ValuesOp::Execute(ExecContext* ctx, RowSet* out) {
+Status ValuesOp::Execute(ExecContext* /*ctx*/, RowSet* out) {
   out->types = out_types_;
   Batch b = Batch::Make(out_types_);
   for (const Row& r : rows_) {

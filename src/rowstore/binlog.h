@@ -2,6 +2,7 @@
 #define POLARDB_IMCI_ROWSTORE_BINLOG_H_
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -19,9 +20,15 @@ namespace imci {
 ///
 /// The Fig. 11 bench runs the same OLTP workload once with REDO reuse
 /// (BinlogWriter disabled) and once with this writer enabled.
+///
+/// Each committed transaction is one durable record `binlog/<seq>` (seq is
+/// dense, 1-based) framed with a trailing checksum, so replay can detect the
+/// torn tail a crash leaves behind and stop there.
 class BinlogWriter {
  public:
-  explicit BinlogWriter(PolarFs* fs) : fs_(fs) {}
+  /// Attaches to `fs`, continuing after any binlog records already present
+  /// (a writer created post-recovery must not overwrite replayed history).
+  explicit BinlogWriter(PolarFs* fs);
 
   struct Event {
     enum class Op : uint8_t { kInsert, kUpdate, kDelete } op;
@@ -33,12 +40,26 @@ class BinlogWriter {
   /// Serializes and durably appends one transaction's events (one fsync).
   void CommitTxn(Tid tid, const std::vector<Event>& events);
 
+  /// Replays the durable binlog in commit order, invoking `fn` once per
+  /// fully-recovered transaction. Stops at the first missing, truncated, or
+  /// corrupt record (the crash tail) and returns the number of transactions
+  /// delivered. Static so a recovering process can replay without a writer.
+  static size_t Replay(
+      PolarFs* fs,
+      const std::function<void(Tid, const std::vector<Event>&)>& fn);
+
+  /// Decodes one serialized transaction record. Returns false (leaving the
+  /// outputs unspecified) on truncation or checksum mismatch.
+  static bool DecodeTxn(const std::string& data, Tid* tid,
+                        std::vector<Event>* events);
+
   uint64_t bytes_written() const { return bytes_.load(); }
   uint64_t txns_written() const { return txns_.load(); }
 
  private:
   PolarFs* fs_;
   std::mutex mu_;
+  uint64_t next_seq_;  // guarded by mu_; seeded past existing records
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> txns_{0};
 };

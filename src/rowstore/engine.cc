@@ -262,6 +262,9 @@ Status TransactionManager::Rollback(Transaction* txn) {
 }
 
 void TransactionManager::ReleaseLocks(Transaction* txn) {
+  // Strict 2PL: everything the transaction holds goes at commit/rollback.
+  // Released from the txn's own acquisition list (O(locks held)) rather
+  // than LockManager::UnlockAll, which scans every shard.
   for (auto& [table, pk] : txn->locks_) locks_->Unlock(txn->tid_, table, pk);
   txn->locks_.clear();
 }

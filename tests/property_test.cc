@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "imci/rid_locator.h"
 #include "rowstore/engine.h"
+#include "tests/test_util.h"
 
 namespace imci {
 namespace {
@@ -28,9 +29,13 @@ TEST_P(BTreeModelTest, MatchesReferenceModel) {
   ASSERT_TRUE(engine.CreateTable(ModelSchema()).ok());
   RowTable* table = engine.GetTable(1);
   std::map<int64_t, std::string> model;
-  Rng rng(GetParam());
+  const uint64_t seed = testing_util::TestSeed(GetParam());
+  const int iters = testing_util::TestIters(4000);
+  SCOPED_TRACE(::testing::Message() << "rerun with IMCI_TEST_SEED=" << seed
+                                    << " IMCI_TEST_ITERS=" << iters);
+  Rng rng(seed);
   std::vector<RedoRecord> redo;
-  for (int op = 0; op < 4000; ++op) {
+  for (int op = 0; op < iters; ++op) {
     const int64_t pk = static_cast<int64_t>(rng.Next() % 800);
     const int action = rng.Next() % 3;
     redo.clear();
@@ -100,8 +105,12 @@ class LocatorModelTest : public ::testing::TestWithParam<int> {};
 TEST_P(LocatorModelTest, MatchesReferenceModel) {
   RidLocator locator(/*memtable_limit=*/RidLocator::kShards * 8);
   std::map<int64_t, Rid> model;
-  Rng rng(GetParam());
-  for (int op = 0; op < 20000; ++op) {
+  const uint64_t seed = testing_util::TestSeed(GetParam());
+  const int iters = testing_util::TestIters(20000);
+  SCOPED_TRACE(::testing::Message() << "rerun with IMCI_TEST_SEED=" << seed
+                                    << " IMCI_TEST_ITERS=" << iters);
+  Rng rng(seed);
+  for (int op = 0; op < iters; ++op) {
     const int64_t pk = static_cast<int64_t>(rng.Next() % 3000);
     if (rng.Next() % 3 != 0) {
       const Rid rid = rng.Next();

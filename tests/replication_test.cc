@@ -35,7 +35,7 @@ class ReplicationTest : public ::testing::Test {
     ASSERT_NE(index, nullptr);
     const Vid read_vid = ro_->applied_vid();
     std::vector<std::string> rw_rows, ro_rows;
-    rw_table->Scan([&](int64_t pk, const Row& row) {
+    rw_table->Scan([&](int64_t /*pk*/, const Row& row) {
       std::string s;
       for (const Value& v : row) s += ValueToString(v) + "|";
       rw_rows.push_back(std::move(s));
@@ -321,7 +321,9 @@ TEST_F(ReplicationTest, CompactionPreservesContentAndReclaims) {
   Transaction txn2;
   txns_->Begin(&txn2);
   for (int64_t i = 0; i < 512; ++i) {
-    if (i % 8 != 0) ASSERT_TRUE(txns_->Delete(&txn2, 1, i).ok());
+    if (i % 8 != 0) {
+      ASSERT_TRUE(txns_->Delete(&txn2, 1, i).ok());
+    }
   }
   ASSERT_TRUE(txns_->Commit(&txn2).ok());
   CatchUp();

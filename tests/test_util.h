@@ -2,6 +2,7 @@
 #define POLARDB_IMCI_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,25 @@
 
 namespace imci {
 namespace testing_util {
+
+/// RNG seed for randomized/property tests: the IMCI_TEST_SEED env var wins
+/// over the suite's default so a failure seen anywhere can be replayed
+/// exactly (`IMCI_TEST_SEED=<seed> ctest -R Property`). Tests should log the
+/// effective seed on failure (e.g. via SCOPED_TRACE).
+inline uint64_t TestSeed(uint64_t default_seed) {
+  const char* env = std::getenv("IMCI_TEST_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  return std::strtoull(env, nullptr, 0);
+}
+
+/// Iteration count for property tests: IMCI_TEST_ITERS scales the run
+/// (shorter for smoke runs, longer for soak runs) without recompiling.
+inline int TestIters(int default_iters) {
+  const char* env = std::getenv("IMCI_TEST_ITERS");
+  if (env == nullptr || *env == '\0') return default_iters;
+  const long v = std::strtol(env, nullptr, 0);
+  return v > 0 ? static_cast<int>(v) : default_iters;
+}
 
 /// Normalizes a result set for engine-equivalence comparison: values are
 /// rendered to strings (doubles rounded to 2 decimals to absorb summation
