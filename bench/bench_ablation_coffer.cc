@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
     thread_local Rng rng(61 + t);
     bench.RunTransaction(txns, &rng);
   });
-  const Lsn log_end = cluster->fs()->written_lsn();
+  const Lsn log_end = cluster->fs()->log("redo")->written_lsn();
   std::printf("# Ablation: 2P-COFFER | replaying %lu log records\n",
               (unsigned long)log_end);
   std::printf("%-10s %16s %14s %14s\n", "workers", "records/s", "dml_ops/s",

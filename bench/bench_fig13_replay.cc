@@ -43,7 +43,10 @@ double PackWriteTput(int threads, double secs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double secs = Flag(argc, argv, "secs", 1.0);
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const double secs = Flag(argc, argv, "secs", smoke ? 0.2 : 1.0);
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
 
   // Reference point: RW OLTP max throughput (TPC-C mix, saturated).
   chbench::ChBench bench(4, 500);
@@ -62,7 +65,8 @@ int main(int argc, char** argv) {
               "update_data_packs");
   BenchReport report("fig13_replay");
   report.Metric("rw_oltp_tps", rw_tps);
-  for (int threads : {1, 2, 4, 8, 16}) {
+  report.Metric("smoke", smoke ? 1 : 0);
+  for (int threads : thread_counts) {
     const double locator = LocatorTput(threads, secs);
     const double packs = PackWriteTput(threads, secs);
     report.Row()
@@ -110,7 +114,7 @@ int main(int argc, char** argv) {
     catalog.Register(schema);
     RowStoreEngine rw(&fs, &catalog);
     rw.CreateTable(schema);
-    RedoWriter writer(&fs);
+    RedoWriter writer(fs.log("redo"));
     LockManager locks;
     TransactionManager tm(&rw, &writer, &locks);
     Timer commit_t;
@@ -129,7 +133,7 @@ int main(int argc, char** argv) {
                   commits / commit_t.ElapsedSeconds());
     // Parse throughput: deserialize the produced log.
     std::vector<std::string> raw;
-    fs.ReadLog(0, writer.last_lsn(), &raw);
+    fs.log("redo")->Read(0, writer.last_lsn(), &raw);
     Timer parse_t;
     size_t parsed = 0;
     for (const auto& buf : raw) {

@@ -1,7 +1,11 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
+
+#include "imci/checkpoint.h"
+#include "log/log_store.h"
 
 namespace imci {
 
@@ -22,11 +26,21 @@ Status Proxy::ExecuteQuery(const LogicalRef& plan, std::vector<Row>* out,
   RoNode* ro = PickRo();
   if (ro == nullptr) return Status::Busy("no RO node available");
   if (consistency == Consistency::kStrong) {
-    // §6.4: only route to an RO whose applied LSN is not less than the RW's
-    // written LSN observed at submission.
-    const Lsn written = rw_->written_lsn();
-    while (ro->applied_lsn() < written) {
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    if (ro->pipeline()->source() == ApplySource::kLogicalBinlog) {
+      // A logical-apply node tracks binlog LSNs, which are a different
+      // space from the RW's redo LSN — but commit VIDs are shared, so wait
+      // until every transaction committed before submission is applied.
+      const Vid committed = rw_->txn_manager()->last_commit_vid();
+      while (ro->applied_vid() < committed) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    } else {
+      // §6.4: only route to an RO whose applied LSN is not less than the
+      // RW's written LSN observed at submission.
+      const Lsn written = rw_->written_lsn();
+      while (ro->applied_lsn() < written) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
     }
   }
   ro->EnterSession();
@@ -47,6 +61,12 @@ Cluster::~Cluster() {
 }
 
 Status Cluster::Open() {
+  // Logical-apply ROs can only make progress if the RW actually writes the
+  // binlog; tying the knobs here keeps the configuration coherent (a bench
+  // may still toggle binlog logging explicitly afterwards).
+  if (options_.ro.replication.source == ApplySource::kLogicalBinlog) {
+    rw_->txn_manager()->set_binlog_enabled(true);
+  }
   IMCI_RETURN_NOT_OK(rw_->FinishLoad());
   for (int i = 0; i < options_.initial_ro_nodes; ++i) {
     RoNode* node = nullptr;
@@ -56,6 +76,7 @@ Status Cluster::Open() {
 }
 
 Status Cluster::AddRoNode(RoNode** out) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
   auto node = std::make_unique<RoNode>(
       "ro" + std::to_string(next_ro_id_++), &fs_, &catalog_, options_.ro);
   IMCI_RETURN_NOT_OK(node->Boot());
@@ -73,6 +94,7 @@ Status Cluster::AddRoNode(RoNode** out) {
 }
 
 Status Cluster::RemoveRoNode(size_t index) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
   std::unique_ptr<RoNode> victim;
   {
     std::lock_guard<std::mutex> g(topo_mu_);
@@ -91,9 +113,38 @@ Status Cluster::RemoveRoNode(size_t index) {
 }
 
 Status Cluster::TriggerCheckpoint() {
+  std::lock_guard<std::mutex> admin(admin_mu_);
   RoNode* l = leader();
   if (l == nullptr) return Status::NotFound("no leader");
   l->RequestCheckpoint(next_ckpt_id_++);
+  // Recycle what the previous completed checkpoint made reclaimable; the one
+  // just requested pays off at the next trigger. Periodic checkpoints thus
+  // keep log storage bounded in long runs.
+  return RecycleRedoLogLocked(nullptr);
+}
+
+Status Cluster::RecycleRedoLog(Lsn* recycled_upto) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  return RecycleRedoLogLocked(recycled_upto);
+}
+
+Status Cluster::RecycleRedoLogLocked(Lsn* recycled_upto) {
+  if (recycled_upto) *recycled_upto = 0;
+  Vid csn = 0;
+  Lsn safe = 0;
+  Status s = ImciCheckpoint::ReadLatestManifest(&fs_, &csn, &safe, nullptr);
+  if (s.IsNotFound()) return Status::OK();  // nothing reclaimable yet
+  IMCI_RETURN_NOT_OK(s);
+  {
+    std::lock_guard<std::mutex> g(topo_mu_);
+    for (RoNode* ro : ro_nodes_) {
+      // Binlog-space pipelines don't consume redo; their cursors don't clamp.
+      if (ro->pipeline()->source() != ApplySource::kRedoReuse) continue;
+      safe = std::min(safe, ro->pipeline()->read_lsn());
+    }
+  }
+  fs_.log("redo")->Truncate(safe);
+  if (recycled_upto) *recycled_upto = fs_.log("redo")->truncated_lsn();
   return Status::OK();
 }
 

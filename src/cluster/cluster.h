@@ -76,8 +76,16 @@ class Cluster {
   /// if needed.
   Status RemoveRoNode(size_t index);
 
-  /// Asks the RO leader to checkpoint (CSN = its applied VID).
+  /// Asks the RO leader to checkpoint (CSN = its applied VID), then recycles
+  /// redo segments no longer needed by the *previous* completed checkpoint.
   Status TriggerCheckpoint();
+
+  /// Recycles shared-log storage (§7): truncates the "redo" log below the
+  /// latest completed checkpoint's start LSN, clamped by the slowest
+  /// redo-consuming RO's read position so no pipeline loses its tail.
+  /// Segment-granular — only whole sealed segments are reclaimed. Returns
+  /// the LSN up to which records were recycled via `recycled_upto`.
+  Status RecycleRedoLog(Lsn* recycled_upto = nullptr);
 
   RwNode* rw() { return rw_.get(); }
   Proxy* proxy() { return &proxy_; }
@@ -88,10 +96,17 @@ class Cluster {
   RoNode* leader();
 
  private:
+  Status RecycleRedoLogLocked(Lsn* recycled_upto);
+
   ClusterOptions options_;
   PolarFs fs_;
   Catalog catalog_;
   std::unique_ptr<RwNode> rw_;
+  /// Serializes topology/checkpoint admin operations (AddRoNode,
+  /// RemoveRoNode, TriggerCheckpoint, RecycleRedoLog) against each other:
+  /// recycling must never truncate redo records a node that is still
+  /// booting (Boot'd but not yet registered in ro_nodes_) will replay.
+  std::mutex admin_mu_;
   std::mutex topo_mu_;
   std::vector<std::unique_ptr<RoNode>> ro_owned_;
   std::vector<RoNode*> ro_nodes_;

@@ -33,18 +33,34 @@ Status RoNode::Boot() {
     IMCI_RETURN_NOT_OK(
         engine_.GetTable(table_id)->RebuildIndexesFromPages());
   }
+  // Logical-apply nodes (the Fig. 11 binlog arm) tail the binlog from its
+  // beginning over the base row-store state: binlog LSNs are a different
+  // space from redo LSNs, so redo-anchored checkpoints don't apply to them.
+  if (options_.replication.source == ApplySource::kLogicalBinlog) {
+    boot_lsn_ = 0;
+    boot_vid_ = 0;
+    IMCI_RETURN_NOT_OK(RebuildFromRowStore());
+    RefreshStats();
+    return Status::OK();
+  }
   // Column indexes: fast recovery from checkpoint, else rebuild by scan.
   Vid csn = 0;
   Lsn start_lsn = 0;
   uint64_t ckpt_id = 0;
+  std::string inflight;
   Status s = ImciCheckpoint::LoadLatest(fs_, *catalog_, &imci_, &csn,
-                                        &start_lsn, &ckpt_id);
+                                        &start_lsn, &ckpt_id, &inflight);
   if (s.ok()) {
     boot_vid_ = csn;
     boot_lsn_ = start_lsn;
     // The checkpoint filter: transactions already folded into the loaded
-    // state must not be re-applied.
-    options_.replication.skip_vids_upto = csn;
+    // state must not be re-applied should the replayed range re-read their
+    // commit records.
+    pipeline_.set_skip_vids_upto(csn);
+    // Transactions in flight at checkpoint time: their CALS-shipped DMLs
+    // precede start_lsn (and are unreplayable past the flushed page LSNs),
+    // so the checkpoint carries the buffers themselves.
+    IMCI_RETURN_NOT_OK(pipeline_.RestoreInflight(inflight));
   } else if (s.IsNotFound()) {
     IMCI_RETURN_NOT_OK(RwNode::ReadBaseLsn(fs_, &boot_lsn_));
     boot_vid_ = 0;
@@ -93,7 +109,7 @@ void RoNode::StopReplication() {
 Status RoNode::CatchUpNow() {
   if (replicating_.load()) {
     // Background pipeline owns the cursor; just wait for it.
-    while (pipeline_.read_lsn() < fs_->written_lsn()) {
+    while (pipeline_.read_lsn() < pipeline_.source_written_lsn()) {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
     return Status::OK();
@@ -102,7 +118,7 @@ Status RoNode::CatchUpNow() {
     pipeline_.Start(boot_lsn_, boot_vid_);
     pipeline_.Stop();
   }
-  return pipeline_.CatchUp(fs_->written_lsn());
+  return pipeline_.CatchUp(pipeline_.source_written_lsn());
 }
 
 Status RoNode::ExecuteColumn(const LogicalRef& plan, std::vector<Row>* out,
@@ -140,6 +156,14 @@ Status RoNode::ExecuteRow(const LogicalRef& plan, std::vector<Row>* out) {
 
 Status RoNode::Execute(const LogicalRef& plan, std::vector<Row>* out,
                        EngineChoice* chosen) {
+  if (options_.replication.source == ApplySource::kLogicalBinlog) {
+    // The binlog carries no page changes, so this node's row replica is
+    // frozen at the base state — only the column engine serves fresh data
+    // on the strawman arm (one more cost REDO reuse doesn't pay: it keeps
+    // both engines current from a single log).
+    if (chosen) *chosen = EngineChoice::kColumnEngine;
+    return ExecuteColumn(plan, out);
+  }
   RoutingDecision d = RouteQuery(plan, stats_, options_.row_cost_threshold);
   if (chosen) *chosen = d.engine;
   if (d.engine == EngineChoice::kRowEngine) {

@@ -8,9 +8,9 @@ RwNode::RwNode(PolarFs* fs, Catalog* catalog, size_t pool_capacity,
                uint64_t lock_timeout_us)
     : fs_(fs),
       engine_(fs, catalog, pool_capacity),
-      redo_(fs),
+      redo_(fs->log("redo")),
       locks_(lock_timeout_us),
-      binlog_(fs),
+      binlog_(fs->log("binlog")),
       txns_(&engine_, &redo_, &locks_, &binlog_) {}
 
 Status RwNode::BulkLoad(TableId table, std::vector<Row> rows) {

@@ -237,7 +237,8 @@ Status ImciCheckpoint::LoadIndex(const std::string& data, ColumnIndex* index) {
 
 Status ImciCheckpoint::WriteSnapshot(const ImciStore& store, Vid csn,
                                      Lsn start_lsn, PolarFs* fs,
-                                     uint64_t ckpt_id) {
+                                     uint64_t ckpt_id,
+                                     const std::string& inflight) {
   const std::string dir = "imci_ckpt/" + std::to_string(ckpt_id) + "/";
   std::string manifest;
   PutFixed64(&manifest, csn);
@@ -251,14 +252,29 @@ Status ImciCheckpoint::WriteSnapshot(const ImciStore& store, Vid csn,
     IMCI_RETURN_NOT_OK(fs->WriteFile(name, std::move(blob)));
     PutFixed32(&manifest, idx->schema().table_id());
   }
+  IMCI_RETURN_NOT_OK(fs->WriteFile(dir + "TXNS", inflight));
   IMCI_RETURN_NOT_OK(fs->WriteFile(dir + "MANIFEST", std::move(manifest)));
   // Atomically publish: CURRENT names the newest complete checkpoint.
   return fs->WriteFile("imci_ckpt/CURRENT", std::to_string(ckpt_id));
 }
 
+Status ImciCheckpoint::ReadLatestManifest(PolarFs* fs, Vid* csn,
+                                          Lsn* start_lsn, uint64_t* ckpt_id) {
+  std::string current;
+  IMCI_RETURN_NOT_OK(fs->ReadFile("imci_ckpt/CURRENT", &current));
+  std::string manifest;
+  IMCI_RETURN_NOT_OK(
+      fs->ReadFile("imci_ckpt/" + current + "/MANIFEST", &manifest));
+  if (manifest.size() < 16) return Status::Corruption("manifest");
+  *csn = GetFixed64(manifest.data());
+  *start_lsn = GetFixed64(manifest.data() + 8);
+  if (ckpt_id) *ckpt_id = std::stoull(current);
+  return Status::OK();
+}
+
 Status ImciCheckpoint::LoadLatest(PolarFs* fs, const Catalog& catalog,
                                   ImciStore* store, Vid* csn, Lsn* start_lsn,
-                                  uint64_t* ckpt_id) {
+                                  uint64_t* ckpt_id, std::string* inflight) {
   std::string current;
   IMCI_RETURN_NOT_OK(fs->ReadFile("imci_ckpt/CURRENT", &current));
   const uint64_t id = std::stoull(current);
@@ -281,6 +297,10 @@ Status ImciCheckpoint::LoadLatest(PolarFs* fs, const Catalog& catalog,
     std::string blob;
     IMCI_RETURN_NOT_OK(fs->ReadFile(dir + std::to_string(tid), &blob));
     IMCI_RETURN_NOT_OK(LoadIndex(blob, idx));
+  }
+  if (inflight != nullptr) {
+    inflight->clear();
+    fs->ReadFile(dir + "TXNS", inflight);  // absent == no in-flight txns
   }
   return Status::OK();
 }

@@ -24,11 +24,14 @@ namespace imci {
 ///  - RID locator: serialized from an immutable Snapshot() split, so
 ///    subsequent transactions never stain the checkpoint.
 ///
-/// `start_lsn` must be chosen by the caller as (1 + the highest LSN fully
-/// reflected in the checkpoint, bounded by the earliest log entry of any
-/// still-uncommitted transaction); replaying from there with the Phase#2
-/// rule "skip transactions with commit VID <= CSN" reproduces the live state
-/// exactly.
+/// `start_lsn` is the pipeline's read_lsn at checkpoint time. Transactions
+/// still in flight then have already shipped DMLs below start_lsn (CALS),
+/// and the checkpoint's page flush makes those records unreplayable for a
+/// booting node (page-LSN skip) — so the snapshot also persists the
+/// pipeline's in-flight transaction buffers (the TXNS blob), which Boot
+/// restores before tailing the log from start_lsn. Replaying from there
+/// with the Phase#2 rule "skip transactions with commit VID <= CSN"
+/// reproduces the live state exactly.
 class ImciCheckpoint {
  public:
   /// Serializes one column index at `csn`.
@@ -38,16 +41,26 @@ class ImciCheckpoint {
   static Status LoadIndex(const std::string& data, ColumnIndex* index);
 
   /// Writes a full checkpoint (all indexes in `store`) with id `ckpt_id`,
-  /// plus a manifest recording csn/start_lsn, and updates the CURRENT
-  /// pointer.
+  /// plus a manifest recording csn/start_lsn, an opaque blob of the
+  /// pipeline's in-flight transaction buffers (see
+  /// ReplicationPipeline::TakeCheckpoint), and updates the CURRENT pointer.
   static Status WriteSnapshot(const ImciStore& store, Vid csn, Lsn start_lsn,
-                              PolarFs* fs, uint64_t ckpt_id);
+                              PolarFs* fs, uint64_t ckpt_id,
+                              const std::string& inflight = {});
 
   /// Loads the newest checkpoint into `store` (creating indexes from
-  /// `catalog`). Returns NotFound when none exists.
+  /// `catalog`). `inflight` (optional) receives the in-flight-buffer blob
+  /// persisted with the snapshot. Returns NotFound when none exists.
   static Status LoadLatest(PolarFs* fs, const Catalog& catalog,
                            ImciStore* store, Vid* csn, Lsn* start_lsn,
-                           uint64_t* ckpt_id);
+                           uint64_t* ckpt_id, std::string* inflight = nullptr);
+
+  /// Reads only the newest checkpoint's manifest header (csn / start_lsn /
+  /// id) without loading any index data — the cheap probe log recycling
+  /// uses to learn how far the shared redo log may be truncated (§7).
+  /// Returns NotFound when no checkpoint exists.
+  static Status ReadLatestManifest(PolarFs* fs, Vid* csn, Lsn* start_lsn,
+                                   uint64_t* ckpt_id);
 
  private:
   static Status WriteGroup(const ColumnIndex& index, size_t gid, Vid csn,

@@ -1,0 +1,246 @@
+#include "log/log_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/coding.h"
+#include "polarfs/polarfs.h"
+
+namespace imci {
+
+namespace {
+
+constexpr size_t kFrameHeader = 4 + 8;  // len + payload hash
+
+void AppendFrame(std::string* dst, const std::string& payload) {
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed64(dst, HashBytes(payload.data(), payload.size()));
+  dst->append(payload);
+}
+
+}  // namespace
+
+LogStore::LogStore(PolarFs* fs, std::string name, LogStoreOptions options)
+    : fs_(fs), name_(std::move(name)), options_(options) {}
+
+std::string LogStore::SegmentFileName(const std::string& log_name,
+                                      Lsn first_lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg_%020llu",
+                static_cast<unsigned long long>(first_lsn));
+  return "log/" + log_name + "/" + buf;
+}
+
+std::string LogStore::WatermarkFileName() const {
+  return "log/" + name_ + "/TRUNCATED";
+}
+
+bool LogStore::ParseSegment(const std::string& data, Segment* seg) {
+  size_t pos = 0;
+  Lsn lsn = seg->first - 1;
+  while (pos + kFrameHeader <= data.size()) {
+    const uint32_t len = GetFixed32(data.data() + pos);
+    const uint64_t hash = GetFixed64(data.data() + pos + 4);
+    if (pos + kFrameHeader + len > data.size()) break;  // torn frame
+    if (HashBytes(data.data() + pos + kFrameHeader, len) != hash) break;
+    seg->offsets.push_back(static_cast<uint32_t>(pos));
+    pos += kFrameHeader + len;
+    ++lsn;
+  }
+  seg->last = lsn;
+  const bool intact = pos == data.size();
+  // Keep only the verified prefix in memory; the caller decides whether the
+  // durable file needs the same trim.
+  seg->data = data.substr(0, pos);
+  return intact;
+}
+
+Status LogStore::Open() {
+  std::lock_guard<std::mutex> g(mu_);
+  segments_.clear();
+
+  Lsn truncated = 0;
+  std::string wm;
+  if (fs_->ReadFile(WatermarkFileName(), &wm).ok() && wm.size() >= 8) {
+    truncated = GetFixed64(wm.data());
+  }
+  truncated_lsn_.store(truncated, std::memory_order_release);
+
+  // Segment names embed their zero-padded first LSN, so the lexicographic
+  // listing order is LSN order.
+  const std::string prefix = "log/" + name_ + "/seg_";
+  std::vector<std::string> files = fs_->ListFiles(prefix);
+  std::sort(files.begin(), files.end());
+
+  Lsn tail = truncated;
+  bool torn = false;
+  for (const std::string& file : files) {
+    const Lsn first =
+        std::strtoull(file.c_str() + prefix.size(), nullptr, 10);
+    if (torn || first != tail + 1) {
+      // Everything after a tear (or a gap) is an orphan of the crash:
+      // unreachable by dense-LSN replay, so reclaim it.
+      fs_->DeleteFile(file);
+      continue;
+    }
+    Segment seg;
+    seg.first = first;
+    seg.file = file;
+    std::string data;
+    Status s = fs_->ReadFile(file, &data);
+    if (!s.ok()) return s;
+    const bool intact = ParseSegment(data, &seg);
+    if (!intact || seg.offsets.empty()) {
+      // Torn tail inside this segment: trim the durable image to the good
+      // prefix so the next recovery sees a clean log. A zero-record file can
+      // only be a crash artifact (segment files are created on their first
+      // append), so a tear on the segment boundary itself lands here too:
+      // nothing in this segment survived; the log ends with the previous one.
+      torn = true;
+      if (seg.offsets.empty()) {
+        fs_->DeleteFile(file);
+        continue;
+      }
+      fs_->WriteFile(file, seg.data);
+    }
+    tail = seg.last;
+    seg.sealed = true;  // recovered segments take no further appends
+    seg.data.clear();   // sealed: serve reads from the durable copy
+    seg.data.shrink_to_fit();
+    segments_.push_back(std::move(seg));
+  }
+  written_lsn_.store(tail, std::memory_order_release);
+  return Status::OK();
+}
+
+Status LogStore::Reopen() { return Open(); }
+
+void LogStore::StartSegmentLocked(Lsn first_lsn) {
+  Segment seg;
+  seg.first = first_lsn;
+  seg.last = first_lsn - 1;
+  seg.file = SegmentFileName(name_, first_lsn);
+  segments_.push_back(std::move(seg));
+}
+
+Lsn LogStore::Append(std::vector<std::string> records, bool durable) {
+  Lsn last;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (segments_.empty() || segments_.back().sealed) {
+      StartSegmentLocked(written_lsn_.load(std::memory_order_relaxed) + 1);
+    }
+    uint64_t bytes = 0;
+    std::string flush;  // frames not yet written through to the active file
+    for (std::string& payload : records) {
+      Segment* active = &segments_.back();
+      if (!active->offsets.empty() &&
+          active->data.size() >= options_.segment_bytes) {
+        // Roll over at a record boundary: flush what this batch added to the
+        // sealed segment, then open the next one. The sealed segment's
+        // in-memory mirror is dropped — the durable copy serves its reads.
+        if (!flush.empty()) {
+          fs_->AppendFile(active->file, flush);
+          flush.clear();
+        }
+        active->sealed = true;
+        active->data.clear();
+        active->data.shrink_to_fit();
+        StartSegmentLocked(active->last + 1);
+        active = &segments_.back();
+      }
+      bytes += payload.size();
+      active->offsets.push_back(static_cast<uint32_t>(active->data.size()));
+      AppendFrame(&active->data, payload);
+      flush.append(active->data, active->offsets.back(),
+                   active->data.size() - active->offsets.back());
+      active->last++;
+    }
+    if (!flush.empty()) fs_->AppendFile(segments_.back().file, flush);
+    fs_->AccountLogBytes(bytes);
+    last = segments_.back().last;
+  }
+  if (durable) fs_->SyncLog();
+  // Publish and notify: the "broadcast its up-to-date LSN" step of CALS
+  // (§5.1). Concurrent appenders may reach here out of order, hence the
+  // monotonic CAS.
+  Lsn prev = written_lsn_.load(std::memory_order_relaxed);
+  while (prev < last && !written_lsn_.compare_exchange_weak(
+                            prev, last, std::memory_order_release)) {
+  }
+  cv_.notify_all();
+  return last;
+}
+
+void LogStore::Sync() { fs_->SyncLog(); }
+
+Lsn LogStore::Read(Lsn from, Lsn to, std::vector<std::string>* out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  Lsn last = from;
+  if (segments_.empty()) return last;
+  const Lsn max_lsn = segments_.back().last;
+  if (to > max_lsn) to = max_lsn;
+  // Locate the first segment that may contain from+1 (segments are sorted).
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), from + 1,
+      [](Lsn lsn, const Segment& seg) { return lsn < seg.first; });
+  if (it != segments_.begin()) --it;
+  std::string loaded;
+  for (; it != segments_.end() && it->first <= to; ++it) {
+    const Lsn begin = std::max(from + 1, it->first);
+    const Lsn end = std::min(to, it->last);
+    if (begin > end) continue;
+    // Sealed segments keep no in-memory mirror; fetch the durable copy once
+    // per segment.
+    const std::string* data = &it->data;
+    if (it->sealed) {
+      if (!fs_->ReadFile(it->file, &loaded).ok()) continue;
+      data = &loaded;
+    }
+    for (Lsn lsn = begin; lsn <= end; ++lsn) {
+      const size_t idx = static_cast<size_t>(lsn - it->first);
+      const uint32_t off = it->offsets[idx];
+      const uint32_t len = GetFixed32(data->data() + off);
+      out->emplace_back(*data, off + kFrameHeader, len);
+      last = lsn;
+    }
+  }
+  return last;
+}
+
+void LogStore::Truncate(Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  bool recycled = false;
+  while (!segments_.empty() && segments_.front().sealed &&
+         segments_.front().last <= lsn) {
+    fs_->DeleteFile(segments_.front().file);
+    truncated_lsn_.store(segments_.front().last, std::memory_order_release);
+    segments_.pop_front();
+    segments_recycled_.fetch_add(1, std::memory_order_relaxed);
+    recycled = true;
+  }
+  if (recycled) {
+    std::string wm;
+    PutFixed64(&wm, truncated_lsn_.load(std::memory_order_relaxed));
+    fs_->WriteFile(WatermarkFileName(), std::move(wm));
+  }
+}
+
+Lsn LogStore::WaitFor(Lsn lsn, uint64_t timeout_us) const {
+  Lsn cur = written_lsn_.load(std::memory_order_acquire);
+  if (cur > lsn || timeout_us == 0) return cur;
+  std::unique_lock<std::mutex> l(mu_);
+  cv_.wait_for(l, std::chrono::microseconds(timeout_us), [&] {
+    return written_lsn_.load(std::memory_order_acquire) > lsn;
+  });
+  return written_lsn_.load(std::memory_order_acquire);
+}
+
+size_t LogStore::segment_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return segments_.size();
+}
+
+}  // namespace imci

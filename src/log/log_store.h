@@ -1,0 +1,136 @@
+#ifndef POLARDB_IMCI_LOG_LOG_STORE_H_
+#define POLARDB_IMCI_LOG_LOG_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace imci {
+
+class PolarFs;
+
+struct LogStoreOptions {
+  /// Soft cap on a segment's payload size. Appending never splits a record:
+  /// the active segment is sealed at the first record boundary at or past
+  /// this size, so segments can exceed it by at most one record.
+  size_t segment_bytes = 1 << 20;
+};
+
+/// A named, segmented, append-only log on shared storage (§3.1: the shared
+/// log is the only RW→RO channel). One LogStore instance per log name is
+/// shared by every node attached to the same PolarFs — obtain it through
+/// `PolarFs::log(name)` — which is what makes the notify-by-LSN broadcast
+/// (CALS, §5.1) work across nodes.
+///
+/// Layout: the log is a sequence of fixed-size segment files named
+/// `log/<name>/seg_<first-lsn>`, each holding checksum-framed records
+/// (`[len:4][hash:8][payload]`). LSNs are 1-based and dense across segments.
+/// Durability is write-through: every append lands in the segment file
+/// immediately; `durable` appends additionally account one fsync (with the
+/// PolarFs-simulated latency).
+///
+/// Recycling: `Truncate(lsn)` deletes whole sealed segments entirely at or
+/// below `lsn` — the checkpoint-driven space reclaim of §7 — and persists
+/// the truncation watermark so recovery knows where the log now begins.
+///
+/// Recovery: `Open()` (or `Reopen()` after a simulated crash) re-reads the
+/// segment files, verifies every frame checksum, stops at the first torn or
+/// corrupt frame — including a tear that lands exactly on a segment
+/// boundary — trims the damaged durable tail, and deletes any orphaned
+/// later segments.
+class LogStore {
+ public:
+  /// Does not recover; call Open() before use (PolarFs::log does both).
+  LogStore(PolarFs* fs, std::string name, LogStoreOptions options = {});
+
+  /// Scans the segment files and rebuilds the in-memory index, detecting and
+  /// trimming a torn tail. Idempotent.
+  Status Open();
+
+  /// Drops all in-memory state and recovers from the segment files again, as
+  /// a restarting node would. Tests simulate crashes by mutilating segment
+  /// files between appends and Reopen().
+  Status Reopen();
+
+  /// Appends a batch of records; returns the LSN of the last one. When
+  /// `durable`, accounts one fsync (the commit-path flush). Thread-safe;
+  /// LSN order == append order.
+  Lsn Append(std::vector<std::string> records, bool durable);
+
+  /// Explicit fsync of the log (group commit / the Binlog baseline's extra
+  /// flush). Accounting only — appends are already write-through.
+  void Sync();
+
+  /// Reads records with LSN in (from, to] into `out` (appended in order).
+  /// Recycled LSNs are skipped. Returns the LSN of the last record read.
+  Lsn Read(Lsn from, Lsn to, std::vector<std::string>* out) const;
+
+  /// Recycles storage: deletes every *sealed* segment whose records are all
+  /// <= `lsn` (segment-granular, so the cut never outruns `lsn`). The active
+  /// segment is never recycled. Persists the watermark.
+  void Truncate(Lsn lsn);
+
+  /// Highest LSN that has been appended.
+  Lsn written_lsn() const {
+    return written_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// All records at or below this LSN have been recycled.
+  Lsn truncated_lsn() const {
+    return truncated_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until written_lsn() > `lsn` or `timeout_us` elapsed. Returns the
+  /// current written LSN. Pass timeout 0 for a non-blocking poll.
+  Lsn WaitFor(Lsn lsn, uint64_t timeout_us) const;
+
+  const std::string& name() const { return name_; }
+  size_t segment_count() const;
+  uint64_t segments_recycled() const { return segments_recycled_.load(); }
+
+  /// Durable file name of the segment starting at `first_lsn` (exposed so
+  /// tests can mutilate exactly the segment they mean to).
+  static std::string SegmentFileName(const std::string& log_name,
+                                     Lsn first_lsn);
+
+ private:
+  struct Segment {
+    Lsn first = 0;  // LSN of the first record
+    Lsn last = 0;   // LSN of the last record (first - 1 when empty)
+    bool sealed = false;
+    std::string file;  // durable file name
+    /// Framed records, mirror of the file — only while the segment is
+    /// active. Sealed segments drop the mirror and are served from the
+    /// single durable copy, so log bytes are not held twice.
+    std::string data;
+    std::vector<uint32_t> offsets;  // frame start offset per record
+  };
+
+  void StartSegmentLocked(Lsn first_lsn);
+  std::string WatermarkFileName() const;
+  /// Parses `data` frames into `seg`; returns false when a torn/corrupt
+  /// frame cut the scan short (seg holds the good prefix).
+  static bool ParseSegment(const std::string& data, Segment* seg);
+
+  PolarFs* fs_;
+  const std::string name_;
+  const LogStoreOptions options_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::deque<Segment> segments_;  // ascending LSN; back() is active
+  std::atomic<Lsn> written_lsn_{0};
+  std::atomic<Lsn> truncated_lsn_{0};
+  std::atomic<uint64_t> segments_recycled_{0};
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_LOG_LOG_STORE_H_

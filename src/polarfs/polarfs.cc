@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "log/log_store.h"
+
 namespace imci {
 
 namespace {
@@ -20,66 +22,29 @@ void SimulateLatency(uint32_t us) {
 
 PolarFs::PolarFs() : PolarFs(Options{}) {}
 PolarFs::PolarFs(Options options) : options_(options) {}
+PolarFs::~PolarFs() = default;
 
-Lsn PolarFs::AppendLog(std::vector<std::string> records, bool durable) {
-  Lsn last;
-  {
-    std::lock_guard<std::mutex> g(log_mu_);
-    for (auto& r : records) {
-      log_bytes_.fetch_add(r.size(), std::memory_order_relaxed);
-      log_.push_back(std::move(r));
-    }
-    last = log_base_ + log_.size();
+LogStore* PolarFs::log(const std::string& name) {
+  std::lock_guard<std::mutex> g(logs_mu_);
+  auto it = logs_.find(name);
+  if (it == logs_.end()) {
+    LogStoreOptions opts;
+    opts.segment_bytes = options_.log_segment_bytes;
+    auto store = std::make_unique<LogStore>(this, name, opts);
+    store->Open();  // recovery over an in-memory fs cannot fail
+    it = logs_.emplace(name, std::move(store)).first;
   }
-  if (durable) {
-    fsyncs_.fetch_add(1, std::memory_order_relaxed);
-    SimulateLatency(options_.fsync_latency_us);
-  }
-  // Publish and notify: this is the "broadcast its up-to-date LSN" step of
-  // CALS (§5.1).
-  Lsn prev = written_lsn_.load(std::memory_order_relaxed);
-  while (prev < last &&
-         !written_lsn_.compare_exchange_weak(prev, last,
-                                             std::memory_order_release)) {
-  }
-  log_cv_.notify_all();
-  return last;
+  return it->second.get();
+}
+
+void PolarFs::ReopenLogs() {
+  std::lock_guard<std::mutex> g(logs_mu_);
+  for (auto& [name, store] : logs_) store->Reopen();
 }
 
 void PolarFs::SyncLog() {
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   SimulateLatency(options_.fsync_latency_us);
-}
-
-Lsn PolarFs::WaitForLog(Lsn lsn, uint64_t timeout_us) const {
-  Lsn cur = written_lsn_.load(std::memory_order_acquire);
-  if (cur > lsn || timeout_us == 0) return cur;
-  std::unique_lock<std::mutex> l(log_mu_);
-  log_cv_.wait_for(l, std::chrono::microseconds(timeout_us), [&] {
-    return written_lsn_.load(std::memory_order_acquire) > lsn;
-  });
-  return written_lsn_.load(std::memory_order_acquire);
-}
-
-Lsn PolarFs::ReadLog(Lsn from, Lsn to, std::vector<std::string>* out) const {
-  std::lock_guard<std::mutex> g(log_mu_);
-  Lsn max_lsn = log_base_ + log_.size();
-  if (to > max_lsn) to = max_lsn;
-  Lsn last = from;
-  for (Lsn lsn = from + 1; lsn <= to; ++lsn) {
-    if (lsn <= log_base_) continue;  // truncated prefix
-    out->push_back(log_[lsn - log_base_ - 1]);
-    last = lsn;
-  }
-  return last;
-}
-
-void PolarFs::TruncateLogPrefix(Lsn lsn) {
-  std::lock_guard<std::mutex> g(log_mu_);
-  while (log_base_ < lsn && !log_.empty()) {
-    log_.pop_front();
-    log_base_++;
-  }
 }
 
 Status PolarFs::WritePage(PageId id, std::string image) {
@@ -115,6 +80,12 @@ std::vector<PageId> PolarFs::ListPages() const {
 Status PolarFs::WriteFile(const std::string& name, std::string data) {
   std::lock_guard<std::mutex> g(file_mu_);
   files_[name] = std::move(data);
+  return Status::OK();
+}
+
+Status PolarFs::AppendFile(const std::string& name, const std::string& data) {
+  std::lock_guard<std::mutex> g(file_mu_);
+  files_[name].append(data);
   return Status::OK();
 }
 

@@ -2,9 +2,7 @@
 #define POLARDB_IMCI_POLARFS_POLARFS_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,17 +15,25 @@
 
 namespace imci {
 
+class LogStore;
+struct LogStoreOptions;
+
 /// Simulation of PolarFS (§3.1), the shared distributed file system that all
 /// computation nodes attach to. It is the *only* channel between the RW node
-/// and RO nodes: REDO log entries, data pages, and checkpoints all flow
-/// through here, exactly as in the paper's architecture (Figure 2/5).
+/// and RO nodes: REDO log entries, binlog records, data pages, and
+/// checkpoints all flow through here, exactly as in the paper's architecture
+/// (Figure 2/5).
 ///
 /// Substitution note (DESIGN.md §2): the real PolarFS is a user-space
 /// distributed filesystem over RDMA. This in-process equivalent preserves the
-/// protocol-visible behaviour — notify-by-LSN log shipping, page persistence,
-/// named checkpoint files — and adds fsync / IO accounting plus optional
-/// injected latency so the perturbation experiments (Fig. 11) measure the
-/// same costs the paper attributes to extra logical logging.
+/// protocol-visible behaviour — named blobs, page persistence, append-only
+/// log segments — and adds fsync / IO accounting plus optional injected
+/// latency so the perturbation experiments (Fig. 11) measure the same costs
+/// the paper attributes to extra logical logging.
+///
+/// Durable logging itself lives in `LogStore` (src/log): PolarFs only hosts
+/// the per-name log directory (`log(name)`), the segment files, and the
+/// fsync accounting the log stores charge against.
 class PolarFs {
  public:
   struct Options {
@@ -36,38 +42,31 @@ class PolarFs {
     uint32_t fsync_latency_us = 0;
     /// Simulated latency per page read (cold read from shared storage).
     uint32_t page_read_latency_us = 0;
+    /// Soft segment size for logs opened through log() (see LogStore).
+    size_t log_segment_bytes = 1 << 20;
   };
 
   PolarFs();
   explicit PolarFs(Options options);
+  ~PolarFs();
 
-  // --- Log store -----------------------------------------------------------
-  // An append-only shared log. The RW node's RedoWriter appends serialized
-  // entries; LSNs are 1-based and dense. After a durable append the writer
-  // broadcasts its up-to-date LSN and ROs wake up (§5.1, CALS).
+  // --- Log directory -------------------------------------------------------
+  // Named append-only logs ("redo", "binlog", ...), each a shared segmented
+  // LogStore over this filesystem's segment files. One instance per name is
+  // shared by every attached node, which is what carries the notify-by-LSN
+  // broadcast (§5.1, CALS) across nodes.
 
-  /// Appends a batch of records; returns the LSN of the last record.
-  /// If `durable` is true, accounts one fsync (with simulated latency).
-  Lsn AppendLog(std::vector<std::string> records, bool durable);
+  /// Opens (recovering if needed) or returns the shared log named `name`.
+  LogStore* log(const std::string& name);
 
-  /// Explicit fsync of the log (used by group commit and by the Binlog
-  /// baseline's extra flush).
+  /// Re-runs recovery on every open log from its segment files, as a
+  /// restarting cluster would — used to simulate crashes after tests
+  /// mutilate segment files. LogStore pointers remain valid.
+  void ReopenLogs();
+
+  /// Accounts one fsync (with simulated latency). Called by LogStore on
+  /// durable appends and explicit syncs.
   void SyncLog();
-
-  /// Highest LSN that has been appended.
-  Lsn written_lsn() const { return written_lsn_.load(std::memory_order_acquire); }
-
-  /// Blocks until written_lsn() > `lsn` or `timeout_us` elapsed. Returns the
-  /// current written LSN. Pass timeout 0 for a non-blocking poll.
-  Lsn WaitForLog(Lsn lsn, uint64_t timeout_us) const;
-
-  /// Reads log records with LSN in (from, to] into `out` (appended in order).
-  /// Returns the LSN of the last record read.
-  Lsn ReadLog(Lsn from, Lsn to, std::vector<std::string>* out) const;
-
-  /// Truncates the in-memory prefix of the log up to `lsn` (space reclaim
-  /// after checkpoints). Reads below the truncation point fail.
-  void TruncateLogPrefix(Lsn lsn);
 
   // --- Page store ----------------------------------------------------------
   // Persistent home of row-store pages (the RW checkpoint / flush target,
@@ -79,9 +78,12 @@ class PolarFs {
   std::vector<PageId> ListPages() const;
 
   // --- File store ----------------------------------------------------------
-  // Named blobs: column-index checkpoints, pack spills.
+  // Named blobs: column-index checkpoints, pack spills, log segments.
 
   Status WriteFile(const std::string& name, std::string data);
+  /// Appends to a named blob, creating it when absent (POSIX O_APPEND — the
+  /// write path of log segments).
+  Status AppendFile(const std::string& name, const std::string& data);
   Status ReadFile(const std::string& name, std::string* data) const;
   Status DeleteFile(const std::string& name);
   std::vector<std::string> ListFiles(const std::string& prefix) const;
@@ -91,16 +93,16 @@ class PolarFs {
   uint64_t log_bytes() const { return log_bytes_.load(); }
   uint64_t page_reads() const { return page_reads_.load(); }
   uint64_t page_writes() const { return page_writes_.load(); }
+  void AccountLogBytes(uint64_t n) {
+    log_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
   void ResetCounters();
 
  private:
   Options options_;
 
-  mutable std::mutex log_mu_;
-  mutable std::condition_variable log_cv_;
-  std::deque<std::string> log_;  // record at index i has LSN log_base_ + i + 1
-  Lsn log_base_ = 0;             // number of truncated records
-  std::atomic<Lsn> written_lsn_{0};
+  std::mutex logs_mu_;
+  std::map<std::string, std::unique_ptr<LogStore>> logs_;
 
   mutable std::mutex page_mu_;
   std::unordered_map<PageId, std::string> pages_;

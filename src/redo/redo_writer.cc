@@ -17,7 +17,7 @@ Lsn RedoWriter::Append(std::vector<RedoRecord*> records, bool durable) {
       r->Serialize(&buf);
       serialized.push_back(std::move(buf));
     }
-    last = fs_->AppendLog(std::move(serialized), durable);
+    last = log_->Append(std::move(serialized), durable);
     last_lsn_.store(last, std::memory_order_release);
   }
   return last;
@@ -25,7 +25,7 @@ Lsn RedoWriter::Append(std::vector<RedoRecord*> records, bool durable) {
 
 Lsn RedoReader::Read(Lsn from, Lsn to, std::vector<RedoRecord>* out) const {
   std::vector<std::string> raw;
-  Lsn last = fs_->ReadLog(from, to, &raw);
+  Lsn last = log_->Read(from, to, &raw);
   out->reserve(out->size() + raw.size());
   for (const std::string& buf : raw) {
     RedoRecord rec;

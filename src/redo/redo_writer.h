@@ -5,22 +5,24 @@
 #include <mutex>
 #include <vector>
 
-#include "polarfs/polarfs.h"
+#include "log/log_store.h"
 #include "redo/redo_record.h"
 
 namespace imci {
 
-/// Appends REDO records to the shared log on PolarFS. DML records of an
-/// in-flight transaction are appended *eagerly* (non-durably) so that CALS
-/// can ship them before commit; the commit record append is durable (one
-/// fsync on the commit path — the only logging fsync the RW pays, which is
-/// exactly the property the Binlog baseline destroys, Fig. 11).
+/// Appends REDO records to the shared "redo" log on PolarFS. DML records of
+/// an in-flight transaction are appended *eagerly* (non-durably) so that
+/// CALS can ship them before commit; the commit record append is durable
+/// (one fsync on the commit path — the only logging fsync the RW pays, which
+/// is exactly the property the Binlog baseline destroys, Fig. 11).
 ///
 /// Thread-safe: many transaction threads append concurrently; LSNs are
-/// assigned under the append lock, so LSN order == log order.
+/// assigned under the append lock, so LSN order == log order. A writer
+/// attached after recovery continues from the log's recovered tail.
 class RedoWriter {
  public:
-  explicit RedoWriter(PolarFs* fs) : fs_(fs) {}
+  explicit RedoWriter(LogStore* log)
+      : log_(log), last_lsn_(log->written_lsn()) {}
 
   /// Assigns LSNs to `records`, serializes and appends them. Returns the LSN
   /// of the last appended record. `durable` forces an fsync (commit/abort).
@@ -34,23 +36,23 @@ class RedoWriter {
   Lsn last_lsn() const { return last_lsn_.load(std::memory_order_acquire); }
 
  private:
-  PolarFs* fs_;
+  LogStore* log_;
   std::mutex mu_;
-  std::atomic<Lsn> last_lsn_{0};
+  std::atomic<Lsn> last_lsn_;
 };
 
 /// Reads and deserializes REDO records from the shared log; used by RO nodes'
 /// CALS receivers.
 class RedoReader {
  public:
-  explicit RedoReader(const PolarFs* fs) : fs_(fs) {}
+  explicit RedoReader(const LogStore* log) : log_(log) {}
 
   /// Reads records with LSN in (from, to]; appends to `out`. Returns the last
   /// LSN read (== from when nothing new).
   Lsn Read(Lsn from, Lsn to, std::vector<RedoRecord>* out) const;
 
  private:
-  const PolarFs* fs_;
+  const LogStore* log_;
 };
 
 }  // namespace imci

@@ -18,9 +18,13 @@ ReplicationPipeline::ReplicationPipeline(PolarFs* fs, const Catalog* catalog,
       imci_(imci),
       pool_(pool),
       options_(options),
+      source_log_(fs->log(options.source == ApplySource::kRedoReuse
+                              ? "redo"
+                              : "binlog")),
       parser_(catalog, ro_pool, pool, options.parse_parallelism,
               replica_engine),
-      reader_(fs) {}
+      reader_(fs->log("redo")),
+      logical_(fs->log("binlog"), catalog) {}
 
 ReplicationPipeline::~ReplicationPipeline() { Stop(); }
 
@@ -39,8 +43,8 @@ void ReplicationPipeline::Stop() {
 
 void ReplicationPipeline::CoordinatorLoop() {
   while (running_.load(std::memory_order_acquire)) {
-    fs_->WaitForLog(read_lsn_.load(std::memory_order_acquire),
-                    options_.poll_timeout_us);
+    source_log_->WaitFor(read_lsn_.load(std::memory_order_acquire),
+                         options_.poll_timeout_us);
     PollOnce();
     uint64_t ckpt = checkpoint_request_.exchange(0);
     if (ckpt != 0) TakeCheckpoint(ckpt);
@@ -48,20 +52,146 @@ void ReplicationPipeline::CoordinatorLoop() {
 }
 
 uint64_t ReplicationPipeline::LsnDelay() const {
-  const Lsn written = fs_->written_lsn();
+  const Lsn written = source_log_->written_lsn();
   const Lsn read = read_lsn_.load(std::memory_order_acquire);
   return written > read ? written - read : 0;
 }
 
-Lsn ReplicationPipeline::MinInflightLsn() const {
-  Lsn min = read_lsn_.load(std::memory_order_acquire);
+std::string ReplicationPipeline::SerializeInflight() const {
+  // Layout: u32 ntxns, then per transaction: tid, first_lsn, pre_committed,
+  // the buffered DMLs (rows encoded with the table's RowCodec; deletes have
+  // an empty row), and the pre-committed residue ops.
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(txn_buffers_.size()));
   for (const auto& [tid, buf] : txn_buffers_) {
-    if (buf->first_lsn != 0) min = std::min(min, buf->first_lsn - 1);
+    PutFixed64(&out, buf->tid);
+    PutFixed64(&out, buf->first_lsn);
+    out.push_back(buf->pre_committed ? 1 : 0);
+    PutFixed32(&out, static_cast<uint32_t>(buf->dmls.size()));
+    for (const LogicalDml& dml : buf->dmls) {
+      out.push_back(static_cast<char>(dml.op));
+      PutFixed32(&out, dml.table_id);
+      PutFixed64(&out, dml.lsn);
+      PutFixed64(&out, static_cast<uint64_t>(dml.pk));
+      std::string row;
+      if (!dml.row.empty()) {
+        auto schema = catalog_->Get(dml.table_id);
+        if (schema) RowCodec::Encode(*schema, dml.row, &row);
+      }
+      PutFixed32(&out, static_cast<uint32_t>(row.size()));
+      out.append(row);
+    }
+    PutFixed32(&out, static_cast<uint32_t>(buf->pre_ops.size()));
+    for (const TxnBuffer::PreOp& op : buf->pre_ops) {
+      out.push_back(op.is_delete ? 1 : 0);
+      PutFixed32(&out, op.table_id);
+      PutFixed64(&out, static_cast<uint64_t>(op.pk));
+      PutFixed64(&out, op.rid);
+    }
   }
-  return min;
+  return out;
+}
+
+Status ReplicationPipeline::RestoreInflight(const std::string& blob) {
+  if (blob.empty()) return Status::OK();
+  size_t pos = 0;
+  auto need = [&](size_t n) { return pos + n <= blob.size(); };
+  if (!need(4)) return Status::Corruption("inflight header");
+  const uint32_t ntxns = GetFixed32(blob.data());
+  pos = 4;
+  for (uint32_t t = 0; t < ntxns; ++t) {
+    if (!need(8 + 8 + 1 + 4)) return Status::Corruption("inflight txn");
+    auto buf = std::make_shared<TxnBuffer>();
+    buf->tid = GetFixed64(blob.data() + pos);
+    pos += 8;
+    buf->first_lsn = GetFixed64(blob.data() + pos);
+    pos += 8;
+    buf->pre_committed = blob[pos++] != 0;
+    const uint32_t ndmls = GetFixed32(blob.data() + pos);
+    pos += 4;
+    buf->dmls.reserve(ndmls);
+    for (uint32_t i = 0; i < ndmls; ++i) {
+      if (!need(1 + 4 + 8 + 8 + 4)) return Status::Corruption("inflight dml");
+      LogicalDml dml;
+      dml.op = static_cast<LogicalDml::Op>(blob[pos++]);
+      dml.table_id = GetFixed32(blob.data() + pos);
+      pos += 4;
+      dml.lsn = GetFixed64(blob.data() + pos);
+      pos += 8;
+      dml.pk = static_cast<int64_t>(GetFixed64(blob.data() + pos));
+      pos += 8;
+      dml.tid = buf->tid;
+      const uint32_t rowlen = GetFixed32(blob.data() + pos);
+      pos += 4;
+      if (!need(rowlen)) return Status::Corruption("inflight row");
+      if (rowlen > 0) {
+        auto schema = catalog_->Get(dml.table_id);
+        if (!schema) return Status::Corruption("inflight table");
+        IMCI_RETURN_NOT_OK(
+            RowCodec::Decode(*schema, blob.data() + pos, rowlen, &dml.row));
+      }
+      pos += rowlen;
+      buf->dmls.push_back(std::move(dml));
+    }
+    if (!need(4)) return Status::Corruption("inflight pre count");
+    const uint32_t npre = GetFixed32(blob.data() + pos);
+    pos += 4;
+    buf->pre_ops.reserve(npre);
+    for (uint32_t i = 0; i < npre; ++i) {
+      if (!need(1 + 4 + 8 + 8)) return Status::Corruption("inflight pre op");
+      TxnBuffer::PreOp op;
+      op.is_delete = blob[pos++] != 0;
+      op.table_id = GetFixed32(blob.data() + pos);
+      pos += 4;
+      op.pk = static_cast<int64_t>(GetFixed64(blob.data() + pos));
+      pos += 8;
+      op.rid = GetFixed64(blob.data() + pos);
+      pos += 8;
+      buf->pre_ops.push_back(op);
+    }
+    txn_buffers_[buf->tid] = std::move(buf);
+  }
+  return pos == blob.size() ? Status::OK()
+                            : Status::Corruption("inflight trailer");
 }
 
 Status ReplicationPipeline::PollOnce() {
+  Status s = options_.source == ApplySource::kRedoReuse ? PollRedoOnce()
+                                                        : PollLogicalOnce();
+  if (!s.ok()) return s;
+  if (++polls_since_maintenance_ >= options_.maintenance_interval) {
+    polls_since_maintenance_ = 0;
+    RunMaintenance();
+  }
+  return Status::OK();
+}
+
+Status ReplicationPipeline::PollLogicalOnce() {
+  // The strawman's Phase#1: one binlog record == one committed transaction,
+  // already in commit order, no commit-ahead buffering possible.
+  const Lsn from = read_lsn_.load(std::memory_order_acquire);
+  std::vector<LogicalTxn> txns;
+  const Lsn to = logical_.Poll(from, options_.chunk_records, &txns);
+  if (to == from) return Status::OK();
+  std::vector<CommittedTxn> batch;
+  batch.reserve(txns.size());
+  for (LogicalTxn& lt : txns) {
+    if (lt.vid <= options_.skip_vids_upto) continue;  // in the checkpoint
+    CommittedTxn txn;
+    txn.buffer = std::make_shared<TxnBuffer>();
+    txn.buffer->tid = lt.tid;
+    txn.buffer->dmls = std::move(lt.dmls);
+    txn.vid = lt.vid;
+    txn.commit_ts_us = lt.commit_ts_us;
+    txn.lsn = lt.lsn;
+    batch.push_back(std::move(txn));
+  }
+  if (!batch.empty()) ApplyBatch(batch);
+  read_lsn_.store(to, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ReplicationPipeline::PollRedoOnce() {
   const Lsn from = read_lsn_.load(std::memory_order_acquire);
   std::vector<RedoRecord> records;
   const Lsn to = reader_.Read(from, from + options_.chunk_records, &records);
@@ -118,11 +248,6 @@ Status ReplicationPipeline::PollOnce() {
   // Publish the consumed position only after the batch landed, so
   // "read_lsn >= X" implies everything committed at or before X is visible.
   read_lsn_.store(to, std::memory_order_release);
-
-  if (++polls_since_maintenance_ >= options_.maintenance_interval) {
-    polls_since_maintenance_ = 0;
-    RunMaintenance();
-  }
   return Status::OK();
 }
 
@@ -275,10 +400,15 @@ void ReplicationPipeline::RunMaintenance() {
 
 Status ReplicationPipeline::TakeCheckpoint(uint64_t ckpt_id) {
   // Quiesced at a batch boundary: applied state == applied_vid exactly.
+  // The page flush below stamps replica pages with LSNs up to read_lsn, so
+  // a booting node cannot re-reconstruct DMLs from records at or below it
+  // (the parser's page-LSN skip) — in-flight transactions' buffered DMLs
+  // must travel with the checkpoint instead, and replay starts at read_lsn.
   IMCI_RETURN_NOT_OK(ro_pool_->FlushAllResident());
   const Vid csn = applied_vid_.load(std::memory_order_acquire);
-  const Lsn start_lsn = MinInflightLsn();
-  return ImciCheckpoint::WriteSnapshot(*imci_, csn, start_lsn, fs_, ckpt_id);
+  const Lsn start_lsn = read_lsn_.load(std::memory_order_acquire);
+  return ImciCheckpoint::WriteSnapshot(*imci_, csn, start_lsn, fs_, ckpt_id,
+                                       SerializeInflight());
 }
 
 void ReplicationPipeline::RequestCheckpoint(uint64_t ckpt_id) {

@@ -11,14 +11,29 @@
 #include "common/thread_pool.h"
 #include "imci/checkpoint.h"
 #include "imci/column_index.h"
+#include "log/log_store.h"
 #include "redo/redo_writer.h"
+#include "replication/logical_apply.h"
 #include "replication/logical_dml.h"
 #include "replication/redo_parser.h"
 #include "rowstore/buffer_pool.h"
 
 namespace imci {
 
+/// Which shared log Phase#1 consumes — the two arms of Fig. 11.
+enum class ApplySource : uint8_t {
+  /// Physical REDO reuse (the paper's design): Phase#1 replays pages and
+  /// reconstructs logical DMLs from the "redo" log.
+  kRedoReuse = 0,
+  /// Logical binlog strawman, end-to-end: Phase#1 decodes committed
+  /// transactions from the "binlog" log (LogicalApplySource).
+  kLogicalBinlog = 1,
+};
+
 struct ReplicationOptions {
+  /// Which log this node's pipeline tails. Logical-binlog nodes skip CALS
+  /// and the row-replica maintenance (the binlog carries no page changes).
+  ApplySource source = ApplySource::kRedoReuse;
   int parse_parallelism = 4;   // Phase#1 workers (page-grained)
   int apply_parallelism = 4;   // Phase#2 workers (row-grained)
   size_t chunk_records = 8192; // max records fetched per poll
@@ -71,6 +86,10 @@ class ReplicationPipeline {
   Vid applied_vid() const { return applied_vid_.load(std::memory_order_acquire); }
   /// LSN up to which the log has been consumed.
   Lsn read_lsn() const { return read_lsn_.load(std::memory_order_acquire); }
+  /// Which log this pipeline consumes, and its current written tail. LSNs
+  /// (read_lsn/applied_lsn) are in that log's LSN space.
+  ApplySource source() const { return options_.source; }
+  Lsn source_written_lsn() const { return source_log_->written_lsn(); }
   /// LSN of the last applied commit record.
   Lsn applied_lsn() const { return applied_lsn_.load(std::memory_order_acquire); }
   /// Shipped-but-unconsumed backlog (Fig. 14's "LSN delay").
@@ -87,13 +106,27 @@ class ReplicationPipeline {
 
   /// Takes a checkpoint at the current applied state (RO-leader duty, §7):
   /// flushes this node's row-store pages (with their page LSNs), then
-  /// persists all column indexes at CSN = applied_vid. Runs quiesced: call
-  /// from the coordinator thread context or while the pipeline is stopped;
-  /// PollOnce-driven tests may call it directly between polls.
+  /// persists all column indexes at CSN = applied_vid plus the in-flight
+  /// transaction buffers (CALS has already shipped their DMLs; the flushed
+  /// pages make those records unreplayable for a booting node, so the
+  /// buffers must travel with the checkpoint). start_lsn is therefore
+  /// exactly read_lsn. Runs quiesced: call from the coordinator thread
+  /// context or while the pipeline is stopped; PollOnce-driven tests may
+  /// call it directly between polls.
   Status TakeCheckpoint(uint64_t ckpt_id);
+
+  /// Restores in-flight transaction buffers persisted by a checkpoint.
+  /// Call after Boot's LoadLatest and before Start/PollOnce.
+  Status RestoreInflight(const std::string& blob);
 
   /// Requests the coordinator to take a checkpoint at the next boundary.
   void RequestCheckpoint(uint64_t ckpt_id);
+
+  /// Sets the checkpoint filter (transactions with commit VID <= `csn` are
+  /// already folded into the booted state). Must be called before Start —
+  /// the pipeline holds its own copy of the options, so writing the
+  /// RoNodeOptions after construction has no effect.
+  void set_skip_vids_upto(Vid csn) { options_.skip_vids_upto = csn; }
 
  private:
   struct CommittedTxn {
@@ -104,11 +137,13 @@ class ReplicationPipeline {
   };
 
   void CoordinatorLoop();
+  Status PollRedoOnce();
+  Status PollLogicalOnce();
   void DeliverDmls(std::vector<LogicalDml>&& dmls);
   void MaybePreCommit(const std::shared_ptr<TxnBuffer>& buf);
   void ApplyBatch(std::vector<CommittedTxn>& batch);
   void RunMaintenance();
-  Lsn MinInflightLsn() const;
+  std::string SerializeInflight() const;
 
   PolarFs* fs_;
   const Catalog* catalog_;
@@ -116,8 +151,10 @@ class ReplicationPipeline {
   ImciStore* imci_;
   ThreadPool* pool_;
   ReplicationOptions options_;
+  LogStore* source_log_;  // the log this pipeline tails (redo or binlog)
   RedoParser parser_;
   RedoReader reader_;
+  LogicalApplySource logical_;
 
   std::unordered_map<Tid, std::shared_ptr<TxnBuffer>> txn_buffers_;
   std::vector<CommittedTxn> delayed_;  // CALS-off emulation

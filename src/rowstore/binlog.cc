@@ -1,31 +1,17 @@
 #include "rowstore/binlog.h"
 
-#include <algorithm>
-#include <cstdlib>
-
 #include "common/coding.h"
 
 namespace imci {
 
-namespace {
-const std::string kBinlogPrefix = "binlog/";
-}  // namespace
+BinlogWriter::BinlogWriter(LogStore* log) : log_(log) {}
 
-BinlogWriter::BinlogWriter(PolarFs* fs) : fs_(fs) {
-  // Resume after the highest existing record so a writer attached to a
-  // recovered log appends instead of overwriting replayed history.
-  uint64_t max_seq = 0;
-  for (const std::string& name : fs_->ListFiles(kBinlogPrefix)) {
-    const uint64_t seq =
-        std::strtoull(name.c_str() + kBinlogPrefix.size(), nullptr, 10);
-    max_seq = std::max(max_seq, seq);
-  }
-  next_seq_ = max_seq + 1;
-}
-
-void BinlogWriter::CommitTxn(Tid tid, const std::vector<Event>& events) {
+void BinlogWriter::CommitTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
+                             const std::vector<Event>& events) {
   std::string buf;
   PutFixed64(&buf, tid);
+  PutFixed64(&buf, vid);
+  PutFixed64(&buf, commit_ts_us);
   PutFixed32(&buf, static_cast<uint32_t>(events.size()));
   for (const Event& e : events) {
     buf.push_back(static_cast<char>(e.op));
@@ -40,28 +26,30 @@ void BinlogWriter::CommitTxn(Tid tid, const std::vector<Event>& events) {
   {
     // Binlog writes are serialized (MySQL's binlog group commit mutex) and
     // pay their own durable flush — the extra fsync the paper blames for the
-    // Binlog baseline's OLTP loss. The sequence number is assigned under the
-    // same mutex so file order equals commit order.
+    // Binlog baseline's OLTP loss. The sequence number (binlog LSN) is
+    // assigned under the same mutex so log order equals commit order.
     std::lock_guard<std::mutex> g(mu_);
-    fs_->WriteFile(kBinlogPrefix + std::to_string(next_seq_++),
-                   std::move(buf));
-    fs_->SyncLog();
+    log_->Append({std::move(buf)}, /*durable=*/true);
   }
 }
 
-bool BinlogWriter::DecodeTxn(const std::string& data, Tid* tid,
+bool BinlogWriter::DecodeTxn(const std::string& data, Tid* tid, Vid* vid,
+                             uint64_t* commit_ts_us,
                              std::vector<Event>* events) {
-  // Layout: tid(8) count(4) events... checksum(8). The checksum covers
-  // everything before it.
-  if (data.size() < 8 + 4 + 8) return false;
+  // Layout: tid(8) vid(8) ts(8) count(4) events... checksum(8). The
+  // checksum covers everything before it.
+  constexpr size_t kHeader = 8 + 8 + 8 + 4;
+  if (data.size() < kHeader + 8) return false;
   const size_t body = data.size() - 8;
   if (GetFixed64(data.data() + body) != HashBytes(data.data(), body)) {
     return false;
   }
   *tid = GetFixed64(data.data());
-  const uint32_t count = GetFixed32(data.data() + 8);
+  *vid = GetFixed64(data.data() + 8);
+  *commit_ts_us = GetFixed64(data.data() + 16);
+  const uint32_t count = GetFixed32(data.data() + 24);
   events->clear();
-  size_t off = 12;
+  size_t off = kHeader;
   for (uint32_t i = 0; i < count; ++i) {
     if (off + 1 + 4 + 8 + 4 > body) return false;
     Event e;
@@ -82,17 +70,25 @@ bool BinlogWriter::DecodeTxn(const std::string& data, Tid* tid,
 }
 
 size_t BinlogWriter::Replay(
-    PolarFs* fs,
-    const std::function<void(Tid, const std::vector<Event>&)>& fn) {
+    LogStore* log,
+    const std::function<void(Tid, Vid, const std::vector<Event>&)>& fn) {
   size_t recovered = 0;
-  for (uint64_t seq = 1;; ++seq) {
-    std::string data;
-    if (!fs->ReadFile(kBinlogPrefix + std::to_string(seq), &data).ok()) break;
-    Tid tid = 0;
-    std::vector<Event> events;
-    if (!DecodeTxn(data, &tid, &events)) break;  // torn tail: stop here
-    fn(tid, events);
-    ++recovered;
+  Lsn from = log->truncated_lsn();
+  const Lsn to = log->written_lsn();
+  while (from < to) {
+    std::vector<std::string> raw;
+    const Lsn last = log->Read(from, std::min(to, from + 1024), &raw);
+    if (last == from) break;
+    from = last;
+    for (const std::string& data : raw) {
+      Tid tid = 0;
+      Vid vid = 0;
+      uint64_t ts = 0;
+      std::vector<Event> events;
+      if (!DecodeTxn(data, &tid, &vid, &ts, &events)) return recovered;
+      fn(tid, vid, events);
+      ++recovered;
+    }
   }
   return recovered;
 }

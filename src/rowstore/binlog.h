@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "common/row.h"
-#include "polarfs/polarfs.h"
+#include "log/log_store.h"
 
 namespace imci {
 
@@ -19,16 +19,20 @@ namespace imci {
 /// full logical row images, inflating commit-path latency and log volume.
 ///
 /// The Fig. 11 bench runs the same OLTP workload once with REDO reuse
-/// (BinlogWriter disabled) and once with this writer enabled.
+/// (BinlogWriter disabled) and once with this writer feeding the RO's
+/// logical-apply pipeline end-to-end.
 ///
-/// Each committed transaction is one durable record `binlog/<seq>` (seq is
-/// dense, 1-based) framed with a trailing checksum, so replay can detect the
-/// torn tail a crash leaves behind and stop there.
+/// Each committed transaction is one durable record in the shared "binlog"
+/// LogStore (seq == binlog LSN, dense and 1-based). The record carries the
+/// commit VID and timestamp so a logical-apply consumer reproduces the same
+/// visibility order the REDO path does, plus a trailing checksum so replay
+/// detects in-record corruption even when the segment frame passes.
 class BinlogWriter {
  public:
-  /// Attaches to `fs`, continuing after any binlog records already present
-  /// (a writer created post-recovery must not overwrite replayed history).
-  explicit BinlogWriter(PolarFs* fs);
+  /// Attaches to the shared binlog, continuing after any records already
+  /// present (a writer created post-recovery must not overwrite replayed
+  /// history — the LogStore's recovered tail is the resume point).
+  explicit BinlogWriter(LogStore* log);
 
   struct Event {
     enum class Op : uint8_t { kInsert, kUpdate, kDelete } op;
@@ -38,28 +42,34 @@ class BinlogWriter {
   };
 
   /// Serializes and durably appends one transaction's events (one fsync).
-  void CommitTxn(Tid tid, const std::vector<Event>& events);
+  /// `vid`/`commit_ts_us` are the commit sequence number and RW commit
+  /// wall-clock, recorded so logical apply assigns the same read-view VIDs
+  /// as REDO reuse.
+  void CommitTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
+                 const std::vector<Event>& events);
 
   /// Replays the durable binlog in commit order, invoking `fn` once per
-  /// fully-recovered transaction. Stops at the first missing, truncated, or
-  /// corrupt record (the crash tail) and returns the number of transactions
-  /// delivered. Static so a recovering process can replay without a writer.
+  /// fully-recovered transaction. Stops at the first corrupt record (the
+  /// LogStore already trims torn tails at open) and returns the number of
+  /// transactions delivered. Static so a recovering process can replay
+  /// without a writer.
   static size_t Replay(
-      PolarFs* fs,
-      const std::function<void(Tid, const std::vector<Event>&)>& fn);
+      LogStore* log,
+      const std::function<void(Tid, Vid, const std::vector<Event>&)>& fn);
 
   /// Decodes one serialized transaction record. Returns false (leaving the
   /// outputs unspecified) on truncation or checksum mismatch.
-  static bool DecodeTxn(const std::string& data, Tid* tid,
-                        std::vector<Event>* events);
+  static bool DecodeTxn(const std::string& data, Tid* tid, Vid* vid,
+                        uint64_t* commit_ts_us, std::vector<Event>* events);
 
   uint64_t bytes_written() const { return bytes_.load(); }
   uint64_t txns_written() const { return txns_.load(); }
+  /// Binlog LSN of the most recent commit record.
+  Lsn last_seq() const { return log_->written_lsn(); }
 
  private:
-  PolarFs* fs_;
+  LogStore* log_;
   std::mutex mu_;
-  uint64_t next_seq_;  // guarded by mu_; seeded past existing records
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> txns_{0};
 };

@@ -212,7 +212,8 @@ Status TransactionManager::Commit(Transaction* txn) {
       // engine commit (XA between binlog and redo): the strawman's extra
       // fsync sits on the commit critical path, which is exactly the
       // perturbation Fig. 11 measures.
-      binlog_->CommitTxn(txn->tid_, txn->binlog_events_);
+      binlog_->CommitTxn(txn->tid_, txn->commit_vid_, commit.commit_ts_us,
+                         txn->binlog_events_);
     }
   }
   ReleaseLocks(txn);

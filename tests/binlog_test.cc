@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "log/log_store.h"
 #include "polarfs/polarfs.h"
 #include "rowstore/binlog.h"
 
@@ -22,37 +24,44 @@ Event MakeEvent(Event::Op op, TableId table, int64_t pk,
 
 struct ReplayedTxn {
   Tid tid;
+  Vid vid;
   std::vector<Event> events;
 };
 
 std::vector<ReplayedTxn> ReplayAll(PolarFs* fs) {
   std::vector<ReplayedTxn> out;
-  BinlogWriter::Replay(fs, [&](Tid tid, const std::vector<Event>& events) {
-    out.push_back({tid, events});
-  });
+  BinlogWriter::Replay(
+      fs->log("binlog"),
+      [&](Tid tid, Vid vid, const std::vector<Event>& events) {
+        out.push_back({tid, vid, events});
+      });
   return out;
 }
 
 TEST(BinlogTest, EmptyLogReplaysNothing) {
   PolarFs fs;
-  EXPECT_EQ(BinlogWriter::Replay(&fs, [](Tid, const std::vector<Event>&) {
-              FAIL() << "nothing to replay";
-            }),
+  EXPECT_EQ(BinlogWriter::Replay(fs.log("binlog"),
+                                 [](Tid, Vid, const std::vector<Event>&) {
+                                   FAIL() << "nothing to replay";
+                                 }),
             0u);
 }
 
 TEST(BinlogTest, RoundTripPreservesCommitOrderAndPayloads) {
   PolarFs fs;
-  BinlogWriter binlog(&fs);
-  binlog.CommitTxn(11, {MakeEvent(Event::Op::kInsert, 1, 100, "row-100"),
-                        MakeEvent(Event::Op::kUpdate, 1, 100, "row-100v2")});
-  binlog.CommitTxn(12, {MakeEvent(Event::Op::kDelete, 2, 7)});
-  binlog.CommitTxn(13, {});  // empty transaction is still a commit record
+  BinlogWriter binlog(fs.log("binlog"));
+  binlog.CommitTxn(11, 1, 1001,
+                   {MakeEvent(Event::Op::kInsert, 1, 100, "row-100"),
+                    MakeEvent(Event::Op::kUpdate, 1, 100, "row-100v2")});
+  binlog.CommitTxn(12, 2, 1002, {MakeEvent(Event::Op::kDelete, 2, 7)});
+  binlog.CommitTxn(13, 3, 1003, {});  // empty txn is still a commit record
   EXPECT_EQ(binlog.txns_written(), 3u);
+  EXPECT_EQ(binlog.last_seq(), 3u);
 
   auto txns = ReplayAll(&fs);
   ASSERT_EQ(txns.size(), 3u);
   EXPECT_EQ(txns[0].tid, 11u);
+  EXPECT_EQ(txns[0].vid, 1u);
   ASSERT_EQ(txns[0].events.size(), 2u);
   EXPECT_EQ(txns[0].events[0].op, Event::Op::kInsert);
   EXPECT_EQ(txns[0].events[0].table_id, 1u);
@@ -61,6 +70,7 @@ TEST(BinlogTest, RoundTripPreservesCommitOrderAndPayloads) {
   EXPECT_EQ(txns[0].events[1].op, Event::Op::kUpdate);
   EXPECT_EQ(txns[0].events[1].row_image, "row-100v2");
   EXPECT_EQ(txns[1].tid, 12u);
+  EXPECT_EQ(txns[1].vid, 2u);
   ASSERT_EQ(txns[1].events.size(), 1u);
   EXPECT_EQ(txns[1].events[0].op, Event::Op::kDelete);
   EXPECT_EQ(txns[1].events[0].pk, 7);
@@ -71,24 +81,30 @@ TEST(BinlogTest, RoundTripPreservesCommitOrderAndPayloads) {
 
 TEST(BinlogTest, EveryCommitPaysItsOwnFsync) {
   PolarFs fs;
-  BinlogWriter binlog(&fs);
+  BinlogWriter binlog(fs.log("binlog"));
   const uint64_t before = fs.fsync_count();
-  binlog.CommitTxn(1, {MakeEvent(Event::Op::kInsert, 1, 1, "x")});
-  binlog.CommitTxn(2, {MakeEvent(Event::Op::kInsert, 1, 2, "y")});
+  binlog.CommitTxn(1, 1, 0, {MakeEvent(Event::Op::kInsert, 1, 1, "x")});
+  binlog.CommitTxn(2, 2, 0, {MakeEvent(Event::Op::kInsert, 1, 2, "y")});
   EXPECT_EQ(fs.fsync_count(), before + 2);
 }
 
 TEST(BinlogTest, TruncatedTailStopsReplayAtLastGoodRecord) {
-  PolarFs fs;
-  BinlogWriter binlog(&fs);
+  PolarFs::Options opt;
+  opt.log_segment_bytes = 1 << 16;  // all five records share one segment
+  PolarFs fs(opt);
+  BinlogWriter binlog(fs.log("binlog"));
   for (int i = 1; i <= 5; ++i) {
-    binlog.CommitTxn(i, {MakeEvent(Event::Op::kInsert, 1, i,
-                                   "payload-" + std::to_string(i))});
+    binlog.CommitTxn(i, i, 0,
+                     {MakeEvent(Event::Op::kInsert, 1, i,
+                                "payload-" + std::to_string(i))});
   }
-  // Simulated crash mid-write: the tail record loses its last bytes.
+  // Simulated crash mid-write: the segment's durable tail loses its last
+  // bytes, tearing the final record's frame.
+  const std::string seg = LogStore::SegmentFileName("binlog", 1);
   std::string tail;
-  ASSERT_TRUE(fs.ReadFile("binlog/5", &tail).ok());
-  ASSERT_TRUE(fs.WriteFile("binlog/5", tail.substr(0, tail.size() - 3)).ok());
+  ASSERT_TRUE(fs.ReadFile(seg, &tail).ok());
+  ASSERT_TRUE(fs.WriteFile(seg, tail.substr(0, tail.size() - 3)).ok());
+  fs.ReopenLogs();
 
   auto txns = ReplayAll(&fs);
   ASSERT_EQ(txns.size(), 4u);
@@ -96,52 +112,74 @@ TEST(BinlogTest, TruncatedTailStopsReplayAtLastGoodRecord) {
   EXPECT_EQ(txns.back().events[0].row_image, "payload-4");
 }
 
-TEST(BinlogTest, CorruptRecordStopsReplayWithoutDeliveringIt) {
-  PolarFs fs;
-  BinlogWriter binlog(&fs);
-  for (int i = 1; i <= 3; ++i) {
-    binlog.CommitTxn(i, {MakeEvent(Event::Op::kInsert, 1, i, "p")});
-  }
-  // Flip one payload byte in the middle record: its checksum no longer
-  // matches, and replay must not deliver it or anything after it.
-  std::string data;
-  ASSERT_TRUE(fs.ReadFile("binlog/2", &data).ok());
-  data[14] ^= 0x5a;
-  ASSERT_TRUE(fs.WriteFile("binlog/2", std::move(data)).ok());
-
-  auto txns = ReplayAll(&fs);
-  ASSERT_EQ(txns.size(), 1u);
-  EXPECT_EQ(txns[0].tid, 1u);
-}
-
-TEST(BinlogTest, WriterAttachedAfterRecoveryAppendsInsteadOfOverwriting) {
-  PolarFs fs;
+TEST(BinlogTest, SeqResumesAfterRecoveryOnSegmentedLayout) {
+  PolarFs::Options opt;
+  opt.log_segment_bytes = 64;  // force several segments
+  PolarFs fs(opt);
   {
-    BinlogWriter binlog(&fs);
-    binlog.CommitTxn(1, {MakeEvent(Event::Op::kInsert, 1, 1, "old-1")});
-    binlog.CommitTxn(2, {MakeEvent(Event::Op::kInsert, 1, 2, "old-2")});
+    BinlogWriter binlog(fs.log("binlog"));
+    for (int i = 1; i <= 6; ++i) {
+      binlog.CommitTxn(i, i, 0,
+                       {MakeEvent(Event::Op::kInsert, 1, i,
+                                  "old-" + std::to_string(i))});
+    }
   }
-  // "Restart": replay, then continue with a fresh writer on the same log.
-  ASSERT_EQ(BinlogWriter::Replay(&fs, [](Tid, const std::vector<Event>&) {}),
-            2u);
-  BinlogWriter resumed(&fs);
-  resumed.CommitTxn(3, {MakeEvent(Event::Op::kInsert, 1, 3, "new-3")});
+  ASSERT_GE(fs.log("binlog")->segment_count(), 2u);
+  // Crash tears the newest segment; recovery trims to the last good commit.
+  auto files = fs.ListFiles("log/binlog/seg_");
+  std::sort(files.begin(), files.end());
+  std::string data;
+  ASSERT_TRUE(fs.ReadFile(files.back(), &data).ok());
+  ASSERT_TRUE(
+      fs.WriteFile(files.back(), data.substr(0, data.size() - 5)).ok());
+  fs.ReopenLogs();
+
+  const size_t recovered =
+      BinlogWriter::Replay(fs.log("binlog"),
+                           [](Tid, Vid, const std::vector<Event>&) {});
+  ASSERT_LT(recovered, 6u);
+  ASSERT_GT(recovered, 0u);
+
+  // A writer attached post-recovery resumes right after the recovered tail
+  // instead of rescanning files or overwriting history (no O(files) seeding:
+  // the LogStore's recovered LSN *is* the resume point).
+  BinlogWriter resumed(fs.log("binlog"));
+  EXPECT_EQ(resumed.last_seq(), recovered);
+  resumed.CommitTxn(100, 100, 0,
+                    {MakeEvent(Event::Op::kInsert, 1, 100, "new-100")});
 
   auto txns = ReplayAll(&fs);
-  ASSERT_EQ(txns.size(), 3u);
+  ASSERT_EQ(txns.size(), recovered + 1);
   EXPECT_EQ(txns[0].events[0].row_image, "old-1");  // history intact
-  EXPECT_EQ(txns[1].events[0].row_image, "old-2");
-  EXPECT_EQ(txns[2].tid, 3u);
-  EXPECT_EQ(txns[2].events[0].row_image, "new-3");
+  EXPECT_EQ(txns.back().tid, 100u);
+  EXPECT_EQ(txns.back().events[0].row_image, "new-100");
 }
 
 TEST(BinlogTest, DecodeRejectsShortBuffers) {
   Tid tid;
+  Vid vid;
+  uint64_t ts;
   std::vector<Event> events;
-  EXPECT_FALSE(BinlogWriter::DecodeTxn("", &tid, &events));
-  EXPECT_FALSE(BinlogWriter::DecodeTxn("tiny", &tid, &events));
-  EXPECT_FALSE(
-      BinlogWriter::DecodeTxn(std::string(19, '\0'), &tid, &events));
+  EXPECT_FALSE(BinlogWriter::DecodeTxn("", &tid, &vid, &ts, &events));
+  EXPECT_FALSE(BinlogWriter::DecodeTxn("tiny", &tid, &vid, &ts, &events));
+  EXPECT_FALSE(BinlogWriter::DecodeTxn(std::string(35, '\0'), &tid, &vid,
+                                       &ts, &events));
+}
+
+TEST(BinlogTest, DecodeRejectsFlippedPayloadByte) {
+  PolarFs fs;
+  BinlogWriter binlog(fs.log("binlog"));
+  binlog.CommitTxn(1, 1, 0, {MakeEvent(Event::Op::kInsert, 1, 1, "payload")});
+  std::vector<std::string> raw;
+  fs.log("binlog")->Read(0, 1, &raw);
+  ASSERT_EQ(raw.size(), 1u);
+  Tid tid;
+  Vid vid;
+  uint64_t ts;
+  std::vector<Event> events;
+  ASSERT_TRUE(BinlogWriter::DecodeTxn(raw[0], &tid, &vid, &ts, &events));
+  raw[0][30] ^= 0x5a;  // in-record corruption below the frame layer
+  EXPECT_FALSE(BinlogWriter::DecodeTxn(raw[0], &tid, &vid, &ts, &events));
 }
 
 }  // namespace

@@ -119,5 +119,31 @@ TEST(CheckpointTest, LoadLatestWithoutCheckpointIsNotFound) {
                                          nullptr).IsNotFound());
 }
 
+TEST(CheckpointTest, ReadLatestManifestProbesWithoutLoadingIndexData) {
+  PolarFs fs;
+  Vid csn = 0;
+  Lsn start_lsn = 0;
+  uint64_t id = 0;
+  // No checkpoint yet: the recycling probe reports NotFound, not an error.
+  EXPECT_TRUE(
+      ImciCheckpoint::ReadLatestManifest(&fs, &csn, &start_lsn, &id)
+          .IsNotFound());
+
+  auto schema = TestSchema();
+  ImciStore store(SmallGroups());
+  ColumnIndex* idx = store.CreateIndex(schema);
+  ASSERT_TRUE(idx->Insert({int64_t(1), int64_t(1), Value{}}, 1).ok());
+  ASSERT_TRUE(
+      ImciCheckpoint::WriteSnapshot(store, /*csn=*/7, /*start_lsn=*/42, &fs,
+                                    /*ckpt_id=*/3).ok());
+  const uint64_t reads_before = fs.page_reads();
+  ASSERT_TRUE(
+      ImciCheckpoint::ReadLatestManifest(&fs, &csn, &start_lsn, &id).ok());
+  EXPECT_EQ(csn, 7u);
+  EXPECT_EQ(start_lsn, 42u);
+  EXPECT_EQ(id, 3u);
+  EXPECT_EQ(fs.page_reads(), reads_before);  // header-only probe
+}
+
 }  // namespace
 }  // namespace imci

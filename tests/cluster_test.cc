@@ -144,6 +144,126 @@ TEST_F(ClusterTest, ScaleOutWithoutCheckpointRebuildsFromRowStore) {
   EXPECT_EQ(AsInt(out[0][0]), 1000);
 }
 
+TEST(LogRecycleTest, CheckpointTruncatesRedoSegmentsAndRoStillBootsAndCatchesUp) {
+  ClusterOptions opts;
+  opts.initial_ro_nodes = 1;
+  opts.ro.imci.row_group_size = 256;
+  opts.fs.log_segment_bytes = 4096;  // small segments: churn spans many
+  Cluster cluster(opts);
+  std::vector<ColumnDef> cols;
+  cols.push_back({"id", DataType::kInt64, false, true});
+  cols.push_back({"v", DataType::kInt64, false, true});
+  ASSERT_TRUE(
+      cluster.CreateTable(std::make_shared<Schema>(1, "t1", cols, 0)).ok());
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 200; ++i) rows.push_back({i, i});
+  ASSERT_TRUE(cluster.BulkLoad(1, std::move(rows)).ok());
+  ASSERT_TRUE(cluster.Open().ok());
+
+  auto* txns = cluster.rw()->txn_manager();
+  auto churn = [&](int64_t base, int n) {
+    for (int i = 0; i < n; ++i) {
+      Transaction txn;
+      txns->Begin(&txn);
+      ASSERT_TRUE(txns->Insert(&txn, 1, {base + i, int64_t(i)}).ok());
+      ASSERT_TRUE(txns->Commit(&txn).ok());
+    }
+  };
+  churn(5000, 400);
+  RoNode* leader = cluster.leader();
+  ASSERT_TRUE(leader->CatchUpNow().ok());
+  const size_t segments_before =
+      cluster.fs()->ListFiles("log/redo/seg_").size();
+  ASSERT_GT(segments_before, 2u);
+
+  // Leader checkpoints (quiesced), then the cluster recycles the log (§7).
+  leader->StopReplication();
+  ASSERT_TRUE(leader->pipeline()->TakeCheckpoint(1).ok());
+  leader->StartReplication();
+  Lsn recycled_upto = 0;
+  ASSERT_TRUE(cluster.RecycleRedoLog(&recycled_upto).ok());
+  EXPECT_GT(recycled_upto, 0u);
+  const size_t segments_after =
+      cluster.fs()->ListFiles("log/redo/seg_").size();
+  EXPECT_LT(segments_after, segments_before);
+  EXPECT_EQ(cluster.fs()->log("redo")->truncated_lsn(), recycled_upto);
+
+  // Post-checkpoint churn, then scale-out: the new node must boot from the
+  // checkpoint and catch up from its LSN over the recycled log.
+  churn(9000, 150);
+  RoNode* fresh = nullptr;
+  ASSERT_TRUE(cluster.AddRoNode(&fresh).ok());
+  ASSERT_TRUE(fresh->CatchUpNow().ok());
+  auto plan =
+      LAgg(LScan(1, {0}), {}, {AggSpec{AggKind::kCountStar, nullptr}});
+  std::vector<Row> out;
+  ASSERT_TRUE(fresh->ExecuteColumn(plan, &out).ok());
+  EXPECT_EQ(AsInt(out[0][0]), 200 + 400 + 150);
+  EXPECT_EQ(
+      static_cast<uint64_t>(AsInt(out[0][0])),
+      cluster.rw()->engine()->GetTable(1)->row_count());
+}
+
+TEST(CheckpointBootTest, TailReplaySkipsTransactionsAlreadyFoldedIntoCheckpoint) {
+  // A checkpoint taken while a transaction is in flight records a start_lsn
+  // *before* that transaction's first record — i.e. before commits that ARE
+  // folded into the checkpoint. A node booting from it re-reads those
+  // commits and must skip them by VID, or it double-applies (regression
+  // test: the skip filter used to be assigned after the pipeline had
+  // already copied its options, so it never took effect).
+  ClusterOptions opts;
+  opts.initial_ro_nodes = 1;
+  opts.ro.imci.row_group_size = 256;
+  Cluster cluster(opts);
+  std::vector<ColumnDef> cols;
+  cols.push_back({"id", DataType::kInt64, false, true});
+  cols.push_back({"v", DataType::kInt64, false, true});
+  ASSERT_TRUE(
+      cluster.CreateTable(std::make_shared<Schema>(1, "t1", cols, 0)).ok());
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 10; ++i) rows.push_back({i, i});
+  ASSERT_TRUE(cluster.BulkLoad(1, std::move(rows)).ok());
+  ASSERT_TRUE(cluster.Open().ok());
+  auto* txns = cluster.rw()->txn_manager();
+
+  // A and C ship their DMLs (commit-ahead) but stay in flight...
+  Transaction a, c;
+  txns->Begin(&a);
+  ASSERT_TRUE(txns->Insert(&a, 1, {int64_t(100), int64_t(1)}).ok());
+  txns->Begin(&c);
+  ASSERT_TRUE(txns->Insert(&c, 1, {int64_t(300), int64_t(3)}).ok());
+  // ...while B commits behind them in the log.
+  Transaction b;
+  txns->Begin(&b);
+  ASSERT_TRUE(txns->Insert(&b, 1, {int64_t(200), int64_t(2)}).ok());
+  ASSERT_TRUE(txns->Commit(&b).ok());
+
+  RoNode* leader = cluster.leader();
+  leader->StopReplication();
+  ASSERT_TRUE(leader->CatchUpNow().ok());
+  // Checkpoint now: csn covers B; A and C travel as in-flight buffers.
+  ASSERT_TRUE(leader->pipeline()->TakeCheckpoint(1).ok());
+  // After the checkpoint, A commits and C aborts.
+  ASSERT_TRUE(txns->Commit(&a).ok());
+  ASSERT_TRUE(txns->Rollback(&c).ok());
+
+  RoNode* fresh = nullptr;
+  ASSERT_TRUE(cluster.AddRoNode(&fresh).ok());
+  ASSERT_TRUE(fresh->CatchUpNow().ok());
+  auto plan =
+      LAgg(LScan(1, {0}), {}, {AggSpec{AggKind::kCountStar, nullptr}});
+  std::vector<Row> out;
+  ASSERT_TRUE(fresh->ExecuteColumn(plan, &out).ok());
+  // 10 bulk + A + B: B applied exactly once, A's restored buffer applied on
+  // its commit, C's restored buffer discarded on its abort.
+  EXPECT_EQ(AsInt(out[0][0]), 12);
+  Row r;
+  EXPECT_TRUE(fresh->imci()->GetIndex(1)
+                  ->LookupByPk(100, fresh->applied_vid(), &r).ok());
+  EXPECT_TRUE(fresh->imci()->GetIndex(1)
+                  ->LookupByPk(300, fresh->applied_vid(), &r).IsNotFound());
+}
+
 TEST_F(ClusterTest, VisibilityDelayIsMeasured) {
   auto* txns = cluster_->rw()->txn_manager();
   for (int i = 0; i < 50; ++i) {

@@ -124,7 +124,7 @@ TEST(LockManagerTest, TransactionCommitReleasesAllRowLocks) {
   PolarFs fs;
   Catalog catalog;
   RowStoreEngine engine(&fs, &catalog);
-  RedoWriter redo(&fs);
+  RedoWriter redo(fs.log("redo"));
   LockManager locks(kShortTimeoutUs);
   TransactionManager txns(&engine, &redo, &locks);
   ASSERT_TRUE(engine.CreateTable(TwoColSchema()).ok());

@@ -1,68 +1,12 @@
 #include <gtest/gtest.h>
 
-#include <thread>
+#include <chrono>
 
+#include "log/log_store.h"
 #include "polarfs/polarfs.h"
 
 namespace imci {
 namespace {
-
-TEST(PolarFsTest, LogAppendAndRead) {
-  PolarFs fs;
-  EXPECT_EQ(fs.written_lsn(), 0u);
-  Lsn last = fs.AppendLog({"a", "b", "c"}, /*durable=*/true);
-  EXPECT_EQ(last, 3u);
-  EXPECT_EQ(fs.written_lsn(), 3u);
-  EXPECT_EQ(fs.fsync_count(), 1u);
-  std::vector<std::string> out;
-  Lsn read = fs.ReadLog(0, 10, &out);
-  EXPECT_EQ(read, 3u);
-  ASSERT_EQ(out.size(), 3u);
-  EXPECT_EQ(out[0], "a");
-  EXPECT_EQ(out[2], "c");
-  // Partial range (from exclusive, to inclusive).
-  out.clear();
-  fs.ReadLog(1, 2, &out);
-  ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], "b");
-}
-
-TEST(PolarFsTest, NonDurableAppendSkipsFsync) {
-  PolarFs fs;
-  fs.AppendLog({"x"}, /*durable=*/false);
-  EXPECT_EQ(fs.fsync_count(), 0u);
-  fs.SyncLog();
-  EXPECT_EQ(fs.fsync_count(), 1u);
-}
-
-TEST(PolarFsTest, WaitForLogWakesOnAppend) {
-  PolarFs fs;
-  std::thread appender([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    fs.AppendLog({"hello"}, false);
-  });
-  Lsn got = fs.WaitForLog(0, 2'000'000);
-  EXPECT_GE(got, 1u);
-  appender.join();
-}
-
-TEST(PolarFsTest, WaitForLogTimesOut) {
-  PolarFs fs;
-  Lsn got = fs.WaitForLog(5, 20'000);
-  EXPECT_EQ(got, 0u);
-}
-
-TEST(PolarFsTest, TruncatePrefixHidesOldRecords) {
-  PolarFs fs;
-  fs.AppendLog({"a", "b", "c", "d"}, false);
-  fs.TruncateLogPrefix(2);
-  std::vector<std::string> out;
-  fs.ReadLog(0, 10, &out);
-  ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0], "c");
-  // LSNs keep counting after truncation.
-  EXPECT_EQ(fs.AppendLog({"e"}, false), 5u);
-}
 
 TEST(PolarFsTest, PageStore) {
   PolarFs fs;
@@ -91,19 +35,37 @@ TEST(PolarFsTest, FileStoreWithPrefixListing) {
   EXPECT_TRUE(fs.ReadFile("ckpt/1/a", &data).IsNotFound());
 }
 
-TEST(PolarFsTest, ConcurrentAppendsAssignDenseLsns) {
+TEST(PolarFsTest, AppendFileCreatesAndExtends) {
   PolarFs fs;
-  std::vector<std::thread> threads;
-  for (int t = 0; t < 8; ++t) {
-    threads.emplace_back([&] {
-      for (int i = 0; i < 100; ++i) fs.AppendLog({"r"}, false);
-    });
-  }
-  for (auto& t : threads) t.join();
-  EXPECT_EQ(fs.written_lsn(), 800u);
-  std::vector<std::string> out;
-  EXPECT_EQ(fs.ReadLog(0, 10000, &out), 800u);
-  EXPECT_EQ(out.size(), 800u);
+  ASSERT_TRUE(fs.AppendFile("seg", "abc").ok());
+  ASSERT_TRUE(fs.AppendFile("seg", "def").ok());
+  std::string data;
+  ASSERT_TRUE(fs.ReadFile("seg", &data).ok());
+  EXPECT_EQ(data, "abcdef");
+}
+
+TEST(PolarFsTest, LogDirectoryReturnsSharedInstancePerName) {
+  PolarFs fs;
+  LogStore* redo = fs.log("redo");
+  ASSERT_NE(redo, nullptr);
+  // The same name is the same shared log — what carries the CALS broadcast
+  // between nodes attached to this filesystem.
+  EXPECT_EQ(redo, fs.log("redo"));
+  EXPECT_NE(redo, fs.log("binlog"));
+  redo->Append({"a"}, false);
+  EXPECT_EQ(fs.log("redo")->written_lsn(), 1u);
+  EXPECT_EQ(fs.log("binlog")->written_lsn(), 0u);
+}
+
+TEST(PolarFsTest, DurableAppendsAccountFsyncs) {
+  PolarFs fs;
+  fs.log("redo")->Append({"x"}, /*durable=*/false);
+  EXPECT_EQ(fs.fsync_count(), 0u);
+  fs.log("redo")->Append({"y"}, /*durable=*/true);
+  EXPECT_EQ(fs.fsync_count(), 1u);
+  fs.log("redo")->Sync();
+  EXPECT_EQ(fs.fsync_count(), 2u);
+  EXPECT_GE(fs.log_bytes(), 2u);
 }
 
 TEST(PolarFsTest, SimulatedFsyncLatency) {
@@ -111,11 +73,25 @@ TEST(PolarFsTest, SimulatedFsyncLatency) {
   opt.fsync_latency_us = 2000;
   PolarFs fs(opt);
   auto t0 = std::chrono::steady_clock::now();
-  fs.AppendLog({"x"}, true);
+  fs.log("redo")->Append({"x"}, true);
   auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - t0)
                 .count();
   EXPECT_GE(dt, 1500);
+}
+
+TEST(PolarFsTest, ReopenLogsRecoversFromSegmentFiles) {
+  PolarFs fs;
+  LogStore* lg = fs.log("redo");
+  lg->Append({"a", "b", "c"}, true);
+  // Simulated restart: in-memory state is rebuilt from the segment files,
+  // and the handle stays valid.
+  fs.ReopenLogs();
+  EXPECT_EQ(lg->written_lsn(), 3u);
+  std::vector<std::string> out;
+  EXPECT_EQ(lg->Read(0, 10, &out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], "c");
 }
 
 }  // namespace

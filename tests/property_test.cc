@@ -143,22 +143,23 @@ INSTANTIATE_TEST_SUITE_P(Seeds, LocatorModelTest,
 /// skipped by the reader without derailing later valid entries.
 TEST(FailureInjectionTest, CorruptLogEntriesAreSkipped) {
   PolarFs fs;
-  RedoWriter writer(&fs);
+  LogStore* log = fs.log("redo");
+  RedoWriter writer(log);
   RedoRecord a;
   a.type = RedoType::kInsert;
   a.after_image = "good";
   writer.AppendOne(&a, false);
-  fs.AppendLog({"garbage-bytes-not-a-record"}, false);
+  // A record whose *frame* is valid but whose payload is not a RedoRecord —
+  // the reader must skip it without derailing later valid entries.
+  log->Append({"garbage-bytes-not-a-record"}, false);
   RedoRecord b;
   b.type = RedoType::kCommit;
   b.commit_vid = 9;
-  // Writer and raw append share the LSN space; refresh the writer cursor.
-  RedoWriter writer2(&fs);
   std::string buf;
-  b.lsn = fs.written_lsn() + 1;
+  b.lsn = log->written_lsn() + 1;
   b.Serialize(&buf);
-  fs.AppendLog({buf}, false);
-  RedoReader reader(&fs);
+  log->Append({buf}, false);
+  RedoReader reader(log);
   std::vector<RedoRecord> records;
   reader.Read(0, 100, &records);
   ASSERT_EQ(records.size(), 2u);  // the corrupt middle entry was dropped

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "polarfs/polarfs.h"
 #include "redo/redo_record.h"
 #include "redo/redo_writer.h"
 
@@ -85,7 +86,7 @@ TEST(RedoRecordTest, CorruptBufferRejected) {
 
 TEST(RedoWriterTest, AssignsMonotonicLsns) {
   PolarFs fs;
-  RedoWriter writer(&fs);
+  RedoWriter writer(fs.log("redo"));
   RedoRecord a, b, c;
   a.type = b.type = RedoType::kInsert;
   c.type = RedoType::kCommit;
@@ -97,12 +98,30 @@ TEST(RedoWriterTest, AssignsMonotonicLsns) {
   EXPECT_EQ(writer.last_lsn(), 3u);
   EXPECT_EQ(fs.fsync_count(), 1u);  // only the commit was durable
 
-  RedoReader reader(&fs);
+  RedoReader reader(fs.log("redo"));
   std::vector<RedoRecord> records;
   Lsn last = reader.Read(0, 100, &records);
   EXPECT_EQ(last, 3u);
   ASSERT_EQ(records.size(), 3u);
   EXPECT_EQ(records[2].type, RedoType::kCommit);
+}
+
+TEST(RedoWriterTest, WriterAttachedAfterRecoveryContinuesLsns) {
+  PolarFs fs;
+  {
+    RedoWriter writer(fs.log("redo"));
+    RedoRecord a;
+    a.type = RedoType::kInsert;
+    a.after_image = "x";
+    writer.AppendOne(&a, true);
+  }
+  fs.ReopenLogs();
+  RedoWriter resumed(fs.log("redo"));
+  EXPECT_EQ(resumed.last_lsn(), 1u);
+  RedoRecord b;
+  b.type = RedoType::kCommit;
+  resumed.AppendOne(&b, true);
+  EXPECT_EQ(b.lsn, 2u);
 }
 
 }  // namespace

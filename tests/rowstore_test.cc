@@ -174,8 +174,8 @@ class TxnTest : public ::testing::Test {
  protected:
   TxnTest()
       : engine_(&fs_, &catalog_),
-        writer_(&fs_),
-        binlog_(&fs_),
+        writer_(fs_.log("redo")),
+        binlog_(fs_.log("binlog")),
         txns_(&engine_, &writer_, &locks_, &binlog_) {
     EXPECT_TRUE(engine_.CreateTable(TestSchema()).ok());
   }
