@@ -35,11 +35,14 @@ void RunOnce(bool cals, double secs, BenchReport* report) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double secs = Flag(argc, argv, "secs", 1.5);
-  std::printf("# Ablation: CALS | visibility delay (ms) on TPC-C\n");
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const double secs = Flag(argc, argv, "secs", smoke ? 0.3 : 1.5);
+  std::printf("# Ablation: CALS | visibility delay (ms) on TPC-C%s\n",
+              smoke ? " | smoke" : "");
   std::printf("%-18s %10s %10s %10s\n", "mode", "p50", "p99", "max");
   BenchReport report("ablation_cals");
   report.Label("workload", "chbench");
+  report.Metric("smoke", smoke ? 1 : 0);
   RunOnce(true, secs, &report);
   RunOnce(false, secs, &report);
   std::printf("# expectation: CALS p50/p99 strictly lower\n");

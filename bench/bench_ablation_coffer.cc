@@ -7,7 +7,10 @@ using namespace imci;
 using namespace imci::bench;
 
 int main(int argc, char** argv) {
-  const double secs = Flag(argc, argv, "secs", 2.0);
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const double secs = Flag(argc, argv, "secs", smoke ? 0.3 : 2.0);
+  const std::vector<int> worker_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
   // Produce a fixed log once.
   chbench::ChBench bench(4, 500);
   auto cluster = MakeChBenchCluster(&bench);
@@ -24,7 +27,8 @@ int main(int argc, char** argv) {
               "elapsed(s)");
   BenchReport report("ablation_coffer");
   report.Metric("log_records", static_cast<double>(log_end));
-  for (int workers : {1, 2, 4, 8, 16}) {
+  report.Metric("smoke", smoke ? 1 : 0);
+  for (int workers : worker_counts) {
     ClusterOptions opts;
     opts.ro.replication.parse_parallelism = workers;
     opts.ro.replication.apply_parallelism = workers;

@@ -88,15 +88,30 @@ BENCHMARK(BM_DictEncode);
 
 // Like BENCHMARK_MAIN(), but defaults --benchmark_out to
 // BENCH_ablation_compression.json (honoring IMCI_BENCH_OUT_DIR) so this
-// bench emits a machine-readable report like the rest of the suite.
+// bench emits a machine-readable report like the rest of the suite, and
+// accepts the suite-wide --smoke=1 flag (mapped to a short
+// --benchmark_min_time, stripped before benchmark::Initialize which rejects
+// unknown flags).
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false, has_fmt = false;
-  for (int i = 1; i < argc; ++i) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (i > 0 && arg.rfind("--smoke=", 0) == 0) {
+      smoke = std::atof(arg.c_str() + sizeof("--smoke=") - 1) != 0;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  bool has_out = false, has_fmt = false, has_min_time = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string arg = args[i];
     if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
     if (arg.rfind("--benchmark_out_format=", 0) == 0) has_fmt = true;
+    if (arg.rfind("--benchmark_min_time=", 0) == 0) has_min_time = true;
   }
+  std::string min_time_flag = "--benchmark_min_time=0.01";
+  if (smoke && !has_min_time) args.push_back(min_time_flag.data());
   std::string out_flag, fmt_flag = "--benchmark_out_format=json";
   if (!has_out) {
     std::string dir = ".";

@@ -8,7 +8,8 @@ using namespace imci;
 using namespace imci::bench;
 
 int main(int argc, char** argv) {
-  const double sf = Flag(argc, argv, "sf", 0.05);
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const double sf = Flag(argc, argv, "sf", smoke ? 0.02 : 0.05);
   auto cluster = MakeTpchCluster(sf, 1);
   if (!cluster) return 1;
   RoNode* ro = cluster->ro(0);
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
               "full(ms)", "pruned", "scanned");
   BenchReport report("ablation_pruning");
   report.Metric("sf", sf);
+  report.Metric("smoke", smoke ? 1 : 0);
   report.Metric("num_groups", static_cast<double>(li->num_groups()));
   struct Window {
     const char* name;

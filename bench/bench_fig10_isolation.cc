@@ -41,9 +41,14 @@ double RunApClients(Cluster* cluster, int clients, double seconds) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int warehouses = static_cast<int>(Flag(argc, argv, "wh", 4));
-  const double secs = Flag(argc, argv, "secs", 1.5);
-  const int tp_saturation = static_cast<int>(Flag(argc, argv, "tp", 8));
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const int warehouses =
+      static_cast<int>(Flag(argc, argv, "wh", smoke ? 2 : 4));
+  const double secs = Flag(argc, argv, "secs", smoke ? 0.3 : 1.5);
+  const int tp_saturation =
+      static_cast<int>(Flag(argc, argv, "tp", smoke ? 4 : 8));
+  const std::vector<int> client_steps =
+      smoke ? std::vector<int>{0, 2, 8} : std::vector<int>{0, 2, 4, 8, 16};
   chbench::ChBench bench(warehouses, /*items=*/500);
   auto cluster = MakeChBenchCluster(&bench);
   if (!cluster) return 1;
@@ -56,8 +61,9 @@ int main(int argc, char** argv) {
   BenchReport report("fig10_isolation");
   report.Label("workload", "chbench");
   report.Metric("tp_saturation_threads", tp_saturation);
+  report.Metric("smoke", smoke ? 1 : 0);
   double tp_base = 0;
-  for (int ap : {0, 2, 4, 8, 16}) {
+  for (int ap : client_steps) {
     std::atomic<bool> stop{false};
     std::thread ap_driver;
     std::atomic<uint64_t> ap_queries{0};
@@ -100,9 +106,9 @@ int main(int argc, char** argv) {
   std::printf("# Figure 10b | OLAP isolation: AP saturated, TP clients grow\n");
   std::printf("%-12s %14s %14s %10s\n", "tp_clients", "ap_qps", "tp_tps",
               "ap_loss");
-  const int ap_sat = 8;
+  const int ap_sat = smoke ? 4 : 8;
   double ap_base = 0;
-  for (int tp : {0, 2, 4, 8, 16}) {
+  for (int tp : client_steps) {
     std::atomic<bool> stop{false};
     std::vector<std::thread> tp_threads;
     std::atomic<uint64_t> tp_ops{0};

@@ -8,14 +8,19 @@ using namespace imci;
 using namespace imci::bench;
 
 int main(int argc, char** argv) {
-  const double secs = Flag(argc, argv, "secs", 2.0);
-  std::printf("# Figure 12 | visibility delay on TPC-C (ms)\n");
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const double secs = Flag(argc, argv, "secs", smoke ? 0.4 : 2.0);
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16, 32};
+  std::printf("# Figure 12 | visibility delay on TPC-C (ms)%s\n",
+              smoke ? " | smoke" : "");
   std::printf("%-10s %8s %8s %8s %8s %8s %9s %8s\n", "threads", "min", "p50",
               "p90", "p95", "p99", "p99.9", "max");
   BenchReport report("fig12_freshness");
   report.Label("workload", "chbench");
   report.Metric("secs_per_point", secs);
-  for (int threads : {4, 8, 16, 32}) {
+  report.Metric("smoke", smoke ? 1 : 0);
+  for (int threads : thread_counts) {
     chbench::ChBench bench(/*warehouses=*/4, /*items=*/500);
     auto cluster = MakeChBenchCluster(&bench);
     if (!cluster) return 1;

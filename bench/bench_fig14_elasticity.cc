@@ -10,8 +10,9 @@ using namespace imci;
 using namespace imci::bench;
 
 int main(int argc, char** argv) {
-  const double sf = Flag(argc, argv, "sf", 0.01);
-  const double horizon = Flag(argc, argv, "secs", 12.0);
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const double sf = Flag(argc, argv, "sf", smoke ? 0.005 : 0.01);
+  const double horizon = Flag(argc, argv, "secs", smoke ? 4.0 : 12.0);
   auto cluster = MakeTpchCluster(sf, 1);
   if (!cluster) return 1;
   cluster->ro(0)->CatchUpNow();
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   BenchReport report("fig14_elasticity");
   report.Metric("sf", sf);
   report.Metric("horizon_s", horizon);
+  report.Metric("smoke", smoke ? 1 : 0);
   RoNode* no1 = nullptr;
   RoNode* no2 = nullptr;
   double no1_added = -1, no1_ready = -1, no2_added = -1, no2_ready = -1;

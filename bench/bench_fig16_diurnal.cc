@@ -11,7 +11,8 @@ using namespace imci;
 using namespace imci::bench;
 
 int main(int argc, char** argv) {
-  const double hour_secs = Flag(argc, argv, "hour_secs", 0.5);
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const double hour_secs = Flag(argc, argv, "hour_secs", smoke ? 0.1 : 0.5);
   auto profiles = production::Profiles(0.05);
   production::CustomerWorkload workload(profiles[0]);  // Cust1: Finance
   auto cluster = std::make_unique<Cluster>(ClusterOptions{});
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   BenchReport report("fig16_diurnal");
   report.Label("workload", profiles[0].name);
   report.Metric("hour_secs", hour_secs);
+  report.Metric("smoke", smoke ? 1 : 0);
   int64_t next_pk = 10'000'000;
   Rng rng(12);
   for (int hour = 0; hour < 24; ++hour) {

@@ -11,10 +11,13 @@ using namespace imci;
 using namespace imci::bench;
 
 int main(int argc, char** argv) {
-  const double sf = Flag(argc, argv, "sf", 0.05);
-  const int parallelism = static_cast<int>(Flag(argc, argv, "threads", 8));
-  std::printf("# Figure 9 | TPC-H SF=%.3f | %d-way intra-query parallelism\n",
-              sf, parallelism);
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const double sf = Flag(argc, argv, "sf", smoke ? 0.01 : 0.05);
+  const int parallelism =
+      static_cast<int>(Flag(argc, argv, "threads", smoke ? 2 : 8));
+  std::printf("# Figure 9 | TPC-H SF=%.3f | %d-way intra-query parallelism"
+              "%s\n",
+              sf, parallelism, smoke ? " | smoke" : "");
   ClusterOptions opts;
   opts.ro.exec_threads = parallelism;
   opts.ro.default_parallelism = parallelism;
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
   BenchReport report("fig9_tpch");
   report.Metric("sf", sf);
   report.Metric("threads", parallelism);
+  report.Metric("smoke", smoke ? 1 : 0);
   std::vector<double> imci_ms, ch_ms, row_ms;
   for (int q = 1; q <= 22; ++q) {
     {

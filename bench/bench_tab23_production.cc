@@ -9,7 +9,8 @@ using namespace imci;
 using namespace imci::bench;
 
 int main(int argc, char** argv) {
-  const double scale = Flag(argc, argv, "scale", 0.25);
+  const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
+  const double scale = Flag(argc, argv, "scale", smoke ? 0.1 : 0.25);
   auto profiles = production::Profiles(scale);
   std::printf("# Table 2 | synthetic production workload shapes\n");
   std::printf("%-24s %12s %8s %10s %10s\n", "workload", "fact_rows", "cols",
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
               "column engine)\n");
   BenchReport report("tab23_production");
   report.Metric("scale", scale);
+  report.Metric("smoke", smoke ? 1 : 0);
   int dist[4][5] = {};  // customer x bucket
   const char* buckets[] = {"[1,2)", "[2,5)", "[5,10)", "[10,100)",
                            "[100,inf)"};

@@ -119,8 +119,11 @@ Status Cluster::TriggerCheckpoint() {
   l->RequestCheckpoint(next_ckpt_id_++);
   // Recycle what the previous completed checkpoint made reclaimable; the one
   // just requested pays off at the next trigger. Periodic checkpoints thus
-  // keep log storage bounded in long runs.
-  return RecycleRedoLogLocked(nullptr);
+  // keep log storage bounded in long runs. The binlog arm recycles against
+  // its consumers' cursors, not the checkpoint manifest (binlog LSNs are a
+  // different space), but rides the same trigger cadence.
+  IMCI_RETURN_NOT_OK(RecycleRedoLogLocked(nullptr));
+  return RecycleBinlogLocked(nullptr);
 }
 
 Status Cluster::RecycleRedoLog(Lsn* recycled_upto) {
@@ -145,6 +148,35 @@ Status Cluster::RecycleRedoLogLocked(Lsn* recycled_upto) {
   }
   fs_.log("redo")->Truncate(safe);
   if (recycled_upto) *recycled_upto = fs_.log("redo")->truncated_lsn();
+  return Status::OK();
+}
+
+Status Cluster::RecycleBinlog(Lsn* recycled_upto) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  return RecycleBinlogLocked(recycled_upto);
+}
+
+Status Cluster::RecycleBinlogLocked(Lsn* recycled_upto) {
+  if (recycled_upto) *recycled_upto = 0;
+  // Only logical-apply cursors make binlog history reclaimable: every
+  // attached consumer has applied what we cut, and new logical-apply boots
+  // are refused below a truncated binlog (RoNode::Boot) until the binlog
+  // arm grows its own checkpoint anchor (ROADMAP follow-up). With no
+  // consumer there is no cursor to clamp to, so nothing is recycled.
+  Lsn safe = 0;
+  bool has_consumer = false;
+  {
+    std::lock_guard<std::mutex> g(topo_mu_);
+    for (RoNode* ro : ro_nodes_) {
+      if (ro->pipeline()->source() != ApplySource::kLogicalBinlog) continue;
+      const Lsn cursor = ro->pipeline()->read_lsn();
+      safe = has_consumer ? std::min(safe, cursor) : cursor;
+      has_consumer = true;
+    }
+  }
+  if (!has_consumer) return Status::OK();
+  fs_.log("binlog")->Truncate(safe);
+  if (recycled_upto) *recycled_upto = fs_.log("binlog")->truncated_lsn();
   return Status::OK();
 }
 

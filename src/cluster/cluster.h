@@ -77,7 +77,8 @@ class Cluster {
   Status RemoveRoNode(size_t index);
 
   /// Asks the RO leader to checkpoint (CSN = its applied VID), then recycles
-  /// redo segments no longer needed by the *previous* completed checkpoint.
+  /// redo segments no longer needed by the *previous* completed checkpoint
+  /// and binlog segments below the slowest logical-apply cursor.
   Status TriggerCheckpoint();
 
   /// Recycles shared-log storage (§7): truncates the "redo" log below the
@@ -86,6 +87,14 @@ class Cluster {
   /// Segment-granular — only whole sealed segments are reclaimed. Returns
   /// the LSN up to which records were recycled via `recycled_upto`.
   Status RecycleRedoLog(Lsn* recycled_upto = nullptr);
+
+  /// Recycles binlog storage (PR 2 follow-up): truncates the "binlog" log
+  /// below the slowest logical-apply RO's read position, so the binlog arm
+  /// no longer leaks segments on long runs. A no-op when no logical-apply
+  /// node is attached — a later logical-apply boot replays the binlog from
+  /// LSN 0 over the base state, so with no consumer cursor to clamp to,
+  /// nothing is provably reclaimable. Segment-granular, like the redo path.
+  Status RecycleBinlog(Lsn* recycled_upto = nullptr);
 
   RwNode* rw() { return rw_.get(); }
   Proxy* proxy() { return &proxy_; }
@@ -97,6 +106,7 @@ class Cluster {
 
  private:
   Status RecycleRedoLogLocked(Lsn* recycled_upto);
+  Status RecycleBinlogLocked(Lsn* recycled_upto);
 
   ClusterOptions options_;
   PolarFs fs_;

@@ -37,6 +37,16 @@ Status RoNode::Boot() {
   // beginning over the base row-store state: binlog LSNs are a different
   // space from redo LSNs, so redo-anchored checkpoints don't apply to them.
   if (options_.replication.source == ApplySource::kLogicalBinlog) {
+    // Binlog recycling (Cluster::RecycleBinlog) truncates below the slowest
+    // attached cursor. A fresh node's replay from LSN 0 would silently skip
+    // the recycled transactions (LogStore::Read elides them), so refuse to
+    // boot rather than diverge — joining mid-run after recycling needs a
+    // binlog-space checkpoint anchor (ROADMAP follow-up).
+    if (fs_->log("binlog")->truncated_lsn() != 0) {
+      return Status::NotSupported(
+          "binlog recycled below boot point; logical-apply scale-out needs "
+          "a binlog checkpoint anchor");
+    }
     boot_lsn_ = 0;
     boot_vid_ = 0;
     IMCI_RETURN_NOT_OK(RebuildFromRowStore());

@@ -1,0 +1,46 @@
+#include "log/group_committer.h"
+
+#include <cassert>
+
+#include "log/log_store.h"
+
+namespace imci {
+
+void GroupCommitter::SyncTo(Lsn lsn) {
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  // Guard the precondition (`lsn` already appended and published): a batch
+  // can never cover a future LSN, so waiting on one would fsync in an
+  // unbounded loop. Clamp to the published tail — and make the misuse loud
+  // in debug builds.
+  const Lsn tail = log_->written_lsn();
+  assert(lsn <= tail && "SyncTo on an LSN that was never appended");
+  if (lsn > tail) lsn = tail;
+  // Fast path: an earlier batch's fsync ran after our record was already in
+  // the segment file, so we are durable without waiting at all.
+  if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
+  std::unique_lock<std::mutex> l(mu_);
+  while (durable_lsn_.load(std::memory_order_relaxed) < lsn) {
+    if (leader_active_) {
+      // Follower: a leader's fsync is in flight. If it covers us we are
+      // woken durable; if we appended after its snapshot we loop and the
+      // next batch picks us up.
+      cv_.wait(l);
+      continue;
+    }
+    // Leader: snapshot the written tail first — the one fsync below covers
+    // every record write-through appended up to this instant, not just ours.
+    leader_active_ = true;
+    const Lsn target = log_->written_lsn();
+    l.unlock();
+    log_->Sync();
+    l.lock();
+    leader_active_ = false;
+    if (target > durable_lsn_.load(std::memory_order_relaxed)) {
+      durable_lsn_.store(target, std::memory_order_release);
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+}
+
+}  // namespace imci

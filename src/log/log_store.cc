@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/coding.h"
+#include "log/group_committer.h"
 #include "polarfs/polarfs.h"
 
 namespace imci {
@@ -23,7 +24,12 @@ void AppendFrame(std::string* dst, const std::string& payload) {
 }  // namespace
 
 LogStore::LogStore(PolarFs* fs, std::string name, LogStoreOptions options)
-    : fs_(fs), name_(std::move(name)), options_(options) {}
+    : fs_(fs),
+      name_(std::move(name)),
+      options_(options),
+      group_(std::make_unique<GroupCommitter>(this)) {}
+
+LogStore::~LogStore() = default;
 
 std::string LogStore::SegmentFileName(const std::string& log_name,
                                       Lsn first_lsn) {
@@ -112,6 +118,8 @@ Status LogStore::Open() {
     segments_.push_back(std::move(seg));
   }
   written_lsn_.store(tail, std::memory_order_release);
+  // Everything recovery re-read from segment files is durable by definition.
+  group_->ResetDurable(tail);
   return Status::OK();
 }
 
@@ -162,19 +170,25 @@ Lsn LogStore::Append(std::vector<std::string> records, bool durable) {
     fs_->AccountLogBytes(bytes);
     last = segments_.back().last;
   }
-  if (durable) fs_->SyncLog();
   // Publish and notify: the "broadcast its up-to-date LSN" step of CALS
   // (§5.1). Concurrent appenders may reach here out of order, hence the
-  // monotonic CAS.
+  // monotonic CAS. Publication must precede the durability wait below —
+  // the group-commit leader's batch target is written_lsn(), which has to
+  // cover this batch for SyncTo to terminate.
   Lsn prev = written_lsn_.load(std::memory_order_relaxed);
   while (prev < last && !written_lsn_.compare_exchange_weak(
                             prev, last, std::memory_order_release)) {
   }
   cv_.notify_all();
+  if (durable) group_->SyncTo(last);
   return last;
 }
 
 void LogStore::Sync() { fs_->SyncLog(); }
+
+void LogStore::SyncTo(Lsn lsn) { group_->SyncTo(lsn); }
+
+Lsn LogStore::durable_lsn() const { return group_->durable_lsn(); }
 
 Lsn LogStore::Read(Lsn from, Lsn to, std::vector<std::string>* out) const {
   std::lock_guard<std::mutex> g(mu_);

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 
 namespace imci {
 
+class GroupCommitter;
 class PolarFs;
 
 struct LogStoreOptions {
@@ -33,8 +35,9 @@ struct LogStoreOptions {
 /// `log/<name>/seg_<first-lsn>`, each holding checksum-framed records
 /// (`[len:4][hash:8][payload]`). LSNs are 1-based and dense across segments.
 /// Durability is write-through: every append lands in the segment file
-/// immediately; `durable` appends additionally account one fsync (with the
-/// PolarFs-simulated latency).
+/// immediately; `durable` appends additionally wait until a group-commit
+/// fsync covers them (see GroupCommitter) — concurrent durable appenders
+/// share one fsync per batch instead of paying one each.
 ///
 /// Recycling: `Truncate(lsn)` deletes whole sealed segments entirely at or
 /// below `lsn` — the checkpoint-driven space reclaim of §7 — and persists
@@ -49,6 +52,7 @@ class LogStore {
  public:
   /// Does not recover; call Open() before use (PolarFs::log does both).
   LogStore(PolarFs* fs, std::string name, LogStoreOptions options = {});
+  ~LogStore();
 
   /// Scans the segment files and rebuilds the in-memory index, detecting and
   /// trimming a torn tail. Idempotent.
@@ -60,13 +64,28 @@ class LogStore {
   Status Reopen();
 
   /// Appends a batch of records; returns the LSN of the last one. When
-  /// `durable`, accounts one fsync (the commit-path flush). Thread-safe;
-  /// LSN order == append order.
+  /// `durable`, blocks until a group-commit fsync covers the batch (the
+  /// commit-path flush; concurrent durable appends share one fsync per
+  /// leader batch). Thread-safe; LSN order == append order.
   Lsn Append(std::vector<std::string> records, bool durable);
 
-  /// Explicit fsync of the log (group commit / the Binlog baseline's extra
-  /// flush). Accounting only — appends are already write-through.
+  /// Explicit immediate fsync of the log. Accounting only — appends are
+  /// already write-through. Group-commit leaders call this once per batch;
+  /// prefer SyncTo() on the commit path.
   void Sync();
+
+  /// Blocks until every record at or below `lsn` is durable, joining the
+  /// leader-based group commit (GroupCommitter::SyncTo). `lsn` must already
+  /// be appended. Call *outside* any commit-ordering mutex so concurrent
+  /// commits can batch.
+  void SyncTo(Lsn lsn);
+
+  /// Records at or below this LSN are covered by an fsync.
+  Lsn durable_lsn() const;
+
+  /// The log's group committer (batching stats: batches/commits/
+  /// fsyncs-per-commit/mean-batch-size).
+  GroupCommitter* group() const { return group_.get(); }
 
   /// Reads records with LSN in (from, to] into `out` (appended in order).
   /// Recycled LSNs are skipped. Returns the LSN of the last record read.
@@ -125,6 +144,7 @@ class LogStore {
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
+  std::unique_ptr<GroupCommitter> group_;
   std::deque<Segment> segments_;  // ascending LSN; back() is active
   std::atomic<Lsn> written_lsn_{0};
   std::atomic<Lsn> truncated_lsn_{0};

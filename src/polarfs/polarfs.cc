@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "log/group_committer.h"
 #include "log/log_store.h"
 
 namespace imci {
@@ -10,12 +11,18 @@ namespace imci {
 namespace {
 void SimulateLatency(uint32_t us) {
   if (us == 0) return;
-  // Spin rather than sleep: sleep_for's actual duration depends on kernel
-  // timer state and differs across otherwise-identical configurations,
-  // which would contaminate A/B comparisons like the Fig. 11 bench.
+  // Model a *blocking* device round trip: the caller makes no progress
+  // before the deadline, but the CPU is released (yield) so other threads
+  // keep running meanwhile — committers must be able to enqueue into the
+  // next group-commit batch while the leader's fsync is in flight, exactly
+  // as they would during a real fsync. A yield loop rather than sleep_for:
+  // wakeup from a timed sleep depends on kernel timer slack and differs
+  // across otherwise-identical configurations, which would contaminate A/B
+  // comparisons like the Fig. 11 bench.
   const auto until =
       std::chrono::steady_clock::now() + std::chrono::microseconds(us);
   while (std::chrono::steady_clock::now() < until) {
+    std::this_thread::yield();
   }
 }
 }  // namespace
@@ -45,6 +52,20 @@ void PolarFs::ReopenLogs() {
 void PolarFs::SyncLog() {
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   SimulateLatency(options_.fsync_latency_us);
+}
+
+uint64_t PolarFs::commit_batches() const {
+  std::lock_guard<std::mutex> g(logs_mu_);
+  uint64_t n = 0;
+  for (auto& [name, store] : logs_) n += store->group()->batches();
+  return n;
+}
+
+uint64_t PolarFs::batched_commits() const {
+  std::lock_guard<std::mutex> g(logs_mu_);
+  uint64_t n = 0;
+  for (auto& [name, store] : logs_) n += store->group()->commits();
+  return n;
 }
 
 Status PolarFs::WritePage(PageId id, std::string image) {

@@ -64,8 +64,8 @@ class PolarFs {
   /// mutilate segment files. LogStore pointers remain valid.
   void ReopenLogs();
 
-  /// Accounts one fsync (with simulated latency). Called by LogStore on
-  /// durable appends and explicit syncs.
+  /// Accounts one fsync (with simulated latency). Called by group-commit
+  /// batch leaders (one per batch) and explicit LogStore::Sync calls.
   void SyncLog();
 
   // --- Page store ----------------------------------------------------------
@@ -89,7 +89,16 @@ class PolarFs {
   std::vector<std::string> ListFiles(const std::string& prefix) const;
 
   // --- Accounting ----------------------------------------------------------
+  // Fsync accounting is per-*batch*: SyncLog() fires once per group-commit
+  // leader flush, so fsync_count() counts batches, not commits. The pair
+  // below aggregates the group-commit stats of every open log so callers can
+  // derive fsyncs-per-commit (= commit_batches/batched_commits) and the mean
+  // batch size (= batched_commits/commit_batches) without walking the logs.
   uint64_t fsync_count() const { return fsyncs_.load(); }
+  /// Group-commit fsync batches issued across all open logs.
+  uint64_t commit_batches() const;
+  /// Durable commits those batches served across all open logs.
+  uint64_t batched_commits() const;
   uint64_t log_bytes() const { return log_bytes_.load(); }
   uint64_t page_reads() const { return page_reads_.load(); }
   uint64_t page_writes() const { return page_writes_.load(); }
@@ -101,7 +110,7 @@ class PolarFs {
  private:
   Options options_;
 
-  std::mutex logs_mu_;
+  mutable std::mutex logs_mu_;
   std::map<std::string, std::unique_ptr<LogStore>> logs_;
 
   mutable std::mutex page_mu_;

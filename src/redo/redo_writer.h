@@ -12,9 +12,11 @@ namespace imci {
 
 /// Appends REDO records to the shared "redo" log on PolarFS. DML records of
 /// an in-flight transaction are appended *eagerly* (non-durably) so that
-/// CALS can ship them before commit; the commit record append is durable
-/// (one fsync on the commit path — the only logging fsync the RW pays, which
-/// is exactly the property the Binlog baseline destroys, Fig. 11).
+/// CALS can ship them before commit; the commit record is made durable by
+/// the log's leader-based group commit — append non-durably under the commit
+/// mutex, then SyncTo() outside it, so concurrent commits share one fsync
+/// per batch (the only logging fsync the RW pays, which is exactly the
+/// property the Binlog baseline destroys, Fig. 11).
 ///
 /// Thread-safe: many transaction threads append concurrently; LSNs are
 /// assigned under the append lock, so LSN order == log order. A writer
@@ -32,6 +34,11 @@ class RedoWriter {
   Lsn AppendOne(RedoRecord* rec, bool durable) {
     return Append({rec}, durable);
   }
+
+  /// Blocks until every record at or below `lsn` is durable, joining the
+  /// log's group commit (one fsync per batch of concurrent committers).
+  /// Call *outside* the commit-ordering mutex so batches can form.
+  void SyncTo(Lsn lsn) { log_->SyncTo(lsn); }
 
   Lsn last_lsn() const { return last_lsn_.load(std::memory_order_acquire); }
 

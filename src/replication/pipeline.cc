@@ -406,7 +406,15 @@ Status ReplicationPipeline::TakeCheckpoint(uint64_t ckpt_id) {
   // must travel with the checkpoint instead, and replay starts at read_lsn.
   IMCI_RETURN_NOT_OK(ro_pool_->FlushAllResident());
   const Vid csn = applied_vid_.load(std::memory_order_acquire);
-  const Lsn start_lsn = read_lsn_.load(std::memory_order_acquire);
+  // The manifest's start_lsn is read back in *redo* LSN space (redo-reuse
+  // boots replay from it; Cluster::RecycleRedoLog truncates below it). A
+  // logical-binlog pipeline's cursor lives in binlog LSN space, so writing
+  // it here would truncate/replay the redo log at a position from the wrong
+  // space — record 0 instead (replay-from-base, recycle-nothing), until the
+  // binlog arm gets its own checkpoint anchor (ROADMAP).
+  const Lsn start_lsn = options_.source == ApplySource::kRedoReuse
+                            ? read_lsn_.load(std::memory_order_acquire)
+                            : 0;
   return ImciCheckpoint::WriteSnapshot(*imci_, csn, start_lsn, fs_, ckpt_id,
                                        SerializeInflight());
 }

@@ -6,7 +6,7 @@ namespace imci {
 
 BinlogWriter::BinlogWriter(LogStore* log) : log_(log) {}
 
-void BinlogWriter::CommitTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
+Lsn BinlogWriter::EnqueueTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
                              const std::vector<Event>& events) {
   std::string buf;
   PutFixed64(&buf, tid);
@@ -23,14 +23,13 @@ void BinlogWriter::CommitTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
   PutFixed64(&buf, HashBytes(buf.data(), buf.size()));
   bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
   txns_.fetch_add(1, std::memory_order_relaxed);
-  {
-    // Binlog writes are serialized (MySQL's binlog group commit mutex) and
-    // pay their own durable flush — the extra fsync the paper blames for the
-    // Binlog baseline's OLTP loss. The sequence number (binlog LSN) is
-    // assigned under the same mutex so log order equals commit order.
-    std::lock_guard<std::mutex> g(mu_);
-    log_->Append({std::move(buf)}, /*durable=*/true);
-  }
+  // Binlog appends are serialized (MySQL's binlog mutex): the sequence
+  // number (binlog LSN) is assigned under the mutex so log order equals
+  // commit order. The durable flush — the extra fsync the paper blames for
+  // the Binlog baseline's OLTP loss — is the caller's SyncTo, outside any
+  // ordering mutex, so concurrent commits share it per batch.
+  std::lock_guard<std::mutex> g(mu_);
+  return log_->Append({std::move(buf)}, /*durable=*/false);
 }
 
 bool BinlogWriter::DecodeTxn(const std::string& data, Tid* tid, Vid* vid,

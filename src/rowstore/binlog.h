@@ -41,12 +41,27 @@ class BinlogWriter {
     std::string row_image;  // full after image (insert/update)
   };
 
-  /// Serializes and durably appends one transaction's events (one fsync).
-  /// `vid`/`commit_ts_us` are the commit sequence number and RW commit
-  /// wall-clock, recorded so logical apply assigns the same read-view VIDs
-  /// as REDO reuse.
-  void CommitTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
+  /// Serializes and appends one transaction's events write-through without
+  /// waiting for durability; returns the record's binlog LSN. `vid`/
+  /// `commit_ts_us` are the commit sequence number and RW commit wall-clock,
+  /// recorded so logical apply assigns the same read-view VIDs as REDO
+  /// reuse. The caller makes the record durable with SyncTo() *outside* the
+  /// commit-ordering mutex, so the binlog arm's extra fsync is paid once per
+  /// group-commit batch instead of once per transaction.
+  Lsn EnqueueTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
                  const std::vector<Event>& events);
+
+  /// Blocks until binlog records at or below `lsn` are durable (joins the
+  /// binlog log's group commit).
+  void SyncTo(Lsn lsn) { log_->SyncTo(lsn); }
+
+  /// Serializes and durably appends one transaction's events: EnqueueTxn +
+  /// SyncTo. Single-threaded callers pay one fsync, exactly as before group
+  /// commit; concurrent callers batch.
+  void CommitTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
+                 const std::vector<Event>& events) {
+    SyncTo(EnqueueTxn(tid, vid, commit_ts_us, events));
+  }
 
   /// Replays the durable binlog in commit order, invoking `fn` once per
   /// fully-recovered transaction. Stops at the first corrupt record (the

@@ -104,9 +104,12 @@ class TransactionManager {
   /// Unlocked read-committed read.
   Status Get(TableId table, int64_t pk, Row* row) const;
 
-  /// Commits: assigns the commit sequence number (VID) and durably appends
-  /// the commit record; in binlog mode additionally flushes the logical log
-  /// (the strawman's second fsync). Returns the commit VID via the txn.
+  /// Commits: assigns the commit sequence number (VID) and enqueues the
+  /// commit record under a short critical section (preserving commit-VID ≡
+  /// commit-LSN order), then waits for the log's group-commit fsync outside
+  /// it — concurrent commits share one fsync per batch. In binlog mode the
+  /// logical record joins the same discipline (the strawman's second fsync
+  /// becomes per-batch). Returns the commit VID via the txn.
   Status Commit(Transaction* txn);
   Status Rollback(Transaction* txn);
 
@@ -128,7 +131,11 @@ class TransactionManager {
   bool binlog_enabled_ = false;
   std::atomic<Tid> next_tid_{0};
   std::atomic<Vid> next_vid_{0};
-  std::mutex commit_mu_;  // keeps VID order == commit-record LSN order
+  /// Keeps VID order == commit-record LSN order. Held only across VID
+  /// assignment and record *enqueue* — never across the durability wait —
+  /// so the commit ceiling is set by the group-commit batch rate, not by a
+  /// serialized fsync per transaction.
+  std::mutex commit_mu_;
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
 };
