@@ -123,7 +123,11 @@ Status Cluster::TriggerCheckpoint() {
   // its consumers' cursors, not the checkpoint manifest (binlog LSNs are a
   // different space), but rides the same trigger cadence.
   IMCI_RETURN_NOT_OK(RecycleRedoLogLocked(nullptr));
-  return RecycleBinlogLocked(nullptr);
+  IMCI_RETURN_NOT_OK(RecycleBinlogLocked(nullptr));
+  // Same watermark discipline for the RW node's MVCC version chains: drop
+  // row history below the oldest live snapshot.
+  rw_->PruneVersions();
+  return Status::OK();
 }
 
 Status Cluster::RecycleRedoLog(Lsn* recycled_upto) {

@@ -1,6 +1,7 @@
 #include "cluster/rw_node.h"
 
 #include "common/coding.h"
+#include "exec/operators.h"
 
 namespace imci {
 
@@ -32,6 +33,28 @@ Status RwNode::ReadBaseLsn(PolarFs* fs, Lsn* lsn) {
   if (blob.size() < 8) return Status::Corruption("base_lsn");
   *lsn = GetFixed64(blob.data());
   return Status::OK();
+}
+
+Status RwNode::ExecuteSnapshot(const LogicalRef& plan, std::vector<Row>* out) {
+  // The view is held open for the whole plan so every scan it contains sees
+  // one commit point; the RAII close unpins it from the prune watermark.
+  ReadView view = txns_.OpenReadView();
+  ExecContext ctx;
+  ctx.pool = nullptr;  // the RW row engine executes single-threaded
+  ctx.parallelism = 1;
+  ctx.read_vid = view.vid();
+  PhysOpRef root;
+  IMCI_RETURN_NOT_OK(LowerToRowPlan(plan, &engine_, &root));
+  return RunPlan(root, &ctx, out);
+}
+
+size_t RwNode::PruneVersions() {
+  const Vid watermark = txns_.PruneWatermark();
+  size_t dropped = 0;
+  for (RowTable* table : engine_.AllTables()) {
+    dropped += table->PruneVersions(watermark);
+  }
+  return dropped;
 }
 
 }  // namespace imci

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/schema.h"
+#include "plan/logical.h"
 #include "polarfs/polarfs.h"
 #include "redo/redo_writer.h"
 #include "rowstore/engine.h"
@@ -32,6 +33,18 @@ class RwNode {
   Status FinishLoad();
 
   static Status ReadBaseLsn(PolarFs* fs, Lsn* lsn);
+
+  /// Runs a read-only plan on the RW node's row engine at an MVCC snapshot
+  /// (the Fig. 10 RW-snapshot-read arm): analytical or point-read traffic
+  /// that must see fresh-as-of-now data without blocking — or being blocked
+  /// by — the OLTP writers. In legacy read-committed mode the plan reads
+  /// the latest (possibly torn) state, matching the pre-MVCC behaviour.
+  Status ExecuteSnapshot(const LogicalRef& plan, std::vector<Row>* out);
+
+  /// Prunes row version chains below the oldest live snapshot (checkpoint
+  /// duty — same watermark discipline as redo/binlog recycling). Returns
+  /// the number of versions dropped.
+  size_t PruneVersions();
 
   TransactionManager* txn_manager() { return &txns_; }
   RowStoreEngine* engine() { return &engine_; }

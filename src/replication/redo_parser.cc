@@ -46,19 +46,52 @@ Status RedoParser::ApplyPageRecord(const RedoRecord& rec,
   if (!schema) return Status::Corruption("unknown table in redo");
   PageRef page;
   IMCI_RETURN_NOT_OK(GetOrCreatePage(rec.page_id, rec.table_id, &page));
+  // Replica metadata maintenance (NoteReplica*, which takes the table
+  // latch) is deferred until the page latch is released: row-engine readers
+  // acquire table latch then page latch, so nesting them here in the
+  // opposite order would deadlock.
+  RowTable* replica =
+      replica_engine_ ? replica_engine_->GetTable(rec.table_id) : nullptr;
+  ReplicaNote note = ReplicaNote::kNone;
+  Row note_old, note_new;
+  IMCI_RETURN_NOT_OK(ApplyPageRecordLocked(rec, *schema, page,
+                                           replica != nullptr, &note,
+                                           &note_old, &note_new, out));
+  if (replica != nullptr) {
+    switch (note) {
+      case ReplicaNote::kInsert:
+        replica->NoteReplicaInsert(note_new);
+        break;
+      case ReplicaNote::kUpdate:
+        replica->NoteReplicaUpdate(note_old, note_new);
+        break;
+      case ReplicaNote::kDelete:
+        replica->NoteReplicaDelete(note_old);
+        break;
+      case ReplicaNote::kNone:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status RedoParser::ApplyPageRecordLocked(const RedoRecord& rec,
+                                         const Schema& schema,
+                                         const PageRef& page, bool want_note,
+                                         ReplicaNote* note, Row* note_old,
+                                         Row* note_new,
+                                         std::vector<LogicalDml>* out) {
   std::unique_lock<std::shared_mutex> latch(page->latch);
   if (page->page_lsn >= rec.lsn) {
     // Already reflected (page was flushed past this point before we booted).
     return Status::OK();
   }
   const bool user_dml = rec.tid != 0;
-  RowTable* replica =
-      replica_engine_ ? replica_engine_->GetTable(rec.table_id) : nullptr;
   switch (rec.type) {
     case RedoType::kInsert: {
       int64_t pk;
       IMCI_RETURN_NOT_OK(RowCodec::DecodePk(
-          *schema, rec.after_image.data(), rec.after_image.size(), &pk));
+          schema, rec.after_image.data(), rec.after_image.size(), &pk));
       uint32_t slot = rec.slot_id;
       if (slot > page->keys.size()) slot = page->keys.size();
       page->keys.insert(page->keys.begin() + slot, pk);
@@ -66,8 +99,11 @@ Status RedoParser::ApplyPageRecord(const RedoRecord& rec,
       page->byte_size += rec.after_image.size() + 12;
       Row row;
       IMCI_RETURN_NOT_OK(RowCodec::Decode(
-          *schema, rec.after_image.data(), rec.after_image.size(), &row));
-      if (replica) replica->NoteReplicaInsert(row);
+          schema, rec.after_image.data(), rec.after_image.size(), &row));
+      if (want_note) {
+        *note = ReplicaNote::kInsert;
+        *note_new = row;
+      }
       if (user_dml) {
         LogicalDml dml;
         dml.op = LogicalDml::Op::kInsert;
@@ -91,13 +127,13 @@ Status RedoParser::ApplyPageRecord(const RedoRecord& rec,
       std::string new_image;
       IMCI_RETURN_NOT_OK(rec.diff.Apply(slot_image, &new_image));
       Row new_row;
-      IMCI_RETURN_NOT_OK(RowCodec::Decode(*schema, new_image.data(),
+      IMCI_RETURN_NOT_OK(RowCodec::Decode(schema, new_image.data(),
                                           new_image.size(), &new_row));
-      if (replica) {
-        Row old_row;
-        IMCI_RETURN_NOT_OK(RowCodec::Decode(*schema, slot_image.data(),
-                                            slot_image.size(), &old_row));
-        replica->NoteReplicaUpdate(old_row, new_row);
+      if (want_note) {
+        IMCI_RETURN_NOT_OK(RowCodec::Decode(schema, slot_image.data(),
+                                            slot_image.size(), note_old));
+        *note = ReplicaNote::kUpdate;
+        *note_new = new_row;
       }
       if (user_dml) {
         LogicalDml dml;
@@ -105,7 +141,7 @@ Status RedoParser::ApplyPageRecord(const RedoRecord& rec,
         dml.table_id = rec.table_id;
         dml.lsn = rec.lsn;
         dml.tid = rec.tid;
-        dml.pk = AsInt(new_row[schema->pk_col()]);
+        dml.pk = AsInt(new_row[schema.pk_col()]);
         dml.row = std::move(new_row);
         out->push_back(std::move(dml));
       }
@@ -119,16 +155,19 @@ Status RedoParser::ApplyPageRecord(const RedoRecord& rec,
       }
       const std::string& old_image = page->payloads[rec.slot_id];
       Row old_row;
-      IMCI_RETURN_NOT_OK(RowCodec::Decode(*schema, old_image.data(),
+      IMCI_RETURN_NOT_OK(RowCodec::Decode(schema, old_image.data(),
                                           old_image.size(), &old_row));
-      if (replica) replica->NoteReplicaDelete(old_row);
+      if (want_note) {
+        *note = ReplicaNote::kDelete;
+        *note_old = old_row;
+      }
       if (user_dml) {
         LogicalDml dml;
         dml.op = LogicalDml::Op::kDelete;
         dml.table_id = rec.table_id;
         dml.lsn = rec.lsn;
         dml.tid = rec.tid;
-        dml.pk = AsInt(old_row[schema->pk_col()]);
+        dml.pk = AsInt(old_row[schema.pk_col()]);
         out->push_back(std::move(dml));
       }
       page->byte_size -= page->payloads[rec.slot_id].size() + 12;

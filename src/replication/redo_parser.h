@@ -55,9 +55,19 @@ class RedoParser {
   uint64_t dmls_produced() const { return dmls_produced_.load(); }
 
  private:
+  /// Deferred replica-metadata action: computed under the page latch,
+  /// executed by ApplyPageRecord after the latch is released (NoteReplica*
+  /// takes the table latch; row-engine readers nest table latch -> page
+  /// latch, so the reverse nesting here would deadlock).
+  enum class ReplicaNote : uint8_t { kNone, kInsert, kUpdate, kDelete };
+
   void ApplyRun(const std::vector<RedoRecord*>& run,
                 std::vector<std::vector<LogicalDml>>* worker_dmls);
   Status ApplyPageRecord(const RedoRecord& rec, std::vector<LogicalDml>* out);
+  Status ApplyPageRecordLocked(const RedoRecord& rec, const Schema& schema,
+                               const PageRef& page, bool want_note,
+                               ReplicaNote* note, Row* note_old, Row* note_new,
+                               std::vector<LogicalDml>* out);
   void ApplySmo(const RedoRecord& rec);
   Status GetOrCreatePage(PageId id, TableId table_id, PageRef* page);
 

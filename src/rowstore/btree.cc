@@ -25,15 +25,28 @@ Status BTree::GetMeta(PageRef* meta) const {
 
 Status BTree::DescendToLeaf(int64_t key, PageRef* leaf,
                             std::vector<PageRef>* path) const {
+  // Reads take each page's latch transiently (one at a time, never nested):
+  // on RO nodes Phase#1 replay mutates leaf pages in place under the page
+  // latch, concurrently with row-engine reads. On the RW node the owning
+  // table's latch already excludes writers, so these are uncontended.
   PageRef meta;
   IMCI_RETURN_NOT_OK(GetMeta(&meta));
+  PageId next;
+  {
+    std::shared_lock<std::shared_mutex> g(meta->latch);
+    next = meta->root_page;
+  }
   PageRef node;
-  IMCI_RETURN_NOT_OK(pool_->GetPage(meta->root_page, &node));
-  while (node->type == PageType::kInternal) {
+  IMCI_RETURN_NOT_OK(pool_->GetPage(next, &node));
+  for (;;) {
+    {
+      std::shared_lock<std::shared_mutex> g(node->latch);
+      if (node->type != PageType::kInternal) break;
+      next = node->children[node->ChildIndexFor(key)];
+    }
     if (path) path->push_back(node);
-    int idx = node->ChildIndexFor(key);
     PageRef child;
-    IMCI_RETURN_NOT_OK(pool_->GetPage(node->children[idx], &child));
+    IMCI_RETURN_NOT_OK(pool_->GetPage(next, &child));
     node = child;
   }
   *leaf = node;
@@ -206,6 +219,7 @@ Status BTree::Delete(int64_t key, std::string* old_image,
 Status BTree::Lookup(int64_t key, std::string* image) const {
   PageRef leaf;
   IMCI_RETURN_NOT_OK(DescendToLeaf(key, &leaf, nullptr));
+  std::shared_lock<std::shared_mutex> g(leaf->latch);
   int slot = leaf->FindSlot(key);
   if (slot < 0) return Status::NotFound("lookup");
   *image = leaf->payloads[slot];
@@ -216,10 +230,15 @@ Status BTree::Scan(
     const std::function<bool(int64_t, const std::string&)>& fn) const {
   PageRef meta;
   IMCI_RETURN_NOT_OK(GetMeta(&meta));
-  PageId pid = meta->first_leaf;
+  PageId pid;
+  {
+    std::shared_lock<std::shared_mutex> g(meta->latch);
+    pid = meta->first_leaf;
+  }
   while (pid != kInvalidPageId) {
     PageRef leaf;
     IMCI_RETURN_NOT_OK(pool_->GetPage(pid, &leaf));
+    std::shared_lock<std::shared_mutex> g(leaf->latch);
     for (size_t i = 0; i < leaf->keys.size(); ++i) {
       if (!fn(leaf->keys[i], leaf->payloads[i])) return Status::OK();
     }
@@ -235,14 +254,19 @@ Status BTree::ScanRange(
   IMCI_RETURN_NOT_OK(DescendToLeaf(lo, &leaf, nullptr));
   PageRef cur = leaf;
   while (cur) {
-    for (int i = cur->LowerBound(lo); i < static_cast<int>(cur->keys.size());
-         ++i) {
-      if (cur->keys[i] > hi) return Status::OK();
-      if (!fn(cur->keys[i], cur->payloads[i])) return Status::OK();
+    PageId next_id = kInvalidPageId;
+    {
+      std::shared_lock<std::shared_mutex> g(cur->latch);
+      for (int i = cur->LowerBound(lo);
+           i < static_cast<int>(cur->keys.size()); ++i) {
+        if (cur->keys[i] > hi) return Status::OK();
+        if (!fn(cur->keys[i], cur->payloads[i])) return Status::OK();
+      }
+      next_id = cur->next_leaf;
     }
-    if (cur->next_leaf == kInvalidPageId) break;
+    if (next_id == kInvalidPageId) break;
     PageRef next;
-    IMCI_RETURN_NOT_OK(pool_->GetPage(cur->next_leaf, &next));
+    IMCI_RETURN_NOT_OK(pool_->GetPage(next_id, &next));
     cur = next;
   }
   return Status::OK();

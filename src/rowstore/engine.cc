@@ -1,5 +1,7 @@
 #include "rowstore/engine.h"
 
+#include <algorithm>
+
 #include "common/clock.h"
 #include "common/coding.h"
 
@@ -51,6 +53,14 @@ const RowTable* RowStoreEngine::GetTable(TableId id) const {
 RowTable* RowStoreEngine::GetTableByName(const std::string& name) {
   auto schema = catalog_->GetByName(name);
   return schema ? GetTable(schema->table_id()) : nullptr;
+}
+
+std::vector<RowTable*> RowStoreEngine::AllTables() {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<RowTable*> out;
+  out.reserve(tables_.size());
+  for (auto& [id, table] : tables_) out.push_back(table.get());
+  return out;
 }
 
 Status RowStoreEngine::CheckpointPages() {
@@ -123,7 +133,7 @@ Status TransactionManager::Insert(Transaction* txn, TableId table,
   IMCI_RETURN_NOT_OK(locks_->Lock(txn->tid_, table, pk));
   txn->locks_.emplace_back(table, pk);
   std::vector<RedoRecord> redo;
-  IMCI_RETURN_NOT_OK(t->Insert(row, &redo, MakeShip(txn)));
+  IMCI_RETURN_NOT_OK(t->Insert(row, &redo, MakeShip(txn), txn->tid_));
   txn->undo_.push_back({UndoEntry::Op::kInsert, table, pk, {}});
   if (binlog_enabled_ && binlog_ != nullptr) {
     std::string image;
@@ -142,7 +152,8 @@ Status TransactionManager::Update(Transaction* txn, TableId table, int64_t pk,
   txn->locks_.emplace_back(table, pk);
   std::vector<RedoRecord> redo;
   Row old_row;
-  IMCI_RETURN_NOT_OK(t->Update(pk, row, &old_row, &redo, MakeShip(txn)));
+  IMCI_RETURN_NOT_OK(
+      t->Update(pk, row, &old_row, &redo, MakeShip(txn), txn->tid_));
   std::string old_image;
   RowCodec::Encode(t->schema(), old_row, &old_image);
   txn->undo_.push_back(
@@ -164,7 +175,7 @@ Status TransactionManager::Delete(Transaction* txn, TableId table,
   txn->locks_.emplace_back(table, pk);
   std::vector<RedoRecord> redo;
   Row old_row;
-  IMCI_RETURN_NOT_OK(t->Delete(pk, &old_row, &redo, MakeShip(txn)));
+  IMCI_RETURN_NOT_OK(t->Delete(pk, &old_row, &redo, MakeShip(txn), txn->tid_));
   std::string old_image;
   RowCodec::Encode(t->schema(), old_row, &old_image);
   txn->undo_.push_back(
@@ -185,10 +196,109 @@ Status TransactionManager::GetForUpdate(Transaction* txn, TableId table,
   return t->Get(pk, row);
 }
 
-Status TransactionManager::Get(TableId table, int64_t pk, Row* row) const {
+Status TransactionManager::Get(TableId table, int64_t pk, Row* row) {
   const RowTable* t = engine_->GetTable(table);
   if (t == nullptr) return Status::NotFound("table");
-  return t->Get(pk, row);
+  if (read_mode_.load() == ReadMode::kReadCommitted) return t->Get(pk, row);
+  // Single-statement read: the snapshot is sampled under the table latch
+  // (SnapshotGetCurrent), so no live-view registration is needed — point
+  // reads skip the snaps_mu_ registry entirely.
+  return t->SnapshotGetCurrent(snapshot_vid_, pk, row);
+}
+
+Vid TransactionManager::RefreshWatermarkLocked() const {
+  const Vid published = snapshot_vid_.load(std::memory_order_acquire);
+  const Vid watermark =
+      live_snaps_.empty()
+          ? published
+          : std::min(published, live_snaps_.begin()->first);
+  trim_hint_.store(watermark, std::memory_order_relaxed);
+  return watermark;
+}
+
+ReadView TransactionManager::OpenReadView() {
+  if (read_mode_.load() == ReadMode::kReadCommitted) {
+    return ReadView(nullptr, kMaxVid);
+  }
+  std::lock_guard<std::mutex> g(snaps_mu_);
+  const Vid vid = snapshot_vid_.load(std::memory_order_acquire);
+  live_snaps_[vid]++;
+  RefreshWatermarkLocked();
+  return ReadView(this, vid);
+}
+
+void TransactionManager::CloseReadView(Vid vid) {
+  std::lock_guard<std::mutex> g(snaps_mu_);
+  auto it = live_snaps_.find(vid);
+  if (it != live_snaps_.end() && --it->second == 0) live_snaps_.erase(it);
+  RefreshWatermarkLocked();
+}
+
+void ReadView::Close() {
+  if (mgr_ != nullptr) {
+    mgr_->CloseReadView(vid_);
+    mgr_ = nullptr;
+  }
+}
+
+Vid TransactionManager::PruneWatermark() const {
+  std::lock_guard<std::mutex> g(snaps_mu_);
+  return RefreshWatermarkLocked();
+}
+
+Status TransactionManager::Get(const ReadView& view, TableId table, int64_t pk,
+                               Row* row) {
+  const RowTable* t = engine_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  if (view.vid() == kMaxVid) return t->Get(pk, row);  // legacy latest read
+  return t->SnapshotGet(view.vid(), pk, row);
+}
+
+Status TransactionManager::Scan(
+    const ReadView& view, TableId table,
+    const std::function<bool(int64_t, const Row&)>& fn) {
+  const RowTable* t = engine_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  if (view.vid() == kMaxVid) return t->Scan(fn);
+  return t->SnapshotScan(view.vid(), fn);
+}
+
+Status TransactionManager::ScanRange(
+    const ReadView& view, TableId table, int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const Row&)>& fn) {
+  const RowTable* t = engine_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  if (view.vid() == kMaxVid) return t->ScanRange(lo, hi, fn);
+  return t->SnapshotScanRange(view.vid(), lo, hi, fn);
+}
+
+Status TransactionManager::IndexLookup(const ReadView& view, TableId table,
+                                       int col, int64_t key,
+                                       std::vector<int64_t>* pks) {
+  const RowTable* t = engine_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("table");
+  if (view.vid() == kMaxVid) return t->IndexLookup(col, key, pks);
+  return t->SnapshotIndexLookup(view.vid(), col, key, pks);
+}
+
+void TransactionManager::StampCommitLocked(Transaction* txn, Vid trim_hint) {
+  if (txn->undo_.empty()) return;
+  // The chains only need versions a snapshot can still read: trim below the
+  // oldest live view (or just below this commit when nothing older is
+  // pinned) while stamping, so hot rows don't accumulate history between
+  // checkpoints. `trim_hint` was computed *before* commit_mu_ was taken —
+  // it can only be stale-low (new views open at or above the published
+  // point), which merely trims less; computing it here would drag the
+  // reader-hammered snaps_mu_ into the global commit section.
+  const Vid trim = std::min(trim_hint, txn->commit_vid_ - 1);
+  std::map<TableId, std::vector<int64_t>> by_table;
+  for (const UndoEntry& u : txn->undo_) {
+    by_table[u.table_id].push_back(u.pk);
+  }
+  for (auto& [table_id, pks] : by_table) {
+    RowTable* t = engine_->GetTable(table_id);
+    if (t != nullptr) t->StampVersions(txn->tid_, txn->commit_vid_, pks, trim);
+  }
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
@@ -200,6 +310,9 @@ Status TransactionManager::Commit(Transaction* txn) {
   commit.prev_lsn = txn->last_lsn_;
   Lsn commit_lsn = 0;
   Lsn binlog_lsn = 0;
+  const Vid trim_hint = txn->undo_.empty()
+                            ? 0
+                            : trim_hint_.load(std::memory_order_relaxed);
   {
     // Short critical section: VID assignment and the commit-record
     // *enqueue* happen under one mutex so that commit-VID order equals
@@ -213,6 +326,7 @@ Status TransactionManager::Commit(Transaction* txn) {
     commit.commit_vid = txn->commit_vid_;
     commit.commit_ts_us = NowMicros();
     commit_lsn = redo_->AppendOne(&commit, /*durable=*/false);
+    txn->commit_lsn_ = commit_lsn;
     if (binlog_enabled_ && binlog_ != nullptr) {
       // MySQL's ordered group commit serializes the binlog *write* with the
       // engine commit (XA between binlog and redo). The strawman's extra
@@ -222,6 +336,24 @@ Status TransactionManager::Commit(Transaction* txn) {
                                        commit.commit_ts_us,
                                        txn->binlog_events_);
     }
+    // Stamp this transaction's row versions with its commit VID, then
+    // publish the VID as the new snapshot point — in that order, so a
+    // reader whose snapshot covers this commit always finds it stamped.
+    // Both happen under commit_mu_, keeping the published point monotone in
+    // VID (≡ LSN) order.
+    //
+    // Deliberate trade-off: publication happens at the commit *point*, not
+    // at durability — a snapshot taken now can observe this transaction
+    // before its group-commit fsync lands, so a crash in that window
+    // erases state a reader may have acted on. This matches the in-memory
+    // MVCC commit-point convention (and is strictly stronger than the
+    // pre-MVCC unlocked read, which exposed uncommitted data); gating
+    // visibility on the durable LSN would need a vid->lsn publication
+    // queue and tie read freshness to fsync batch latency (ROADMAP
+    // follow-up). Locks are still held to durability, so *conflicting
+    // writers* never build on a loseable commit.
+    StampCommitLocked(txn, trim_hint);
+    snapshot_vid_.store(txn->commit_vid_, std::memory_order_release);
   }
   // Group commit: block until a leader's batch fsync covers the commit
   // record (and, in binlog mode, the logical record). Locks are released
@@ -231,6 +363,14 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (binlog_lsn != 0) binlog_->SyncTo(binlog_lsn);
   ReleaseLocks(txn);
   commits_.fetch_add(1, std::memory_order_relaxed);
+  // Opportunistic trim-hint refresh, off the critical path: a write-only
+  // workload never opens read views, so CloseReadView alone would leave the
+  // hint pinned low and chains would only shrink at checkpoints. try_lock —
+  // losing the race to readers just means the next commit refreshes it.
+  if (std::unique_lock<std::mutex> l(snaps_mu_, std::try_to_lock);
+      l.owns_lock()) {
+    RefreshWatermarkLocked();
+  }
   return Status::OK();
 }
 
@@ -270,6 +410,18 @@ Status TransactionManager::Rollback(Transaction* txn) {
   abort.tid = txn->tid_;
   abort.prev_lsn = txn->last_lsn_;
   redo_->AppendOne(&abort, /*durable=*/false);
+  // Drop the in-flight row versions now that the undo images are physically
+  // restored: surviving chain bases mirror the tree again, and snapshot
+  // readers (which skipped the in-flight versions all along) never saw any
+  // of the rolled-back state.
+  {
+    std::map<TableId, std::vector<int64_t>> by_table;
+    for (const UndoEntry& u : txn->undo_) by_table[u.table_id].push_back(u.pk);
+    for (auto& [table_id, pks] : by_table) {
+      RowTable* t = engine_->GetTable(table_id);
+      if (t != nullptr) t->AbortVersions(txn->tid_, pks);
+    }
+  }
   ReleaseLocks(txn);
   aborts_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();

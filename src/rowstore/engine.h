@@ -2,6 +2,8 @@
 #define POLARDB_IMCI_ROWSTORE_ENGINE_H_
 
 #include <atomic>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -35,6 +37,8 @@ class RowStoreEngine {
   RowTable* GetTable(TableId id);
   const RowTable* GetTable(TableId id) const;
   RowTable* GetTableByName(const std::string& name);
+  /// Every registered table (checkpoint-time version pruning walks these).
+  std::vector<RowTable*> AllTables();
 
   BufferPool* buffer_pool() { return &pool_; }
   Catalog* catalog() { return catalog_; }
@@ -72,12 +76,17 @@ class Transaction {
  public:
   Tid tid() const { return tid_; }
   Vid commit_vid() const { return commit_vid_; }
+  /// LSN of the commit record (0 until Commit succeeds). Commit-VID order
+  /// equals commit-LSN order, so a durable-LSN watermark also cuts the
+  /// commit history at a VID prefix (what crash recovery restores).
+  Lsn commit_lsn() const { return commit_lsn_; }
 
  private:
   friend class TransactionManager;
   Tid tid_ = 0;
   Lsn last_lsn_ = 0;
   Vid commit_vid_ = 0;
+  Lsn commit_lsn_ = 0;
   uint32_t dml_count_ = 0;
   bool finished_ = false;
   std::vector<UndoEntry> undo_;
@@ -85,12 +94,69 @@ class Transaction {
   std::vector<BinlogWriter::Event> binlog_events_;
 };
 
+class TransactionManager;
+
+/// RAII MVCC read view: a snapshot VID registered as live with its
+/// TransactionManager, so commit-time chain trimming and checkpoint pruning
+/// keep every version the view can still read. All reads through one view
+/// observe a single commit point (snapshot isolation). A default-constructed
+/// view — or one opened while the manager is in legacy read-committed mode —
+/// carries vid kMaxVid and reads the latest state instead.
+class ReadView {
+ public:
+  ReadView() = default;
+  ReadView(ReadView&& o) noexcept : mgr_(o.mgr_), vid_(o.vid_) {
+    o.mgr_ = nullptr;
+  }
+  ReadView& operator=(ReadView&& o) noexcept {
+    if (this != &o) {
+      Close();
+      mgr_ = o.mgr_;
+      vid_ = o.vid_;
+      o.mgr_ = nullptr;
+    }
+    return *this;
+  }
+  ReadView(const ReadView&) = delete;
+  ReadView& operator=(const ReadView&) = delete;
+  ~ReadView() { Close(); }
+
+  Vid vid() const { return vid_; }
+  /// True when this view pins a registered MVCC snapshot.
+  bool IsSnapshot() const { return mgr_ != nullptr; }
+  /// Unregisters the snapshot early (idempotent).
+  void Close();
+
+ private:
+  friend class TransactionManager;
+  ReadView(TransactionManager* mgr, Vid vid) : mgr_(mgr), vid_(vid) {}
+  TransactionManager* mgr_ = nullptr;
+  Vid vid_ = kMaxVid;
+};
+
 /// Transaction execution on the RW node (§3.1 "Transaction Exe."): strict
-/// 2PL row locks, eager (commit-ahead) REDO shipping of DML records, a single
-/// durable commit record per transaction, and compensating system records on
-/// rollback so replica pages converge without exposing aborted DMLs.
+/// 2PL row locks for writers, eager (commit-ahead) REDO shipping of DML
+/// records, a single durable commit record per transaction, and compensating
+/// system records on rollback so replica pages converge without exposing
+/// aborted DMLs.
+///
+/// Readers never lock and never block: every read runs at an MVCC snapshot
+/// VID taken under the existing commit ordering (commit-VID ≡ commit-LSN, so
+/// snapshots are free — the current published commit point IS the snapshot).
+/// Commit stamps the transaction's row versions with its VID *before*
+/// publishing that VID as the new snapshot point, so a snapshot S always
+/// sees exactly the transactions with commit VID <= S. `GetForUpdate` still
+/// reads latest-committed under the exclusive row lock, and write-write
+/// conflicts are unchanged. The legacy unlocked read-committed path survives
+/// behind set_read_mode(ReadMode::kReadCommitted) so the pre-MVCC anomalies
+/// stay demonstrable.
 class TransactionManager {
  public:
+  /// kSnapshot: reads resolve MVCC version chains at a snapshot VID
+  /// (default). kReadCommitted: the pre-MVCC unlocked read of the latest
+  /// B+tree image — dirty reads included; kept as the legacy/ablation arm.
+  enum class ReadMode : uint8_t { kSnapshot, kReadCommitted };
+
   TransactionManager(RowStoreEngine* engine, RedoWriter* redo,
                      LockManager* locks, BinlogWriter* binlog = nullptr);
 
@@ -101,8 +167,22 @@ class TransactionManager {
   Status Delete(Transaction* txn, TableId table, int64_t pk);
   /// Locks the row, then reads it (SELECT ... FOR UPDATE).
   Status GetForUpdate(Transaction* txn, TableId table, int64_t pk, Row* row);
-  /// Unlocked read-committed read.
-  Status Get(TableId table, int64_t pk, Row* row) const;
+
+  /// Single-statement read at a fresh snapshot (legacy mode: unlocked
+  /// read-committed).
+  Status Get(TableId table, int64_t pk, Row* row);
+
+  /// Opens a read view at the current commit point; all reads through it see
+  /// one consistent snapshot until it closes. In legacy mode the view is
+  /// unregistered and reads latest state.
+  ReadView OpenReadView();
+  Status Get(const ReadView& view, TableId table, int64_t pk, Row* row);
+  Status Scan(const ReadView& view, TableId table,
+              const std::function<bool(int64_t, const Row&)>& fn);
+  Status ScanRange(const ReadView& view, TableId table, int64_t lo, int64_t hi,
+                   const std::function<bool(int64_t, const Row&)>& fn);
+  Status IndexLookup(const ReadView& view, TableId table, int col, int64_t key,
+                     std::vector<int64_t>* pks);
 
   /// Commits: assigns the commit sequence number (VID) and enqueues the
   /// commit record under a short critical section (preserving commit-VID ≡
@@ -116,21 +196,62 @@ class TransactionManager {
   /// Enables/disables the Binlog strawman (Fig. 11).
   void set_binlog_enabled(bool on) { binlog_enabled_ = on; }
 
+  /// Switches the read path (MVCC snapshot vs legacy read-committed); safe
+  /// to flip between benchmark phases.
+  void set_read_mode(ReadMode m) { read_mode_.store(m); }
+  ReadMode read_mode() const { return read_mode_.load(); }
+
+  /// Commit point visible to new snapshots (published after version
+  /// stamping, so a snapshot <= this VID always resolves).
+  Vid snapshot_vid() const {
+    return snapshot_vid_.load(std::memory_order_acquire);
+  }
+  /// Version-chain pruning bound: no live (or future) snapshot reads below
+  /// this VID. Checkpoints prune row version chains to it.
+  Vid PruneWatermark() const;
+
   Vid last_commit_vid() const { return next_vid_.load(); }
   uint64_t commits() const { return commits_.load(); }
   uint64_t aborts() const { return aborts_.load(); }
 
  private:
+  friend class ReadView;
+
   RowTable::RedoShipFn MakeShip(Transaction* txn);
   void ReleaseLocks(Transaction* txn);
+  void CloseReadView(Vid vid);
+  /// The single definition of the prune/trim bound — min(published VID,
+  /// oldest live view) — computed under snaps_mu_ and mirrored into
+  /// trim_hint_. Every site must use this: a divergent copy could over-trim
+  /// versions a live snapshot still needs.
+  Vid RefreshWatermarkLocked() const;
+  /// Stamps the txn's versions with its commit VID and trims chains below
+  /// `trim_hint` (a PruneWatermark() value sampled before commit_mu_ was
+  /// acquired — conservative by construction). Called under commit_mu_.
+  void StampCommitLocked(Transaction* txn, Vid trim_hint);
 
   RowStoreEngine* engine_;
   RedoWriter* redo_;
   LockManager* locks_;
   BinlogWriter* binlog_;
   bool binlog_enabled_ = false;
+  std::atomic<ReadMode> read_mode_{ReadMode::kSnapshot};
   std::atomic<Tid> next_tid_{0};
   std::atomic<Vid> next_vid_{0};
+  /// Published snapshot point: advanced (in VID order, under commit_mu_)
+  /// only after the committing transaction's versions are stamped.
+  std::atomic<Vid> snapshot_vid_{0};
+  /// Live snapshot registry (vid -> open view count) for the prune
+  /// watermark.
+  mutable std::mutex snaps_mu_;
+  std::map<Vid, int> live_snaps_;
+  /// Cached lower bound of PruneWatermark(), refreshed whenever the live
+  /// registry changes (under snaps_mu_). Any previously computed value stays
+  /// valid forever — new views only open at or above the published point —
+  /// so the commit path reads this atomic instead of taking the
+  /// reader-hammered snaps_mu_ for every transaction. (mutable: the const
+  /// PruneWatermark() probe refreshes it too.)
+  mutable std::atomic<Vid> trim_hint_{0};
   /// Keeps VID order == commit-record LSN order. Held only across VID
   /// assignment and record *enqueue* — never across the durability wait —
   /// so the commit ceiling is set by the group-commit batch rate, not by a

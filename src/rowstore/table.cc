@@ -1,6 +1,7 @@
 #include "rowstore/table.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace imci {
 
@@ -16,57 +17,71 @@ RowTable::RowTable(std::shared_ptr<const Schema> schema, BufferPool* pool,
 Status RowTable::CreateEmpty() { return btree_.CreateEmpty(); }
 
 Status RowTable::Insert(const Row& row, std::vector<RedoRecord>* redo,
-                        const RedoShipFn& ship) {
+                        const RedoShipFn& ship, Tid writer) {
   const int64_t pk = AsInt(row[schema_->pk_col()]);
   std::string image;
   RowCodec::Encode(*schema_, row, &image);
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   IMCI_RETURN_NOT_OK(btree_.Insert(pk, image, redo));
   IndexInsert(row, pk);
   row_count_.fetch_add(1, std::memory_order_relaxed);
+  if (writer != 0) {
+    // No base seed: before this insert the key's visible history is either
+    // empty or already in the chain (committed delete).
+    PushVersionLocked(pk, writer, /*deleted=*/false, std::move(image),
+                      nullptr);
+  }
   if (ship) ship(redo);  // under the latch: log order == page-op order
   return Status::OK();
 }
 
 Status RowTable::Update(int64_t pk, const Row& new_row, Row* old_row,
                         std::vector<RedoRecord>* redo,
-                        const RedoShipFn& ship) {
+                        const RedoShipFn& ship, Tid writer) {
   std::string new_image;
   RowCodec::Encode(*schema_, new_row, &new_image);
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   std::string old_image;
   IMCI_RETURN_NOT_OK(btree_.Update(pk, new_image, &old_image, redo));
   IMCI_RETURN_NOT_OK(
       RowCodec::Decode(*schema_, old_image.data(), old_image.size(), old_row));
   IndexRemove(*old_row, pk);
   IndexInsert(new_row, pk);
+  if (writer != 0) {
+    PushVersionLocked(pk, writer, /*deleted=*/false, std::move(new_image),
+                      &old_image);
+  }
   if (ship) ship(redo);
   return Status::OK();
 }
 
 Status RowTable::Delete(int64_t pk, Row* old_row,
                         std::vector<RedoRecord>* redo,
-                        const RedoShipFn& ship) {
-  std::unique_lock<std::shared_mutex> g(latch_);
+                        const RedoShipFn& ship, Tid writer) {
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   std::string old_image;
   IMCI_RETURN_NOT_OK(btree_.Delete(pk, &old_image, redo));
   IMCI_RETURN_NOT_OK(
       RowCodec::Decode(*schema_, old_image.data(), old_image.size(), old_row));
   IndexRemove(*old_row, pk);
   row_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (writer != 0) {
+    PushVersionLocked(pk, writer, /*deleted=*/true, std::string(),
+                      &old_image);
+  }
   if (ship) ship(redo);
   return Status::OK();
 }
 
 Status RowTable::Get(int64_t pk, Row* row) const {
-  std::shared_lock<std::shared_mutex> g(latch_);
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
   std::string image;
   IMCI_RETURN_NOT_OK(btree_.Lookup(pk, &image));
   return RowCodec::Decode(*schema_, image.data(), image.size(), row);
 }
 
 bool RowTable::Exists(int64_t pk) const {
-  std::shared_lock<std::shared_mutex> g(latch_);
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
   std::string image;
   return btree_.Lookup(pk, &image).ok();
 }
@@ -77,7 +92,7 @@ Status RowTable::InsertImage(int64_t pk, const std::string& image,
   Row row;
   IMCI_RETURN_NOT_OK(RowCodec::Decode(*schema_, image.data(), image.size(),
                                       &row));
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   IMCI_RETURN_NOT_OK(btree_.Insert(pk, image, redo));
   IndexInsert(row, pk);
   row_count_.fetch_add(1, std::memory_order_relaxed);
@@ -91,7 +106,7 @@ Status RowTable::UpdateImage(int64_t pk, const std::string& image,
   Row new_row;
   IMCI_RETURN_NOT_OK(
       RowCodec::Decode(*schema_, image.data(), image.size(), &new_row));
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   std::string old_image;
   IMCI_RETURN_NOT_OK(btree_.Update(pk, image, &old_image, redo));
   Row old_row;
@@ -105,7 +120,7 @@ Status RowTable::UpdateImage(int64_t pk, const std::string& image,
 
 Status RowTable::DeleteImage(int64_t pk, std::vector<RedoRecord>* redo,
                              const RedoShipFn& ship) {
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   std::string old_image;
   IMCI_RETURN_NOT_OK(btree_.Delete(pk, &old_image, redo));
   Row old_row;
@@ -119,32 +134,197 @@ Status RowTable::DeleteImage(int64_t pk, std::vector<RedoRecord>* redo,
 
 Status RowTable::Scan(
     const std::function<bool(int64_t, const Row&)>& fn) const {
-  std::shared_lock<std::shared_mutex> g(latch_);
-  Row row;
-  return btree_.Scan([&](int64_t pk, const std::string& image) {
-    if (!RowCodec::Decode(*schema_, image.data(), image.size(), &row).ok()) {
-      return true;
-    }
-    return fn(pk, row);
-  });
+  return ScanRange(std::numeric_limits<int64_t>::min(),
+                   std::numeric_limits<int64_t>::max(), fn);
 }
 
 Status RowTable::ScanRange(
     int64_t lo, int64_t hi,
     const std::function<bool(int64_t, const Row&)>& fn) const {
-  std::shared_lock<std::shared_mutex> g(latch_);
+  if (lo > hi) return Status::OK();
+  int64_t cursor = lo;
+  std::vector<std::pair<int64_t, std::string>> batch;
   Row row;
-  return btree_.ScanRange(lo, hi, [&](int64_t pk, const std::string& image) {
-    if (!RowCodec::Decode(*schema_, image.data(), image.size(), &row).ok()) {
-      return true;
+  for (;;) {
+    batch.clear();
+    {
+      std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+      IMCI_RETURN_NOT_OK(
+          btree_.ScanRange(cursor, hi, [&](int64_t pk, const std::string& im) {
+            batch.emplace_back(pk, im);
+            return batch.size() < kScanBatch;
+          }));
     }
-    return fn(pk, row);
-  });
+    // The callback (possibly slow) runs with no latch held: writers
+    // interleave between steps, MVCC supplies consistency where needed.
+    const bool more = batch.size() >= kScanBatch && batch.back().first < hi;
+    for (const auto& [pk, image] : batch) {
+      if (!RowCodec::Decode(*schema_, image.data(), image.size(), &row).ok()) {
+        continue;
+      }
+      if (!fn(pk, row)) return Status::OK();
+    }
+    if (!more) return Status::OK();
+    cursor = batch.back().first + 1;
+  }
+}
+
+Status RowTable::SnapshotGetLocked(Vid s, int64_t pk,
+                                   std::string* image) const {
+  // One copy of the point-visibility rules: chain resolution wins, deleted
+  // versions read as absent, chainless rows fall back to the tree (safe by
+  // the pruning invariant). Caller holds the shared latch.
+  auto it = versions_.find(pk);
+  if (it != versions_.end()) {
+    const RowVersion* v = ResolveVersion(it->second, s);
+    if (v == nullptr || v->deleted) return Status::NotFound("snapshot get");
+    *image = v->image;
+    return Status::OK();
+  }
+  return btree_.Lookup(pk, image);
+}
+
+Status RowTable::SnapshotGet(Vid s, int64_t pk, Row* row) const {
+  std::string image;
+  {
+    std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+    IMCI_RETURN_NOT_OK(SnapshotGetLocked(s, pk, &image));
+  }
+  return RowCodec::Decode(*schema_, image.data(), image.size(), row);
+}
+
+Status RowTable::SnapshotGetCurrent(const std::atomic<Vid>& published,
+                                    int64_t pk, Row* row) const {
+  std::string image;
+  {
+    std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+    // Sampled under the latch: trims/prunes (exclusive) are excluded, and
+    // any earlier trim's watermark was <= the VID published back then <=
+    // this value — so resolution below cannot miss its version.
+    const Vid s = published.load(std::memory_order_acquire);
+    IMCI_RETURN_NOT_OK(SnapshotGetLocked(s, pk, &image));
+  }
+  return RowCodec::Decode(*schema_, image.data(), image.size(), row);
+}
+
+Status RowTable::SnapshotScan(
+    Vid s, const std::function<bool(int64_t, const Row&)>& fn) const {
+  return SnapshotScanRange(s, std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::max(), fn);
+}
+
+Status RowTable::SnapshotScanRange(
+    Vid s, int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const Row&)>& fn) const {
+  if (lo > hi) return Status::OK();
+  int64_t cursor = lo;
+  std::vector<std::pair<int64_t, std::string>> resolved;
+  std::vector<std::pair<int64_t, std::string>> batch;
+  Row row;
+  for (;;) {
+    batch.clear();
+    resolved.clear();
+    bool more = false;
+    int64_t last_tree_pk = 0;
+    {
+      std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+      IMCI_RETURN_NOT_OK(
+          btree_.ScanRange(cursor, hi, [&](int64_t pk, const std::string& im) {
+            batch.emplace_back(pk, im);
+            return batch.size() < kScanBatch;
+          }));
+      // This step covers [cursor, upper]; resolution happens inside the same
+      // latch hold so the tree images and the chains are one consistent cut.
+      int64_t upper = hi;
+      if (batch.size() >= kScanBatch && batch.back().first < hi) {
+        upper = batch.back().first;
+        last_tree_pk = upper;
+        more = true;
+      }
+      // Merge tree keys with chain-only keys (rows whose snapshot-visible
+      // version is no longer in the tree, e.g. deletes committed after s).
+      auto bit = batch.begin();
+      auto vit = versions_.lower_bound(cursor);
+      while (bit != batch.end() ||
+             (vit != versions_.end() && vit->first <= upper)) {
+        bool take_tree = bit != batch.end();
+        bool take_chain = vit != versions_.end() && vit->first <= upper;
+        if (take_tree && take_chain) {
+          if (bit->first < vit->first) {
+            take_chain = false;
+          } else if (vit->first < bit->first) {
+            take_tree = false;
+          }
+        }
+        const int64_t pk = take_tree ? bit->first : vit->first;
+        if (take_chain) {
+          const RowVersion* v = ResolveVersion(vit->second, s);
+          if (v != nullptr && !v->deleted) resolved.emplace_back(pk, v->image);
+          ++vit;
+        } else {
+          // Chainless row: the tree image is the visible version (pruning
+          // invariant); hand the string over instead of copying it.
+          resolved.emplace_back(pk, std::move(bit->second));
+        }
+        if (take_tree) ++bit;
+      }
+    }
+    for (const auto& [pk, image] : resolved) {
+      if (!RowCodec::Decode(*schema_, image.data(), image.size(), &row).ok()) {
+        continue;
+      }
+      if (!fn(pk, row)) return Status::OK();
+    }
+    if (!more) return Status::OK();
+    cursor = last_tree_pk + 1;
+  }
+}
+
+Status RowTable::SnapshotIndexLookup(Vid s, int col, int64_t key,
+                                     std::vector<int64_t>* pks) const {
+  return SnapshotIndexLookupRange(s, col, key, key, pks);
+}
+
+Status RowTable::SnapshotIndexLookupRange(Vid s, int col, int64_t lo,
+                                          int64_t hi,
+                                          std::vector<int64_t>* pks) const {
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+  auto idx = sec_index_.find(col);
+  if (idx == sec_index_.end()) return Status::NotSupported("no index");
+  std::set<int64_t> cand;
+  for (auto it = idx->second.lower_bound(lo);
+       it != idx->second.end() && it->first <= hi; ++it) {
+    cand.insert(it->second.begin(), it->second.end());
+  }
+  // Chains can hold the only snapshot-visible version of a row whose index
+  // entry was already retargeted or removed by a newer write; sweep them.
+  for (const auto& [pk, chain] : versions_) cand.insert(pk);
+  Row row;
+  for (int64_t pk : cand) {
+    const std::string* image = nullptr;
+    std::string tree_image;
+    auto vit = versions_.find(pk);
+    if (vit != versions_.end()) {
+      const RowVersion* v = ResolveVersion(vit->second, s);
+      if (v == nullptr || v->deleted) continue;
+      image = &v->image;
+    } else {
+      if (!btree_.Lookup(pk, &tree_image).ok()) continue;
+      image = &tree_image;
+    }
+    if (!RowCodec::Decode(*schema_, image->data(), image->size(), &row).ok()) {
+      continue;
+    }
+    if (IsNull(row[col])) continue;
+    const int64_t v = AsInt(row[col]);
+    if (v >= lo && v <= hi) pks->push_back(pk);
+  }
+  return Status::OK();
 }
 
 Status RowTable::IndexLookup(int col, int64_t key,
                              std::vector<int64_t>* pks) const {
-  std::shared_lock<std::shared_mutex> g(latch_);
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
   auto idx = sec_index_.find(col);
   if (idx == sec_index_.end()) return Status::NotSupported("no index");
   auto it = idx->second.find(key);
@@ -156,7 +336,7 @@ Status RowTable::IndexLookup(int col, int64_t key,
 
 Status RowTable::IndexLookupRange(int col, int64_t lo, int64_t hi,
                                   std::vector<int64_t>* pks) const {
-  std::shared_lock<std::shared_mutex> g(latch_);
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
   auto idx = sec_index_.find(col);
   if (idx == sec_index_.end()) return Status::NotSupported("no index");
   for (auto it = idx->second.lower_bound(lo);
@@ -177,7 +357,7 @@ Status RowTable::BulkLoad(std::vector<Row> rows) {
     RowCodec::Encode(*schema_, r, &image);
     encoded.emplace_back(AsInt(r[schema_->pk_col()]), std::move(image));
   }
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   IMCI_RETURN_NOT_OK(btree_.BulkLoad(encoded));
   for (const Row& r : rows) IndexInsert(r, AsInt(r[schema_->pk_col()]));
   row_count_.store(rows.size());
@@ -185,7 +365,7 @@ Status RowTable::BulkLoad(std::vector<Row> rows) {
 }
 
 Status RowTable::RebuildIndexesFromPages() {
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   for (auto& [col, index] : sec_index_) index.clear();
   uint64_t count = 0;
   Row row;
@@ -201,22 +381,137 @@ Status RowTable::RebuildIndexesFromPages() {
 }
 
 void RowTable::NoteReplicaInsert(const Row& row) {
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   IndexInsert(row, AsInt(row[schema_->pk_col()]));
   row_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void RowTable::NoteReplicaDelete(const Row& row) {
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   IndexRemove(row, AsInt(row[schema_->pk_col()]));
   row_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void RowTable::NoteReplicaUpdate(const Row& old_row, const Row& new_row) {
-  std::unique_lock<std::shared_mutex> g(latch_);
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   const int64_t pk = AsInt(new_row[schema_->pk_col()]);
   IndexRemove(old_row, pk);
   IndexInsert(new_row, pk);
+}
+
+void RowTable::PushVersionLocked(int64_t pk, Tid writer, bool deleted,
+                                 std::string image,
+                                 const std::string* base_image) {
+  auto& chain = versions_[pk];
+  if (chain.empty() && base_image != nullptr) {
+    // First touch since this chain was pruned: by the pruning invariant the
+    // pre-image is visible to every live snapshot, so seed it as the
+    // all-visible base (vid 0).
+    chain.push_back({0, 0, false, *base_image});
+  }
+  if (!chain.empty() && chain.back().tid == writer) {
+    // Same transaction writing the row again: collapse in place (one
+    // in-flight version per writer, stamped once at commit).
+    chain.back().deleted = deleted;
+    chain.back().image = std::move(image);
+    return;
+  }
+  chain.push_back({0, writer, deleted, std::move(image)});
+}
+
+const RowVersion* RowTable::ResolveVersion(
+    const std::vector<RowVersion>& chain, Vid s) {
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->tid == 0 && it->vid <= s) return &*it;
+  }
+  return nullptr;
+}
+
+size_t RowTable::TrimChain(std::vector<RowVersion>* chain, Vid watermark) {
+  // Keep the newest committed version with VID <= watermark (the base every
+  // snapshot at or above the watermark resolves to) and everything newer.
+  int base = -1;
+  for (int i = static_cast<int>(chain->size()) - 1; i >= 0; --i) {
+    const RowVersion& v = (*chain)[i];
+    if (v.tid == 0 && v.vid <= watermark) {
+      base = i;
+      break;
+    }
+  }
+  if (base <= 0) return 0;
+  chain->erase(chain->begin(), chain->begin() + base);
+  return static_cast<size_t>(base);
+}
+
+void RowTable::StampVersions(Tid tid, Vid vid,
+                             const std::vector<int64_t>& pks,
+                             Vid trim_below) {
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
+  for (int64_t pk : pks) {
+    auto it = versions_.find(pk);
+    if (it == versions_.end()) continue;
+    for (RowVersion& v : it->second) {
+      if (v.tid == tid) {
+        v.tid = 0;
+        v.vid = vid;
+      }
+    }
+    TrimChain(&it->second, trim_below);
+  }
+}
+
+void RowTable::AbortVersions(Tid tid, const std::vector<int64_t>& pks) {
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
+  for (int64_t pk : pks) {
+    auto it = versions_.find(pk);
+    if (it == versions_.end()) continue;
+    auto& chain = it->second;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const RowVersion& v) {
+                                 return v.tid == tid;
+                               }),
+                chain.end());
+    if (chain.empty()) versions_.erase(it);
+  }
+}
+
+size_t RowTable::PruneVersions(Vid watermark) {
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
+  size_t dropped = 0;
+  for (auto it = versions_.begin(); it != versions_.end();) {
+    auto& chain = it->second;
+    dropped += TrimChain(&chain, watermark);
+    if (chain.size() == 1 && chain[0].tid == 0 && chain[0].vid <= watermark) {
+      // Single survivor below the watermark: it IS the live tree image (or
+      // a committed delete of a key the tree no longer holds), so no
+      // snapshot can need the chain — serve the row from the tree alone.
+      dropped += 1;
+      it = versions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+size_t RowTable::versioned_row_count() const {
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+  return versions_.size();
+}
+
+size_t RowTable::VersionChainLength(int64_t pk) const {
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+  auto it = versions_.find(pk);
+  return it == versions_.end() ? 0 : it->second.size();
+}
+
+size_t RowTable::MaxVersionChainLength() const {
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+  size_t max_len = 0;
+  for (const auto& [pk, chain] : versions_) {
+    max_len = std::max(max_len, chain.size());
+  }
+  return max_len;
 }
 
 void RowTable::IndexInsert(const Row& row, int64_t pk) {

@@ -8,16 +8,33 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/row.h"
 #include "common/schema.h"
 #include "rowstore/btree.h"
 
 namespace imci {
 
+/// One entry of a row's MVCC version chain (oldest first, newest last).
+/// While the writing transaction is in flight the entry carries its TID and
+/// is invisible to every snapshot; Commit stamps it with the commit VID
+/// (tid back to 0). The newest committed entry always mirrors the B+tree
+/// image, which is what lets pruning drop a fully-caught-up chain entirely
+/// and serve the row from the tree alone.
+struct RowVersion {
+  Vid vid = 0;        // commit VID once stamped (0 == base, visible to all)
+  Tid tid = 0;        // writer TID while in flight (0 == committed)
+  bool deleted = false;
+  std::string image;  // encoded row image (empty for a delete version)
+};
+
 /// A row-store table: B+tree primary index plus optional in-memory secondary
 /// indexes over integer-family columns. Writers are serialized by an
 /// exclusive latch; readers take the latch shared (the paper's row store is
-/// similarly single-writer per tree at the SMO level).
+/// similarly single-writer per tree at the SMO level). Scans latch per-step
+/// (a bounded batch of rows per shared-latch acquisition), so a slow scan
+/// never holds writers off for its whole duration; snapshot readers get
+/// their consistency from the MVCC version chains instead of the latch.
 ///
 /// All mutating methods append physical REDO records (tid/lsn unset) to
 /// `redo`; the transaction layer stamps and ships them. When a `ship`
@@ -25,10 +42,23 @@ namespace imci {
 /// order must equal page-modification order or Phase#1 replay applies slot
 /// operations out of order. Single-threaded callers (tests, bulk tools) may
 /// omit it and ship afterwards.
+///
+/// MVCC: a mutation carrying a non-zero `writer` TID additionally records a
+/// version in the row's chain. Version chains are a side structure over the
+/// B+tree (the tree always holds the newest physical image — the one REDO
+/// replication reproduces on replicas); Snapshot* readers resolve the newest
+/// version with commit VID <= their snapshot, falling back to the tree for
+/// rows with no chain. The pruning invariant that makes the fallback safe:
+/// chains are only trimmed below the oldest live snapshot
+/// (TransactionManager::PruneWatermark), so a missing chain means the tree
+/// image is visible to every snapshot that can still be opened or is live.
 class RowTable {
  public:
   /// Ships stamped records to the log; invoked under the table write latch.
   using RedoShipFn = std::function<void(std::vector<RedoRecord>*)>;
+
+  /// Rows per shared-latch acquisition during scans (the per-step unit).
+  static constexpr size_t kScanBatch = 256;
 
   RowTable(std::shared_ptr<const Schema> schema, BufferPool* pool,
            std::atomic<PageId>* page_alloc, PageId meta_page_id);
@@ -39,14 +69,74 @@ class RowTable {
   PageId meta_page_id() const { return btree_.meta_page_id(); }
 
   Status Insert(const Row& row, std::vector<RedoRecord>* redo,
-                const RedoShipFn& ship = nullptr);
+                const RedoShipFn& ship = nullptr, Tid writer = 0);
   Status Update(int64_t pk, const Row& new_row, Row* old_row,
                 std::vector<RedoRecord>* redo,
-                const RedoShipFn& ship = nullptr);
+                const RedoShipFn& ship = nullptr, Tid writer = 0);
   Status Delete(int64_t pk, Row* old_row, std::vector<RedoRecord>* redo,
-                const RedoShipFn& ship = nullptr);
+                const RedoShipFn& ship = nullptr, Tid writer = 0);
   Status Get(int64_t pk, Row* row) const;
   bool Exists(int64_t pk) const;
+
+  // --- MVCC snapshot read path -------------------------------------------
+
+  /// Point read at snapshot `s`: newest committed version with VID <= s.
+  Status SnapshotGet(Vid s, int64_t pk, Row* row) const;
+  /// Registration-free point read at the *current* published snapshot:
+  /// `published` is sampled after the shared latch is held, so no trim or
+  /// prune can run concurrently — and every past trim used a watermark at
+  /// or below the then-published VID, which is at or below the sampled one,
+  /// so the visible version is always still present. Single-statement reads
+  /// use this to skip the live-view registry on the hottest path.
+  Status SnapshotGetCurrent(const std::atomic<Vid>& published, int64_t pk,
+                            Row* row) const;
+  /// Key-ordered scans at snapshot `s`. Rows deleted after the snapshot was
+  /// taken (chain-only keys no longer in the tree) are still produced; rows
+  /// inserted or updated by in-flight or later-committed transactions are
+  /// not. Latches per-step like the latest-state scans.
+  Status SnapshotScan(Vid s,
+                      const std::function<bool(int64_t, const Row&)>& fn) const;
+  Status SnapshotScanRange(
+      Vid s, int64_t lo, int64_t hi,
+      const std::function<bool(int64_t, const Row&)>& fn) const;
+  /// Secondary-index lookups at snapshot `s`: index candidates are
+  /// re-checked against the snapshot-visible image (the index tracks the
+  /// *latest* writes, committed or not), and version chains are swept for
+  /// rows whose only snapshot-visible version the index no longer points
+  /// to. Cost note: the sweep is O(rows with a live chain) per lookup —
+  /// bounded by the checkpoint cadence (pruning erases caught-up chains),
+  /// fine for the RW's occasional index-hinted snapshot plans, but a
+  /// displaced-entry side index would be needed before putting this on a
+  /// hot path.
+  Status SnapshotIndexLookup(Vid s, int col, int64_t key,
+                             std::vector<int64_t>* pks) const;
+  Status SnapshotIndexLookupRange(Vid s, int col, int64_t lo, int64_t hi,
+                                  std::vector<int64_t>* pks) const;
+
+  // --- MVCC version maintenance (transaction layer) ----------------------
+
+  /// Stamps `tid`'s in-flight versions on `pks` with commit VID `vid`, then
+  /// opportunistically trims each touched chain below `trim_below` (the
+  /// oldest VID any live or future snapshot can read) so hot rows don't
+  /// accumulate history between checkpoints. Called by Commit *before* the
+  /// snapshot point advances past `vid`.
+  void StampVersions(Tid tid, Vid vid, const std::vector<int64_t>& pks,
+                     Vid trim_below);
+  /// Removes `tid`'s in-flight versions on `pks` (rollback). Call after the
+  /// undo images are physically restored so surviving chain bases match the
+  /// tree again.
+  void AbortVersions(Tid tid, const std::vector<int64_t>& pks);
+  /// Checkpoint pruning: drops all history below `watermark` and erases
+  /// chains whose single survivor is the live tree image (or a committed
+  /// delete of a key the tree no longer holds). Returns versions dropped.
+  size_t PruneVersions(Vid watermark);
+
+  /// Number of rows currently carrying a version chain (tests/stats).
+  size_t versioned_row_count() const;
+  /// Chain length of `pk` (0 when the row has no chain).
+  size_t VersionChainLength(int64_t pk) const;
+  /// Longest chain in the table (tests/stats).
+  size_t MaxVersionChainLength() const;
 
   /// Raw-image variants used by transaction rollback (no re-encode).
   Status InsertImage(int64_t pk, const std::string& image,
@@ -58,7 +148,9 @@ class RowTable {
   Status DeleteImage(int64_t pk, std::vector<RedoRecord>* redo,
                      const RedoShipFn& ship = nullptr);
 
-  /// Key-ordered full scan (shared latch held during the whole scan).
+  /// Key-ordered full scan of the latest state (per-step latching: the
+  /// shared latch is re-acquired every kScanBatch rows, so concurrent
+  /// writers interleave with a long scan instead of stalling behind it).
   Status Scan(const std::function<bool(int64_t, const Row&)>& fn) const;
   Status ScanRange(int64_t lo, int64_t hi,
                    const std::function<bool(int64_t, const Row&)>& fn) const;
@@ -90,12 +182,33 @@ class RowTable {
  private:
   void IndexInsert(const Row& row, int64_t pk);
   void IndexRemove(const Row& row, int64_t pk);
+  /// Appends an in-flight version for `writer` under the write latch. When
+  /// the pk has no chain yet and `base_image` is non-null, the chain is
+  /// seeded with it as the all-visible base (pruning guarantees the tree
+  /// image a chainless row shows is below every live snapshot).
+  void PushVersionLocked(int64_t pk, Tid writer, bool deleted,
+                         std::string image, const std::string* base_image);
+  /// Drops chain history below `watermark`: everything older than the
+  /// newest committed version with VID <= watermark. Returns versions
+  /// erased.
+  static size_t TrimChain(std::vector<RowVersion>* chain, Vid watermark);
+  /// Newest version of `chain` visible at snapshot `s`, or nullptr.
+  static const RowVersion* ResolveVersion(const std::vector<RowVersion>& chain,
+                                          Vid s);
+  /// Shared body of SnapshotGet / SnapshotGetCurrent (latch held).
+  Status SnapshotGetLocked(Vid s, int64_t pk, std::string* image) const;
 
   std::shared_ptr<const Schema> schema_;
   BTree btree_;
-  mutable std::shared_mutex latch_;
+  /// Writer-priority: per-step scan re-acquisitions must not starve the
+  /// OLTP write path (see WriterPrioritySharedMutex).
+  mutable WriterPrioritySharedMutex latch_;
   // col -> (key -> pk set)
   std::map<int, std::map<int64_t, std::set<int64_t>>> sec_index_;
+  // pk -> MVCC version chain. Guarded by latch_ (exclusive for writers,
+  // stamping, abort and pruning; shared for snapshot readers). Ordered so
+  // snapshot scans can merge chain-only keys into B+tree key order.
+  std::map<int64_t, std::vector<RowVersion>> versions_;
   std::atomic<uint64_t> row_count_{0};
 };
 
