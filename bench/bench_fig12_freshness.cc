@@ -2,10 +2,32 @@
 // transactions) at increasing client counts. VD = wall time between the RW
 // commit and the moment the transaction's changes are readable on the RO
 // node (measured by the replication pipeline per commit record).
+//
+// Two read paths are measured per thread count:
+//  - vd      : the column-index path (pipeline-recorded, per commit record);
+//  - vd_row  : the row-replica path — a prober commits a sentinel update on
+//    the RW and spins a row-engine snapshot read (SnapshotGet at the RO's
+//    applied VID, the path RO row plans execute) until the commit becomes
+//    visible. Both engines gate visibility on the Phase#2 commit decision,
+//    so the two distributions should track each other; a regression in the
+//    replica version-chain stamping shows up here and nowhere else.
 #include "bench/bench_util.h"
 
 using namespace imci;
 using namespace imci::bench;
+
+namespace {
+
+constexpr TableId kProbeTable = 40;
+
+std::shared_ptr<const Schema> ProbeSchema() {
+  std::vector<ColumnDef> cols;
+  cols.push_back({"id", DataType::kInt64, false, true});
+  cols.push_back({"v", DataType::kInt64, false, true});
+  return std::make_shared<Schema>(kProbeTable, "vd_probe", cols, 0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
@@ -14,30 +36,86 @@ int main(int argc, char** argv) {
       smoke ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16, 32};
   std::printf("# Figure 12 | visibility delay on TPC-C (ms)%s\n",
               smoke ? " | smoke" : "");
-  std::printf("%-10s %8s %8s %8s %8s %8s %9s %8s\n", "threads", "min", "p50",
-              "p90", "p95", "p99", "p99.9", "max");
+  std::printf("%-10s %8s %8s %8s %8s %8s %9s %8s %10s %10s\n", "threads",
+              "min", "p50", "p90", "p95", "p99", "p99.9", "max", "row_p50",
+              "row_p99");
   BenchReport report("fig12_freshness");
   report.Label("workload", "chbench");
   report.Metric("secs_per_point", secs);
   report.Metric("smoke", smoke ? 1 : 0);
   for (int threads : thread_counts) {
     chbench::ChBench bench(/*warehouses=*/4, /*items=*/500);
-    auto cluster = MakeChBenchCluster(&bench);
+    // The row-replica probe row rides the same cluster: one sentinel row
+    // whose updates are timed from RW commit to RO row-engine visibility.
+    auto cluster = MakeChBenchCluster(&bench, {}, [](Cluster* c) {
+      return c->CreateTable(ProbeSchema()).ok() &&
+             c->BulkLoad(kProbeTable, {{int64_t(0), int64_t(0)}}).ok();
+    });
     if (!cluster) return 1;
     auto* txns = cluster->rw()->txn_manager();
+    RoNode* ro = cluster->ro(0);
+
+    // Row-replica prober: one committed sentinel update at a time, spinning
+    // a snapshot row read at the RO's applied VID until it lands.
+    LatencyHistogram vd_row;
+    std::atomic<bool> probe_stop{false};
+    std::thread prober([&] {
+      const RowTable* replica = ro->engine()->GetTable(kProbeTable);
+      int64_t token = 0;
+      while (!probe_stop.load(std::memory_order_relaxed)) {
+        ++token;
+        Transaction txn;
+        txns->Begin(&txn);
+        Row row;
+        if (!txns->GetForUpdate(&txn, kProbeTable, 0, &row).ok()) {
+          txns->Rollback(&txn);
+          continue;
+        }
+        row[1] = token;
+        if (!txns->Update(&txn, kProbeTable, 0, row).ok() ||
+            !txns->Commit(&txn).ok()) {
+          txns->Rollback(&txn);
+          continue;
+        }
+        Timer t;
+        bool seen_commit = false;
+        // Bounded wait: if replication stalls outright, drop the sample and
+        // let the outer loop observe probe_stop instead of hanging CI.
+        while (!probe_stop.load(std::memory_order_relaxed) &&
+               t.ElapsedMicros() < 2'000'000) {
+          Row seen;
+          if (replica->SnapshotGet(ro->applied_vid(), 0, &seen).ok() &&
+              AsInt(seen[1]) == token) {
+            seen_commit = true;
+            break;
+          }
+          std::this_thread::yield();
+        }
+        if (seen_commit) vd_row.Record(t.ElapsedMicros());
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+
     const double tps = DriveOltp(threads, secs, [&](int t) {
       thread_local Rng rng(31 + t);
       bench.RunTransaction(txns, &rng);
     });
-    RoNode* ro = cluster->ro(0);
+    probe_stop.store(true);
+    prober.join();
     ro->CatchUpNow();
     auto* vd = ro->pipeline()->vd_histogram();
-    report.Row().Set("threads", threads).Set("oltp_tps", tps).Hist("vd", *vd);
-    std::printf("%-10d %8.2f %8.2f %8.2f %8.2f %8.2f %9.2f %8.2f\n", threads,
-                vd->Min() / 1000.0, vd->Percentile(0.5) / 1000.0,
-                vd->Percentile(0.9) / 1000.0, vd->Percentile(0.95) / 1000.0,
-                vd->Percentile(0.99) / 1000.0,
-                vd->Percentile(0.999) / 1000.0, vd->Max() / 1000.0);
+    report.Row()
+        .Set("threads", threads)
+        .Set("oltp_tps", tps)
+        .Hist("vd", *vd)
+        .Hist("vd_row", vd_row);
+    std::printf(
+        "%-10d %8.2f %8.2f %8.2f %8.2f %8.2f %9.2f %8.2f %10.2f %10.2f\n",
+        threads, vd->Min() / 1000.0, vd->Percentile(0.5) / 1000.0,
+        vd->Percentile(0.9) / 1000.0, vd->Percentile(0.95) / 1000.0,
+        vd->Percentile(0.99) / 1000.0, vd->Percentile(0.999) / 1000.0,
+        vd->Max() / 1000.0, vd_row.Percentile(0.5) / 1000.0,
+        vd_row.Percentile(0.99) / 1000.0);
   }
   std::printf("# paper: <5ms typical, <30ms at p99.999 under 1024 threads\n");
   report.Write();

@@ -53,8 +53,13 @@ inline std::unique_ptr<Cluster> MakeTpchCluster(double sf, int ros = 1,
   return cluster;
 }
 
+/// `pre_open` (optional) runs after the CH-benCH tables are loaded and
+/// before Cluster::Open — the hook for benches that ride extra tables on
+/// the same cluster (e.g. fig12's visibility-probe table). Return false to
+/// abort setup.
 inline std::unique_ptr<Cluster> MakeChBenchCluster(
-    chbench::ChBench* bench, ClusterOptions opts = {}) {
+    chbench::ChBench* bench, ClusterOptions opts = {},
+    const std::function<bool(Cluster*)>& pre_open = nullptr) {
   auto cluster = std::make_unique<Cluster>(opts);
   for (auto& schema : bench->Schemas()) {
     if (!cluster->CreateTable(schema).ok()) return nullptr;
@@ -64,6 +69,7 @@ inline std::unique_ptr<Cluster> MakeChBenchCluster(
                  chbench::kOrderLine, chbench::kNewOrder}) {
     if (!cluster->BulkLoad(t, bench->Generate(t)).ok()) return nullptr;
   }
+  if (pre_open && !pre_open(cluster.get())) return nullptr;
   if (!cluster->Open().ok()) return nullptr;
   return cluster;
 }

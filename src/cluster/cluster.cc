@@ -28,10 +28,17 @@ Status Proxy::ExecuteQuery(const LogicalRef& plan, std::vector<Row>* out,
   if (consistency == Consistency::kStrong) {
     if (ro->pipeline()->source() == ApplySource::kLogicalBinlog) {
       // A logical-apply node tracks binlog LSNs, which are a different
-      // space from the RW's redo LSN — but commit VIDs are shared, so wait
-      // until every transaction committed before submission is applied.
-      const Vid committed = rw_->txn_manager()->last_commit_vid();
-      while (ro->applied_vid() < committed) {
+      // space from the RW's redo LSN. Commit VIDs are shared, so translate:
+      // the commit point published at submission maps (via the binlog
+      // writer's VID → binlog-LSN table) to the binlog LSN whose
+      // application makes every such commit visible — the same §6.4
+      // wait-on-LSN discipline as the redo arm, in the right LSN space.
+      // (Waiting on last_commit_vid() instead would fence on transactions
+      // still *inside* their commit call — ones the submitter could never
+      // have observed.)
+      const Vid committed = rw_->txn_manager()->snapshot_vid();
+      const Lsn target = rw_->binlog()->LsnForVid(committed);
+      while (ro->pipeline()->applied_lsn() < target) {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
       }
     } else {
@@ -180,7 +187,11 @@ Status Cluster::RecycleBinlogLocked(Lsn* recycled_upto) {
   }
   if (!has_consumer) return Status::OK();
   fs_.log("binlog")->Truncate(safe);
-  if (recycled_upto) *recycled_upto = fs_.log("binlog")->truncated_lsn();
+  const Lsn cut = fs_.log("binlog")->truncated_lsn();
+  // Recycled records were applied by every consumer, so no strong read can
+  // need their VID → LSN fence entries anymore; keep the map bounded.
+  rw_->binlog()->ForgetVidsBelow(cut);
+  if (recycled_upto) *recycled_upto = cut;
   return Status::OK();
 }
 

@@ -158,10 +158,24 @@ Status RoNode::ExecuteRow(const LogicalRef& plan, std::vector<Row>* out) {
   ExecContext ctx;
   ctx.pool = nullptr;  // the row engine executes single-threaded
   ctx.parallelism = 1;
-  ctx.read_vid = kMaxVid;
+  // Pin the applied commit point for the whole plan (the row-engine
+  // counterpart of ExecuteColumn's read-view pin): every scan it contains
+  // sees one commit prefix, and maintenance pruning cannot reclaim the
+  // pinned versions until the registry releases them below.
+  SnapshotRegistry* snaps = engine_.row_snapshots();
+  const Vid vid = snaps->Open(pipeline_.applied_vid_ref());
+  ctx.read_vid = vid;
   PhysOpRef root;
-  IMCI_RETURN_NOT_OK(LowerToRowPlan(plan, &engine_, &root));
-  return RunPlan(root, &ctx, out);
+  Status status = LowerToRowPlan(plan, &engine_, &root);
+  if (status.ok()) status = RunPlan(root, &ctx, out);
+  snaps->Close(vid, pipeline_.applied_vid_ref());
+  return status;
+}
+
+size_t RoNode::RecoverRowReplica() {
+  const size_t undone = engine_.UndoInflight();
+  if (undone > 0) RefreshStats();
+  return undone;
 }
 
 Status RoNode::Execute(const LogicalRef& plan, std::vector<Row>* out,

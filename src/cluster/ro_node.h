@@ -47,7 +47,13 @@ class RoNode {
   /// Runs on the column engine at the current applied read view.
   Status ExecuteColumn(const LogicalRef& plan, std::vector<Row>* out,
                        int parallelism = 0);
-  /// Runs on the row engine against the row-store replica.
+  /// Runs on the row engine against the row-store replica, at a snapshot
+  /// pinned to the node's applied commit point — exactly like
+  /// RwNode::ExecuteSnapshot: Phase#1 installs replayed page changes as
+  /// in-flight versions and Phase#2 stamps them at the commit decision, so
+  /// a row scan can never observe a transaction mid-apply. The pin is
+  /// registered with the engine's snapshot registry so maintenance pruning
+  /// keeps every version the plan can still read.
   Status ExecuteRow(const LogicalRef& plan, std::vector<Row>* out);
   /// Cost-based intra-node routing (§6.1): row engine for cheap/point
   /// queries, column engine otherwise.
@@ -56,6 +62,17 @@ class RoNode {
 
   /// Refreshes optimizer statistics by sampling the column indexes.
   void RefreshStats();
+
+  /// Crash-recovery epilogue (ARIES undo): after replaying a *final* log —
+  /// one that ends at a crash's durable watermark and will receive no
+  /// further records — rolls the row replica back to the durable commit
+  /// prefix: page effects of transactions whose commit decision never made
+  /// it into the log are physically reverted from their version-chain
+  /// images. The commit-gated column state needs no such pass (Phase#2
+  /// only ever surfaced decided transactions). Never call this against a
+  /// live RW: the pipeline would still deliver those decisions. Returns the
+  /// number of versions undone.
+  size_t RecoverRowReplica();
 
   // --- State --------------------------------------------------------------
 

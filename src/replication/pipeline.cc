@@ -1,6 +1,7 @@
 #include "replication/pipeline.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/clock.h"
 #include "common/coding.h"
@@ -17,6 +18,7 @@ ReplicationPipeline::ReplicationPipeline(PolarFs* fs, const Catalog* catalog,
       ro_pool_(ro_pool),
       imci_(imci),
       pool_(pool),
+      replica_engine_(replica_engine),
       options_(options),
       source_log_(fs->log(options.source == ApplySource::kRedoReuse
                               ? "redo"
@@ -227,7 +229,10 @@ Status ReplicationPipeline::PollRedoOnce() {
     }
     if (!d.commit) {
       // Abort: free the buffer; pre-committed residue stays invisible and is
-      // reclaimed by compaction (§5.5).
+      // reclaimed by compaction (§5.5). The row replica's in-flight versions
+      // go too — the compensation records (which precede the abort record in
+      // the log, hence already applied) restored the pages.
+      DropReplicaVersions(*buf);
       aborted_txns_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -306,7 +311,53 @@ void ReplicationPipeline::MaybePreCommit(
   }
 }
 
+namespace {
+/// The rows a transaction buffer touched, grouped by table (pre-committed
+/// large transactions keep their rows in pre_ops after the DML memory is
+/// freed; both sources are walked).
+std::map<TableId, std::vector<int64_t>> PksByTable(const TxnBuffer& buf) {
+  std::map<TableId, std::vector<int64_t>> by_table;
+  for (const LogicalDml& dml : buf.dmls) {
+    by_table[dml.table_id].push_back(dml.pk);
+  }
+  for (const TxnBuffer::PreOp& op : buf.pre_ops) {
+    by_table[op.table_id].push_back(op.pk);
+  }
+  return by_table;
+}
+}  // namespace
+
+void ReplicationPipeline::StampReplicaVersions(const TxnBuffer& buf,
+                                               Vid vid) {
+  if (!MaintainsRowReplica()) return;
+  // Trim opportunistically like the RW commit path: the registry hint is
+  // only ever stale-low (row-engine readers pin at or above it), which
+  // merely trims less.
+  const Vid trim =
+      std::min(replica_engine_->row_snapshots()->hint(), vid - 1);
+  for (const auto& [table_id, pks] : PksByTable(buf)) {
+    RowTable* t = replica_engine_->GetTable(table_id);
+    if (t != nullptr) t->StampVersions(buf.tid, vid, pks, trim);
+  }
+}
+
+void ReplicationPipeline::DropReplicaVersions(const TxnBuffer& buf) {
+  if (!MaintainsRowReplica()) return;
+  for (const auto& [table_id, pks] : PksByTable(buf)) {
+    RowTable* t = replica_engine_->GetTable(table_id);
+    if (t != nullptr) t->AbortVersions(buf.tid, pks);
+  }
+}
+
 void ReplicationPipeline::ApplyBatch(std::vector<CommittedTxn>& batch) {
+  // Commit decision for the row replica first: stamp every transaction's
+  // in-flight versions with its commit VID *before* applied_vid_ advances
+  // below, so a row-engine reader pinned at the new applied point always
+  // resolves the batch's transactions as committed — and one pinned below
+  // it still cannot see them (all-or-nothing at every snapshot).
+  for (const CommittedTxn& txn : batch) {
+    StampReplicaVersions(*txn.buffer, txn.vid);
+  }
   // Phase#2 (§5.4): row-grained conflict-free dispatch. Transactions are
   // walked in commit order; every op lands on Hash(table, PK) mod N, so all
   // modifications of one row hit the same worker in commit order.
@@ -381,6 +432,15 @@ void ReplicationPipeline::ApplyBatch(std::vector<CommittedTxn>& batch) {
 
 void ReplicationPipeline::RunMaintenance() {
   const Vid applied = applied_vid_.load(std::memory_order_acquire);
+  if (MaintainsRowReplica()) {
+    // Same watermark discipline as the RW's checkpoint pruning: drop row
+    // version history below the oldest row-engine snapshot still pinned on
+    // this node (RoNode::ExecuteRow registers them), capped by the applied
+    // commit point.
+    const Vid wm =
+        replica_engine_->row_snapshots()->Watermark(applied_vid_);
+    for (RowTable* t : replica_engine_->AllTables()) t->PruneVersions(wm);
+  }
   for (ColumnIndex* index : imci_->All()) {
     index->FreezeFullGroups();
     const Vid min_active = index->read_views()->MinActive(applied);

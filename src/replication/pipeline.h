@@ -84,6 +84,10 @@ class ReplicationPipeline {
 
   /// Commit point visible to queries on this node (read view VID).
   Vid applied_vid() const { return applied_vid_.load(std::memory_order_acquire); }
+  /// The applied commit point as an atomic, for SnapshotRegistry::Open —
+  /// row-engine readers sample it under the registry mutex so maintenance
+  /// pruning can never outrun a snapshot being registered.
+  const std::atomic<Vid>& applied_vid_ref() const { return applied_vid_; }
   /// LSN up to which the log has been consumed.
   Lsn read_lsn() const { return read_lsn_.load(std::memory_order_acquire); }
   /// Which log this pipeline consumes, and its current written tail. LSNs
@@ -144,12 +148,29 @@ class ReplicationPipeline {
   void ApplyBatch(std::vector<CommittedTxn>& batch);
   void RunMaintenance();
   std::string SerializeInflight() const;
+  /// True when this pipeline maintains a row-store replica whose MVCC
+  /// version chains Phase#1 installs into (redo-reuse only: the binlog
+  /// carries no page changes, so logical-apply replicas stay frozen).
+  bool MaintainsRowReplica() const {
+    return replica_engine_ != nullptr &&
+           options_.source == ApplySource::kRedoReuse;
+  }
+  /// Phase#2 commit decision for the row replica: stamps the transaction's
+  /// in-flight versions with its commit VID. Runs before applied_vid_
+  /// advances past `vid`, so a reader pinned at the new applied point
+  /// always finds the versions stamped.
+  void StampReplicaVersions(const TxnBuffer& buf, Vid vid);
+  /// Replicated abort: drops the transaction's in-flight versions (its page
+  /// effects were already physically reverted by the RW's compensation
+  /// records, which precede the abort record in the log).
+  void DropReplicaVersions(const TxnBuffer& buf);
 
   PolarFs* fs_;
   const Catalog* catalog_;
   BufferPool* ro_pool_;
   ImciStore* imci_;
   ThreadPool* pool_;
+  RowStoreEngine* replica_engine_;
   ReplicationOptions options_;
   LogStore* source_log_;  // the log this pipeline tails (redo or binlog)
   RedoParser parser_;

@@ -46,44 +46,33 @@ Status RedoParser::ApplyPageRecord(const RedoRecord& rec,
   if (!schema) return Status::Corruption("unknown table in redo");
   PageRef page;
   IMCI_RETURN_NOT_OK(GetOrCreatePage(rec.page_id, rec.table_id, &page));
-  // Replica metadata maintenance (NoteReplica*, which takes the table
-  // latch) is deferred until the page latch is released: row-engine readers
-  // acquire table latch then page latch, so nesting them here in the
-  // opposite order would deadlock.
   RowTable* replica =
       replica_engine_ ? replica_engine_->GetTable(rec.table_id) : nullptr;
-  ReplicaNote note = ReplicaNote::kNone;
-  Row note_old, note_new;
-  IMCI_RETURN_NOT_OK(ApplyPageRecordLocked(rec, *schema, page,
-                                           replica != nullptr, &note,
-                                           &note_old, &note_new, out));
-  if (replica != nullptr) {
-    switch (note) {
-      case ReplicaNote::kInsert:
-        replica->NoteReplicaInsert(note_new);
-        break;
-      case ReplicaNote::kUpdate:
-        replica->NoteReplicaUpdate(note_old, note_new);
-        break;
-      case ReplicaNote::kDelete:
-        replica->NoteReplicaDelete(note_old);
-        break;
-      case ReplicaNote::kNone:
-        break;
-    }
+  RowTable::ReplicaApply effect;
+  PreparedApply prep;
+  IMCI_RETURN_NOT_OK(PreparePageRecord(rec, *schema, page,
+                                       replica != nullptr, &effect, &prep,
+                                       out));
+  if (prep.skip) return Status::OK();
+  // Install-before-modify: the version chain must gate the page change
+  // before any reader can see it (see the ordering note in redo_parser.h).
+  if (replica != nullptr &&
+      effect.kind != RowTable::ReplicaApply::Kind::kNone) {
+    replica->ApplyReplica(std::move(effect));
   }
-  return Status::OK();
+  return ApplyPreparedLocked(rec, page, std::move(prep));
 }
 
-Status RedoParser::ApplyPageRecordLocked(const RedoRecord& rec,
-                                         const Schema& schema,
-                                         const PageRef& page, bool want_note,
-                                         ReplicaNote* note, Row* note_old,
-                                         Row* note_new,
-                                         std::vector<LogicalDml>* out) {
-  std::unique_lock<std::shared_mutex> latch(page->latch);
+Status RedoParser::PreparePageRecord(const RedoRecord& rec,
+                                     const Schema& schema,
+                                     const PageRef& page, bool want_effect,
+                                     RowTable::ReplicaApply* effect,
+                                     PreparedApply* prep,
+                                     std::vector<LogicalDml>* out) {
+  std::shared_lock<std::shared_mutex> latch(page->latch);
   if (page->page_lsn >= rec.lsn) {
     // Already reflected (page was flushed past this point before we booted).
+    prep->skip = true;
     return Status::OK();
   }
   const bool user_dml = rec.tid != 0;
@@ -92,17 +81,15 @@ Status RedoParser::ApplyPageRecordLocked(const RedoRecord& rec,
       int64_t pk;
       IMCI_RETURN_NOT_OK(RowCodec::DecodePk(
           schema, rec.after_image.data(), rec.after_image.size(), &pk));
-      uint32_t slot = rec.slot_id;
-      if (slot > page->keys.size()) slot = page->keys.size();
-      page->keys.insert(page->keys.begin() + slot, pk);
-      page->payloads.insert(page->payloads.begin() + slot, rec.after_image);
-      page->byte_size += rec.after_image.size() + 12;
+      prep->pk = pk;
       Row row;
       IMCI_RETURN_NOT_OK(RowCodec::Decode(
           schema, rec.after_image.data(), rec.after_image.size(), &row));
-      if (want_note) {
-        *note = ReplicaNote::kInsert;
-        *note_new = row;
+      if (want_effect) {
+        effect->kind = RowTable::ReplicaApply::Kind::kInsert;
+        effect->tid = rec.tid;
+        effect->new_row = row;
+        effect->image = rec.after_image;
       }
       if (user_dml) {
         LogicalDml dml;
@@ -123,17 +110,20 @@ Status RedoParser::ApplyPageRecordLocked(const RedoRecord& rec,
       // Complete the differential log: fetch the old row from the page,
       // patch it, and reconstruct the delete+insert pair the out-of-place
       // column index needs (§5.3).
-      std::string& slot_image = page->payloads[rec.slot_id];
-      std::string new_image;
-      IMCI_RETURN_NOT_OK(rec.diff.Apply(slot_image, &new_image));
+      const std::string& slot_image = page->payloads[rec.slot_id];
+      IMCI_RETURN_NOT_OK(rec.diff.Apply(slot_image, &prep->new_image));
       Row new_row;
-      IMCI_RETURN_NOT_OK(RowCodec::Decode(schema, new_image.data(),
-                                          new_image.size(), &new_row));
-      if (want_note) {
+      IMCI_RETURN_NOT_OK(RowCodec::Decode(schema, prep->new_image.data(),
+                                          prep->new_image.size(), &new_row));
+      if (want_effect) {
         IMCI_RETURN_NOT_OK(RowCodec::Decode(schema, slot_image.data(),
-                                            slot_image.size(), note_old));
-        *note = ReplicaNote::kUpdate;
-        *note_new = new_row;
+                                            slot_image.size(),
+                                            &effect->old_row));
+        effect->kind = RowTable::ReplicaApply::Kind::kUpdate;
+        effect->tid = rec.tid;
+        effect->new_row = new_row;
+        effect->image = prep->new_image;
+        effect->base_image = slot_image;
       }
       if (user_dml) {
         LogicalDml dml;
@@ -145,21 +135,22 @@ Status RedoParser::ApplyPageRecordLocked(const RedoRecord& rec,
         dml.row = std::move(new_row);
         out->push_back(std::move(dml));
       }
-      page->byte_size += new_image.size() - slot_image.size();
-      slot_image = std::move(new_image);
       break;
     }
     case RedoType::kDelete: {
-      if (rec.slot_id >= page->keys.size()) {
+      if (rec.slot_id >= page->keys.size() ||
+          rec.slot_id >= page->payloads.size()) {
         return Status::Corruption("delete slot out of range");
       }
       const std::string& old_image = page->payloads[rec.slot_id];
       Row old_row;
       IMCI_RETURN_NOT_OK(RowCodec::Decode(schema, old_image.data(),
                                           old_image.size(), &old_row));
-      if (want_note) {
-        *note = ReplicaNote::kDelete;
-        *note_old = old_row;
+      if (want_effect) {
+        effect->kind = RowTable::ReplicaApply::Kind::kDelete;
+        effect->tid = rec.tid;
+        effect->old_row = old_row;
+        effect->base_image = old_image;
       }
       if (user_dml) {
         LogicalDml dml;
@@ -169,6 +160,41 @@ Status RedoParser::ApplyPageRecordLocked(const RedoRecord& rec,
         dml.tid = rec.tid;
         dml.pk = AsInt(old_row[schema.pk_col()]);
         out->push_back(std::move(dml));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+Status RedoParser::ApplyPreparedLocked(const RedoRecord& rec,
+                                       const PageRef& page,
+                                       PreparedApply&& prep) {
+  std::unique_lock<std::shared_mutex> latch(page->latch);
+  switch (rec.type) {
+    case RedoType::kInsert: {
+      const int64_t pk = prep.pk;  // decoded (and validated) by Prepare
+      uint32_t slot = rec.slot_id;
+      if (slot > page->keys.size()) slot = page->keys.size();
+      page->keys.insert(page->keys.begin() + slot, pk);
+      page->payloads.insert(page->payloads.begin() + slot, rec.after_image);
+      page->byte_size += rec.after_image.size() + 12;
+      break;
+    }
+    case RedoType::kUpdate: {
+      if (rec.slot_id >= page->payloads.size()) {
+        return Status::Corruption("update slot out of range");
+      }
+      std::string& slot_image = page->payloads[rec.slot_id];
+      page->byte_size += prep.new_image.size() - slot_image.size();
+      slot_image = std::move(prep.new_image);
+      break;
+    }
+    case RedoType::kDelete: {
+      if (rec.slot_id >= page->keys.size()) {
+        return Status::Corruption("delete slot out of range");
       }
       page->byte_size -= page->payloads[rec.slot_id].size() + 12;
       page->keys.erase(page->keys.begin() + rec.slot_id);

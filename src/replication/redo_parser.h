@@ -55,19 +55,42 @@ class RedoParser {
   uint64_t dmls_produced() const { return dmls_produced_.load(); }
 
  private:
-  /// Deferred replica-metadata action: computed under the page latch,
-  /// executed by ApplyPageRecord after the latch is released (NoteReplica*
-  /// takes the table latch; row-engine readers nest table latch -> page
-  /// latch, so the reverse nesting here would deadlock).
-  enum class ReplicaNote : uint8_t { kNone, kInsert, kUpdate, kDelete };
+  /// Phase-B payload computed by PreparePageRecord under a shared page
+  /// latch, consumed by ApplyPreparedLocked under the exclusive one.
+  struct PreparedApply {
+    bool skip = false;       // page already reflects the record
+    int64_t pk = 0;          // decoded key (inserts)
+    std::string new_image;   // completed after-image (updates)
+  };
 
   void ApplyRun(const std::vector<RedoRecord*>& run,
                 std::vector<std::vector<LogicalDml>>* worker_dmls);
+  /// Applies one DML page record in two page-latch scopes with the replica
+  /// version install *between* them:
+  ///   A. Prepare (shared page latch): read the old slot image, complete
+  ///      differential updates, reconstruct the logical DML and the
+  ///      ReplicaApply effect. Read-only — safe under the shared latch, and
+  ///      no other worker touches this page (records are partitioned by
+  ///      page id) so the peeked state cannot change before step C.
+  ///   B. ApplyReplica (table latch): index/rowcount maintenance plus the
+  ///      MVCC install — user DMLs enter the row's version chain *in
+  ///      flight*, keyed by their TID, before the page changes. Ordering
+  ///      invariant for replica row-engine readers: whenever the tree shows
+  ///      an uncommitted image, its chain entry already gates it, so a
+  ///      snapshot scan can never observe a transaction mid-apply. (The
+  ///      table latch cannot be held across the page latch here: readers
+  ///      nest table latch -> page latch, so B must sit between A and C,
+  ///      not around them.)
+  ///   C. Apply (exclusive page latch): perform the slot mutation and
+  ///      advance the page LSN.
   Status ApplyPageRecord(const RedoRecord& rec, std::vector<LogicalDml>* out);
-  Status ApplyPageRecordLocked(const RedoRecord& rec, const Schema& schema,
-                               const PageRef& page, bool want_note,
-                               ReplicaNote* note, Row* note_old, Row* note_new,
-                               std::vector<LogicalDml>* out);
+  Status PreparePageRecord(const RedoRecord& rec, const Schema& schema,
+                           const PageRef& page, bool want_effect,
+                           RowTable::ReplicaApply* effect,
+                           PreparedApply* prep,
+                           std::vector<LogicalDml>* out);
+  Status ApplyPreparedLocked(const RedoRecord& rec, const PageRef& page,
+                             PreparedApply&& prep);
   void ApplySmo(const RedoRecord& rec);
   Status GetOrCreatePage(PageId id, TableId table_id, PageRef* page);
 

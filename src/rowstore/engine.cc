@@ -77,6 +77,12 @@ Status RowStoreEngine::CheckpointPages() {
   return fs_->WriteFile("rowstore/registry", std::move(registry));
 }
 
+size_t RowStoreEngine::UndoInflight() {
+  size_t undone = 0;
+  for (RowTable* table : AllTables()) undone += table->RollbackInflight();
+  return undone;
+}
+
 Status RowStoreEngine::LoadRegistry(
     PolarFs* fs, std::vector<std::pair<TableId, PageId>>* entries) {
   std::string data;
@@ -202,36 +208,22 @@ Status TransactionManager::Get(TableId table, int64_t pk, Row* row) {
   if (read_mode_.load() == ReadMode::kReadCommitted) return t->Get(pk, row);
   // Single-statement read: the snapshot is sampled under the table latch
   // (SnapshotGetCurrent), so no live-view registration is needed — point
-  // reads skip the snaps_mu_ registry entirely.
+  // reads skip the SnapshotRegistry mutex entirely.
   return t->SnapshotGetCurrent(snapshot_vid_, pk, row);
-}
-
-Vid TransactionManager::RefreshWatermarkLocked() const {
-  const Vid published = snapshot_vid_.load(std::memory_order_acquire);
-  const Vid watermark =
-      live_snaps_.empty()
-          ? published
-          : std::min(published, live_snaps_.begin()->first);
-  trim_hint_.store(watermark, std::memory_order_relaxed);
-  return watermark;
 }
 
 ReadView TransactionManager::OpenReadView() {
   if (read_mode_.load() == ReadMode::kReadCommitted) {
     return ReadView(nullptr, kMaxVid);
   }
-  std::lock_guard<std::mutex> g(snaps_mu_);
-  const Vid vid = snapshot_vid_.load(std::memory_order_acquire);
-  live_snaps_[vid]++;
-  RefreshWatermarkLocked();
-  return ReadView(this, vid);
+  // The engine's shared registry samples the published point under its own
+  // mutex, so a concurrent watermark computation can never exceed the view
+  // we are registering.
+  return ReadView(this, engine_->row_snapshots()->Open(snapshot_vid_));
 }
 
 void TransactionManager::CloseReadView(Vid vid) {
-  std::lock_guard<std::mutex> g(snaps_mu_);
-  auto it = live_snaps_.find(vid);
-  if (it != live_snaps_.end() && --it->second == 0) live_snaps_.erase(it);
-  RefreshWatermarkLocked();
+  engine_->row_snapshots()->Close(vid, snapshot_vid_);
 }
 
 void ReadView::Close() {
@@ -242,8 +234,7 @@ void ReadView::Close() {
 }
 
 Vid TransactionManager::PruneWatermark() const {
-  std::lock_guard<std::mutex> g(snaps_mu_);
-  return RefreshWatermarkLocked();
+  return engine_->row_snapshots()->Watermark(snapshot_vid_);
 }
 
 Status TransactionManager::Get(const ReadView& view, TableId table, int64_t pk,
@@ -289,7 +280,7 @@ void TransactionManager::StampCommitLocked(Transaction* txn, Vid trim_hint) {
   // checkpoints. `trim_hint` was computed *before* commit_mu_ was taken —
   // it can only be stale-low (new views open at or above the published
   // point), which merely trims less; computing it here would drag the
-  // reader-hammered snaps_mu_ into the global commit section.
+  // reader-hammered SnapshotRegistry mutex into the global commit section.
   const Vid trim = std::min(trim_hint, txn->commit_vid_ - 1);
   std::map<TableId, std::vector<int64_t>> by_table;
   for (const UndoEntry& u : txn->undo_) {
@@ -310,9 +301,8 @@ Status TransactionManager::Commit(Transaction* txn) {
   commit.prev_lsn = txn->last_lsn_;
   Lsn commit_lsn = 0;
   Lsn binlog_lsn = 0;
-  const Vid trim_hint = txn->undo_.empty()
-                            ? 0
-                            : trim_hint_.load(std::memory_order_relaxed);
+  const Vid trim_hint =
+      txn->undo_.empty() ? 0 : engine_->row_snapshots()->hint();
   {
     // Short critical section: VID assignment and the commit-record
     // *enqueue* happen under one mutex so that commit-VID order equals
@@ -365,12 +355,10 @@ Status TransactionManager::Commit(Transaction* txn) {
   commits_.fetch_add(1, std::memory_order_relaxed);
   // Opportunistic trim-hint refresh, off the critical path: a write-only
   // workload never opens read views, so CloseReadView alone would leave the
-  // hint pinned low and chains would only shrink at checkpoints. try_lock —
-  // losing the race to readers just means the next commit refreshes it.
-  if (std::unique_lock<std::mutex> l(snaps_mu_, std::try_to_lock);
-      l.owns_lock()) {
-    RefreshWatermarkLocked();
-  }
+  // hint pinned low and chains would only shrink at checkpoints. try_lock
+  // inside — losing the race to readers just means the next commit
+  // refreshes it.
+  engine_->row_snapshots()->TryRefresh(snapshot_vid_);
   return Status::OK();
 }
 

@@ -15,6 +15,7 @@
 #include "rowstore/binlog.h"
 #include "rowstore/buffer_pool.h"
 #include "rowstore/lock_manager.h"
+#include "rowstore/mvcc.h"
 #include "rowstore/table.h"
 
 namespace imci {
@@ -45,6 +46,20 @@ class RowStoreEngine {
   const Catalog* catalog() const { return catalog_; }
   std::atomic<PageId>* page_allocator() { return &page_alloc_; }
 
+  /// Live row snapshots on this engine (rowstore/mvcc.h): the RW's
+  /// transaction manager registers its read views here, an RO node its
+  /// row-engine executions — and every version trim/prune on this engine's
+  /// tables bounds itself by the same registry's watermark.
+  SnapshotRegistry* row_snapshots() { return &row_snaps_; }
+
+  /// ARIES-style undo at boot: rolls back the page effects of every
+  /// transaction whose versions are still unstamped at the end of physical
+  /// replay, restoring each touched row to the newest committed image its
+  /// version chain recorded. Only valid over a *final* log (crash
+  /// recovery): a live pipeline would still deliver those transactions'
+  /// commit decisions. Returns the number of versions undone.
+  size_t UndoInflight();
+
   /// Flushes all dirty pages to shared storage and persists the table
   /// registry (table id -> meta page id) so other nodes can attach.
   Status CheckpointPages();
@@ -58,6 +73,7 @@ class RowStoreEngine {
   Catalog* catalog_;
   BufferPool pool_;
   std::atomic<PageId> page_alloc_{0};
+  SnapshotRegistry row_snaps_;
   mutable std::mutex mu_;
   std::unordered_map<TableId, std::unique_ptr<RowTable>> tables_;
 };
@@ -220,11 +236,6 @@ class TransactionManager {
   RowTable::RedoShipFn MakeShip(Transaction* txn);
   void ReleaseLocks(Transaction* txn);
   void CloseReadView(Vid vid);
-  /// The single definition of the prune/trim bound — min(published VID,
-  /// oldest live view) — computed under snaps_mu_ and mirrored into
-  /// trim_hint_. Every site must use this: a divergent copy could over-trim
-  /// versions a live snapshot still needs.
-  Vid RefreshWatermarkLocked() const;
   /// Stamps the txn's versions with its commit VID and trims chains below
   /// `trim_hint` (a PruneWatermark() value sampled before commit_mu_ was
   /// acquired — conservative by construction). Called under commit_mu_.
@@ -240,18 +251,13 @@ class TransactionManager {
   std::atomic<Vid> next_vid_{0};
   /// Published snapshot point: advanced (in VID order, under commit_mu_)
   /// only after the committing transaction's versions are stamped.
+  ///
+  /// The live-view registry and the prune-watermark hint live in the
+  /// engine's SnapshotRegistry (rowstore/mvcc.h) — the same instance every
+  /// trim/prune site on this engine consults — not here: read views opened
+  /// through this manager and any other row snapshot on the engine share
+  /// one watermark.
   std::atomic<Vid> snapshot_vid_{0};
-  /// Live snapshot registry (vid -> open view count) for the prune
-  /// watermark.
-  mutable std::mutex snaps_mu_;
-  std::map<Vid, int> live_snaps_;
-  /// Cached lower bound of PruneWatermark(), refreshed whenever the live
-  /// registry changes (under snaps_mu_). Any previously computed value stays
-  /// valid forever — new views only open at or above the published point —
-  /// so the commit path reads this atomic instead of taking the
-  /// reader-hammered snaps_mu_ for every transaction. (mutable: the const
-  /// PruneWatermark() probe refreshes it too.)
-  mutable std::atomic<Vid> trim_hint_{0};
   /// Keeps VID order == commit-record LSN order. Held only across VID
   /// assignment and record *enqueue* — never across the durability wait —
   /// so the commit ceiling is set by the group-commit batch rate, not by a

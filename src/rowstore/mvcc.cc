@@ -1,0 +1,190 @@
+#include "rowstore/mvcc.h"
+
+#include <algorithm>
+
+namespace imci {
+
+void VersionChains::Install(int64_t pk, Tid writer, bool deleted,
+                            std::string image,
+                            const std::string* base_image) {
+  auto& chain = chains_[pk];
+  if (chain.empty() && base_image != nullptr) {
+    // First touch since this chain was pruned: by the pruning invariant the
+    // pre-image is visible to every live snapshot, so seed it as the
+    // all-visible base (vid 0).
+    chain.push_back({0, 0, false, *base_image});
+  }
+  if (!chain.empty() && chain.back().tid == writer) {
+    // Same transaction writing the row again: collapse in place (one
+    // in-flight version per writer, stamped once at commit).
+    chain.back().deleted = deleted;
+    chain.back().image = std::move(image);
+    return;
+  }
+  chain.push_back({0, writer, deleted, std::move(image)});
+}
+
+const RowVersion* VersionChains::ResolveChain(const Chain& chain, Vid s) {
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->tid == 0 && it->vid <= s) return &*it;
+  }
+  return nullptr;
+}
+
+bool VersionChains::Resolve(int64_t pk, Vid s, const RowVersion** v) const {
+  auto it = chains_.find(pk);
+  if (it == chains_.end()) return false;
+  *v = ResolveChain(it->second, s);
+  return true;
+}
+
+const RowVersion* VersionChains::NewestCommitted(const Chain& chain) {
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->tid == 0) return &*it;
+  }
+  return nullptr;
+}
+
+size_t VersionChains::TrimChain(Chain* chain, Vid watermark) {
+  // Keep the newest committed version with VID <= watermark (the base every
+  // snapshot at or above the watermark resolves to) and everything newer.
+  int base = -1;
+  for (int i = static_cast<int>(chain->size()) - 1; i >= 0; --i) {
+    const RowVersion& v = (*chain)[i];
+    if (v.tid == 0 && v.vid <= watermark) {
+      base = i;
+      break;
+    }
+  }
+  if (base <= 0) return 0;
+  chain->erase(chain->begin(), chain->begin() + base);
+  return static_cast<size_t>(base);
+}
+
+void VersionChains::Stamp(Tid tid, Vid vid, const std::vector<int64_t>& pks,
+                          Vid trim_below) {
+  for (int64_t pk : pks) {
+    auto it = chains_.find(pk);
+    if (it == chains_.end()) continue;
+    for (RowVersion& v : it->second) {
+      if (v.tid == tid) {
+        v.tid = 0;
+        v.vid = vid;
+      }
+    }
+    TrimChain(&it->second, trim_below);
+  }
+}
+
+void VersionChains::Abort(Tid tid, const std::vector<int64_t>& pks) {
+  for (int64_t pk : pks) {
+    auto it = chains_.find(pk);
+    if (it == chains_.end()) continue;
+    auto& chain = it->second;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const RowVersion& v) {
+                                 return v.tid == tid;
+                               }),
+                chain.end());
+    if (chain.empty()) chains_.erase(it);
+  }
+}
+
+size_t VersionChains::Prune(Vid watermark) {
+  size_t dropped = 0;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    auto& chain = it->second;
+    dropped += TrimChain(&chain, watermark);
+    if (chain.size() == 1 && chain[0].tid == 0 && chain[0].vid <= watermark) {
+      // Single survivor below the watermark: it IS the live tree image (or
+      // a committed delete of a key the tree no longer holds), so no
+      // snapshot can need the chain — serve the row from the tree alone.
+      dropped += 1;
+      it = chains_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::vector<int64_t> VersionChains::InflightPks() const {
+  std::vector<int64_t> pks;
+  for (const auto& [pk, chain] : chains_) {
+    for (const RowVersion& v : chain) {
+      if (v.tid != 0) {
+        pks.push_back(pk);
+        break;
+      }
+    }
+  }
+  return pks;
+}
+
+size_t VersionChains::DropInflight(int64_t pk) {
+  auto it = chains_.find(pk);
+  if (it == chains_.end()) return 0;
+  auto& chain = it->second;
+  const size_t before = chain.size();
+  chain.erase(std::remove_if(chain.begin(), chain.end(),
+                             [](const RowVersion& v) { return v.tid != 0; }),
+              chain.end());
+  const size_t dropped = before - chain.size();
+  if (chain.empty()) chains_.erase(it);
+  return dropped;
+}
+
+size_t VersionChains::ChainLength(int64_t pk) const {
+  auto it = chains_.find(pk);
+  return it == chains_.end() ? 0 : it->second.size();
+}
+
+size_t VersionChains::MaxChainLength() const {
+  size_t max_len = 0;
+  for (const auto& [pk, chain] : chains_) {
+    max_len = std::max(max_len, chain.size());
+  }
+  return max_len;
+}
+
+Vid SnapshotRegistry::RefreshLocked(Vid published) {
+  const Vid watermark =
+      live_.empty() ? published : std::min(published, live_.begin()->first);
+  hint_.store(watermark, std::memory_order_relaxed);
+  return watermark;
+}
+
+Vid SnapshotRegistry::Open(const std::atomic<Vid>& published) {
+  std::lock_guard<std::mutex> g(mu_);
+  const Vid vid = published.load(std::memory_order_acquire);
+  live_[vid]++;
+  RefreshLocked(vid);
+  return vid;
+}
+
+void SnapshotRegistry::Close(Vid vid, const std::atomic<Vid>& published) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = live_.find(vid);
+  if (it != live_.end() && --it->second == 0) live_.erase(it);
+  RefreshLocked(published.load(std::memory_order_acquire));
+}
+
+Vid SnapshotRegistry::Watermark(const std::atomic<Vid>& published) {
+  std::lock_guard<std::mutex> g(mu_);
+  return RefreshLocked(published.load(std::memory_order_acquire));
+}
+
+void SnapshotRegistry::TryRefresh(const std::atomic<Vid>& published) {
+  if (std::unique_lock<std::mutex> l(mu_, std::try_to_lock); l.owns_lock()) {
+    RefreshLocked(published.load(std::memory_order_acquire));
+  }
+}
+
+size_t SnapshotRegistry::live_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t n = 0;
+  for (const auto& [vid, count] : live_) n += count;
+  return n;
+}
+
+}  // namespace imci

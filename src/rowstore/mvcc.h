@@ -1,0 +1,169 @@
+#ifndef POLARDB_IMCI_ROWSTORE_MVCC_H_
+#define POLARDB_IMCI_ROWSTORE_MVCC_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace imci {
+
+/// The cluster-wide MVCC version substrate. Three layers are clients of this
+/// file and nothing else keeps version bookkeeping of its own:
+///   1. RowTable on the RW node — writers install in-flight versions, Commit
+///      stamps them, snapshot readers resolve them;
+///   2. the RO replication apply path — Phase#1 physical replay installs the
+///      replica's page changes as in-flight versions keyed by the owning
+///      transaction, and Phase#2 stamps them at the commit decision, so RO
+///      row-engine scans at a pinned snapshot VID can never observe a
+///      transaction mid-apply;
+///   3. boot-time recovery — the ARIES-style undo pass resolves the newest
+///      committed version of every row still carrying unstamped entries at
+///      the end of physical replay and rolls the page effects back to it.
+
+/// One entry of a row's MVCC version chain (oldest first, newest last).
+/// While the writing transaction is in flight the entry carries its TID and
+/// is invisible to every snapshot; stamping sets the commit VID (tid back to
+/// 0). The newest committed entry always mirrors the B+tree image, which is
+/// what lets pruning drop a fully-caught-up chain entirely and serve the row
+/// from the tree alone.
+struct RowVersion {
+  Vid vid = 0;        // commit VID once stamped (0 == base, visible to all)
+  Tid tid = 0;        // writer TID while in flight (0 == committed)
+  bool deleted = false;
+  std::string image;  // encoded row image (empty for a delete version)
+};
+
+/// An ordered set of per-row version chains. Externally synchronized: the
+/// owner (RowTable) guards every call with its table latch — exclusive for
+/// Install/Stamp/Abort/Prune/DropInflight, shared for the read-side methods
+/// — so that chain resolution and the B+tree state form one consistent cut
+/// under a single latch hold. Ordered so snapshot scans can merge chain-only
+/// keys (e.g. rows deleted after the snapshot) into B+tree key order.
+class VersionChains {
+ public:
+  using Chain = std::vector<RowVersion>;
+  using Map = std::map<int64_t, Chain>;
+  using const_iterator = Map::const_iterator;
+
+  /// Appends an in-flight version for `writer` on `pk`. When the pk has no
+  /// chain yet and `base_image` is non-null, the chain is seeded with it as
+  /// the all-visible base (the pruning invariant guarantees the pre-image a
+  /// chainless row shows is below every live snapshot). A transaction
+  /// writing the same row again collapses in place — one in-flight version
+  /// per writer, stamped once at commit.
+  void Install(int64_t pk, Tid writer, bool deleted, std::string image,
+               const std::string* base_image);
+
+  /// Stamps `tid`'s in-flight versions on `pks` with commit VID `vid`, then
+  /// opportunistically trims each touched chain below `trim_below` (the
+  /// oldest VID any live or future snapshot can read) so hot rows don't
+  /// accumulate history between checkpoints. Must happen *before* the
+  /// snapshot point the stamping commit publishes advances past `vid`.
+  void Stamp(Tid tid, Vid vid, const std::vector<int64_t>& pks,
+             Vid trim_below);
+
+  /// Removes `tid`'s in-flight versions on `pks` (rollback / replicated
+  /// abort). Call after the undo images are physically restored so surviving
+  /// chain bases match the tree again.
+  void Abort(Tid tid, const std::vector<int64_t>& pks);
+
+  /// Checkpoint pruning: drops all history below `watermark` and erases
+  /// chains whose single survivor is the live tree image (or a committed
+  /// delete of a key the tree no longer holds). Returns versions dropped.
+  size_t Prune(Vid watermark);
+
+  /// Point visibility: true when `pk` has a chain, in which case `*v` is the
+  /// newest version visible at snapshot `s` (nullptr when none is — the row
+  /// does not exist at `s`). False means no chain: the caller falls back to
+  /// the tree image, which the pruning invariant makes safe.
+  bool Resolve(int64_t pk, Vid s, const RowVersion** v) const;
+
+  /// Newest version of `chain` visible at snapshot `s`, or nullptr.
+  static const RowVersion* ResolveChain(const Chain& chain, Vid s);
+
+  /// Newest committed (stamped or base) version regardless of snapshot —
+  /// the rollback target of the recovery undo pass. nullptr when the chain
+  /// holds only in-flight entries (the row did not exist before them).
+  static const RowVersion* NewestCommitted(const Chain& chain);
+
+  /// PKs whose chain still carries at least one in-flight (unstamped)
+  /// entry — the rows the boot-time undo pass must roll back.
+  std::vector<int64_t> InflightPks() const;
+
+  /// Drops every in-flight entry of `pk`'s chain (any writer), erasing the
+  /// chain when nothing committed survives. Returns entries dropped.
+  size_t DropInflight(int64_t pk);
+
+  // Ordered read access for scan merging (owner holds its latch shared).
+  const_iterator begin() const { return chains_.begin(); }
+  const_iterator end() const { return chains_.end(); }
+  const_iterator lower_bound(int64_t pk) const {
+    return chains_.lower_bound(pk);
+  }
+  const_iterator find(int64_t pk) const { return chains_.find(pk); }
+
+  size_t chain_count() const { return chains_.size(); }
+  size_t ChainLength(int64_t pk) const;
+  size_t MaxChainLength() const;
+
+ private:
+  /// Drops chain history below `watermark`: everything older than the
+  /// newest committed version with VID <= watermark. Returns versions
+  /// erased.
+  static size_t TrimChain(Chain* chain, Vid watermark);
+
+  Map chains_;
+};
+
+/// Registry of live snapshot VIDs feeding the version-prune watermark: no
+/// trim or prune may drop a version the oldest registered snapshot can still
+/// read. One instance per row-store engine — the RW's transaction manager
+/// registers its read views here, an RO node registers its row-engine
+/// executions, and both the commit-path trim and the maintenance prune read
+/// the same bound. `published` is always the owner's commit point (the RW's
+/// published snapshot VID / the RO's applied VID): new snapshots only open
+/// at or above it, so any previously computed watermark stays valid forever
+/// and can be cached in a lock-free hint for the hot commit path.
+class SnapshotRegistry {
+ public:
+  /// Registers a live snapshot at the current `published` point and returns
+  /// it. The sample happens under the registry mutex so a concurrent
+  /// watermark computation either sees the registration or finished before
+  /// the sample — either way it never exceeds the returned VID.
+  Vid Open(const std::atomic<Vid>& published);
+
+  /// Unregisters one use of snapshot `vid` (refreshes the hint).
+  void Close(Vid vid, const std::atomic<Vid>& published);
+
+  /// The prune/trim bound: min(published, oldest live snapshot). The single
+  /// definition every trim and prune site must use — a divergent copy could
+  /// drop versions a live snapshot still needs. Refreshes the cached hint.
+  Vid Watermark(const std::atomic<Vid>& published);
+
+  /// Opportunistic hint refresh off the critical path (try_lock — losing
+  /// the race to readers just means the next caller refreshes it).
+  void TryRefresh(const std::atomic<Vid>& published);
+
+  /// Cached lower bound of Watermark(): any previously computed value stays
+  /// valid forever, so hot paths read this atomic instead of taking the
+  /// reader-hammered mutex.
+  Vid hint() const { return hint_.load(std::memory_order_relaxed); }
+
+  /// Open snapshot count (tests/stats).
+  size_t live_count() const;
+
+ private:
+  Vid RefreshLocked(Vid published);
+
+  mutable std::mutex mu_;
+  std::map<Vid, int> live_;  // vid -> open count
+  std::atomic<Vid> hint_{0};
+};
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_ROWSTORE_MVCC_H_

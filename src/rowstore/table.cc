@@ -28,7 +28,7 @@ Status RowTable::Insert(const Row& row, std::vector<RedoRecord>* redo,
   if (writer != 0) {
     // No base seed: before this insert the key's visible history is either
     // empty or already in the chain (committed delete).
-    PushVersionLocked(pk, writer, /*deleted=*/false, std::move(image),
+    versions_.Install(pk, writer, /*deleted=*/false, std::move(image),
                       nullptr);
   }
   if (ship) ship(redo);  // under the latch: log order == page-op order
@@ -48,7 +48,7 @@ Status RowTable::Update(int64_t pk, const Row& new_row, Row* old_row,
   IndexRemove(*old_row, pk);
   IndexInsert(new_row, pk);
   if (writer != 0) {
-    PushVersionLocked(pk, writer, /*deleted=*/false, std::move(new_image),
+    versions_.Install(pk, writer, /*deleted=*/false, std::move(new_image),
                       &old_image);
   }
   if (ship) ship(redo);
@@ -66,7 +66,7 @@ Status RowTable::Delete(int64_t pk, Row* old_row,
   IndexRemove(*old_row, pk);
   row_count_.fetch_sub(1, std::memory_order_relaxed);
   if (writer != 0) {
-    PushVersionLocked(pk, writer, /*deleted=*/true, std::string(),
+    versions_.Install(pk, writer, /*deleted=*/true, std::string(),
                       &old_image);
   }
   if (ship) ship(redo);
@@ -174,9 +174,8 @@ Status RowTable::SnapshotGetLocked(Vid s, int64_t pk,
   // One copy of the point-visibility rules: chain resolution wins, deleted
   // versions read as absent, chainless rows fall back to the tree (safe by
   // the pruning invariant). Caller holds the shared latch.
-  auto it = versions_.find(pk);
-  if (it != versions_.end()) {
-    const RowVersion* v = ResolveVersion(it->second, s);
+  const RowVersion* v = nullptr;
+  if (versions_.Resolve(pk, s, &v)) {
     if (v == nullptr || v->deleted) return Status::NotFound("snapshot get");
     *image = v->image;
     return Status::OK();
@@ -258,7 +257,7 @@ Status RowTable::SnapshotScanRange(
         }
         const int64_t pk = take_tree ? bit->first : vit->first;
         if (take_chain) {
-          const RowVersion* v = ResolveVersion(vit->second, s);
+          const RowVersion* v = VersionChains::ResolveChain(vit->second, s);
           if (v != nullptr && !v->deleted) resolved.emplace_back(pk, v->image);
           ++vit;
         } else {
@@ -298,14 +297,15 @@ Status RowTable::SnapshotIndexLookupRange(Vid s, int col, int64_t lo,
   }
   // Chains can hold the only snapshot-visible version of a row whose index
   // entry was already retargeted or removed by a newer write; sweep them.
-  for (const auto& [pk, chain] : versions_) cand.insert(pk);
+  for (auto it = versions_.begin(); it != versions_.end(); ++it) {
+    cand.insert(it->first);
+  }
   Row row;
   for (int64_t pk : cand) {
     const std::string* image = nullptr;
     std::string tree_image;
-    auto vit = versions_.find(pk);
-    if (vit != versions_.end()) {
-      const RowVersion* v = ResolveVersion(vit->second, s);
+    const RowVersion* v = nullptr;
+    if (versions_.Resolve(pk, s, &v)) {
       if (v == nullptr || v->deleted) continue;
       image = &v->image;
     } else {
@@ -316,8 +316,8 @@ Status RowTable::SnapshotIndexLookupRange(Vid s, int col, int64_t lo,
       continue;
     }
     if (IsNull(row[col])) continue;
-    const int64_t v = AsInt(row[col]);
-    if (v >= lo && v <= hi) pks->push_back(pk);
+    const int64_t val = AsInt(row[col]);
+    if (val >= lo && val <= hi) pks->push_back(pk);
   }
   return Status::OK();
 }
@@ -380,138 +380,133 @@ Status RowTable::RebuildIndexesFromPages() {
   return Status::OK();
 }
 
-void RowTable::NoteReplicaInsert(const Row& row) {
+void RowTable::ApplyReplica(ReplicaApply&& a) {
   std::unique_lock<WriterPrioritySharedMutex> g(latch_);
-  IndexInsert(row, AsInt(row[schema_->pk_col()]));
-  row_count_.fetch_add(1, std::memory_order_relaxed);
-}
-
-void RowTable::NoteReplicaDelete(const Row& row) {
-  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
-  IndexRemove(row, AsInt(row[schema_->pk_col()]));
-  row_count_.fetch_sub(1, std::memory_order_relaxed);
-}
-
-void RowTable::NoteReplicaUpdate(const Row& old_row, const Row& new_row) {
-  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
-  const int64_t pk = AsInt(new_row[schema_->pk_col()]);
-  IndexRemove(old_row, pk);
-  IndexInsert(new_row, pk);
-}
-
-void RowTable::PushVersionLocked(int64_t pk, Tid writer, bool deleted,
-                                 std::string image,
-                                 const std::string* base_image) {
-  auto& chain = versions_[pk];
-  if (chain.empty() && base_image != nullptr) {
-    // First touch since this chain was pruned: by the pruning invariant the
-    // pre-image is visible to every live snapshot, so seed it as the
-    // all-visible base (vid 0).
-    chain.push_back({0, 0, false, *base_image});
-  }
-  if (!chain.empty() && chain.back().tid == writer) {
-    // Same transaction writing the row again: collapse in place (one
-    // in-flight version per writer, stamped once at commit).
-    chain.back().deleted = deleted;
-    chain.back().image = std::move(image);
-    return;
-  }
-  chain.push_back({0, writer, deleted, std::move(image)});
-}
-
-const RowVersion* RowTable::ResolveVersion(
-    const std::vector<RowVersion>& chain, Vid s) {
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    if (it->tid == 0 && it->vid <= s) return &*it;
-  }
-  return nullptr;
-}
-
-size_t RowTable::TrimChain(std::vector<RowVersion>* chain, Vid watermark) {
-  // Keep the newest committed version with VID <= watermark (the base every
-  // snapshot at or above the watermark resolves to) and everything newer.
-  int base = -1;
-  for (int i = static_cast<int>(chain->size()) - 1; i >= 0; --i) {
-    const RowVersion& v = (*chain)[i];
-    if (v.tid == 0 && v.vid <= watermark) {
-      base = i;
+  switch (a.kind) {
+    case ReplicaApply::Kind::kInsert: {
+      const int64_t pk = AsInt(a.new_row[schema_->pk_col()]);
+      IndexInsert(a.new_row, pk);
+      row_count_.fetch_add(1, std::memory_order_relaxed);
+      if (a.tid != 0) {
+        versions_.Install(pk, a.tid, /*deleted=*/false, std::move(a.image),
+                          nullptr);
+      }
       break;
     }
+    case ReplicaApply::Kind::kUpdate: {
+      const int64_t pk = AsInt(a.new_row[schema_->pk_col()]);
+      IndexRemove(a.old_row, pk);
+      IndexInsert(a.new_row, pk);
+      if (a.tid != 0) {
+        versions_.Install(pk, a.tid, /*deleted=*/false, std::move(a.image),
+                          &a.base_image);
+      }
+      break;
+    }
+    case ReplicaApply::Kind::kDelete: {
+      const int64_t pk = AsInt(a.old_row[schema_->pk_col()]);
+      IndexRemove(a.old_row, pk);
+      row_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (a.tid != 0) {
+        versions_.Install(pk, a.tid, /*deleted=*/true, std::string(),
+                          &a.base_image);
+      }
+      break;
+    }
+    case ReplicaApply::Kind::kNone:
+      break;
   }
-  if (base <= 0) return 0;
-  chain->erase(chain->begin(), chain->begin() + base);
-  return static_cast<size_t>(base);
+}
+
+void RowTable::RestoreRowLocked(int64_t pk, const RowVersion* target) {
+  // Physical rollback of one row to its newest committed version. The
+  // B+tree mutations here are replica-local (the discarded records ship
+  // nowhere) — valid only on a final log, as RollbackInflight documents.
+  std::vector<RedoRecord> discard;
+  std::string cur;
+  const bool in_tree = btree_.Lookup(pk, &cur).ok();
+  Row row;
+  if (target == nullptr || target->deleted) {
+    if (in_tree) {
+      std::string old_image;
+      if (btree_.Delete(pk, &old_image, &discard).ok()) {
+        row_count_.fetch_sub(1, std::memory_order_relaxed);
+        if (RowCodec::Decode(*schema_, old_image.data(), old_image.size(),
+                             &row)
+                .ok()) {
+          IndexRemove(row, pk);
+        }
+      }
+    }
+    return;
+  }
+  if (!in_tree) {
+    if (btree_.Insert(pk, target->image, &discard).ok()) {
+      row_count_.fetch_add(1, std::memory_order_relaxed);
+      if (RowCodec::Decode(*schema_, target->image.data(),
+                           target->image.size(), &row)
+              .ok()) {
+        IndexInsert(row, pk);
+      }
+    }
+    return;
+  }
+  if (cur == target->image) return;  // compensation already restored it
+  std::string old_image;
+  if (!btree_.Update(pk, target->image, &old_image, &discard).ok()) return;
+  if (RowCodec::Decode(*schema_, old_image.data(), old_image.size(), &row)
+          .ok()) {
+    IndexRemove(row, pk);
+  }
+  if (RowCodec::Decode(*schema_, target->image.data(), target->image.size(),
+                       &row)
+          .ok()) {
+    IndexInsert(row, pk);
+  }
+}
+
+size_t RowTable::RollbackInflight() {
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
+  size_t undone = 0;
+  for (int64_t pk : versions_.InflightPks()) {
+    auto it = versions_.find(pk);
+    if (it == versions_.end()) continue;
+    RestoreRowLocked(pk, VersionChains::NewestCommitted(it->second));
+    undone += versions_.DropInflight(pk);
+  }
+  return undone;
 }
 
 void RowTable::StampVersions(Tid tid, Vid vid,
                              const std::vector<int64_t>& pks,
                              Vid trim_below) {
   std::unique_lock<WriterPrioritySharedMutex> g(latch_);
-  for (int64_t pk : pks) {
-    auto it = versions_.find(pk);
-    if (it == versions_.end()) continue;
-    for (RowVersion& v : it->second) {
-      if (v.tid == tid) {
-        v.tid = 0;
-        v.vid = vid;
-      }
-    }
-    TrimChain(&it->second, trim_below);
-  }
+  versions_.Stamp(tid, vid, pks, trim_below);
 }
 
 void RowTable::AbortVersions(Tid tid, const std::vector<int64_t>& pks) {
   std::unique_lock<WriterPrioritySharedMutex> g(latch_);
-  for (int64_t pk : pks) {
-    auto it = versions_.find(pk);
-    if (it == versions_.end()) continue;
-    auto& chain = it->second;
-    chain.erase(std::remove_if(chain.begin(), chain.end(),
-                               [&](const RowVersion& v) {
-                                 return v.tid == tid;
-                               }),
-                chain.end());
-    if (chain.empty()) versions_.erase(it);
-  }
+  versions_.Abort(tid, pks);
 }
 
 size_t RowTable::PruneVersions(Vid watermark) {
   std::unique_lock<WriterPrioritySharedMutex> g(latch_);
-  size_t dropped = 0;
-  for (auto it = versions_.begin(); it != versions_.end();) {
-    auto& chain = it->second;
-    dropped += TrimChain(&chain, watermark);
-    if (chain.size() == 1 && chain[0].tid == 0 && chain[0].vid <= watermark) {
-      // Single survivor below the watermark: it IS the live tree image (or
-      // a committed delete of a key the tree no longer holds), so no
-      // snapshot can need the chain — serve the row from the tree alone.
-      dropped += 1;
-      it = versions_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  return dropped;
+  return versions_.Prune(watermark);
 }
 
 size_t RowTable::versioned_row_count() const {
   std::shared_lock<WriterPrioritySharedMutex> g(latch_);
-  return versions_.size();
+  return versions_.chain_count();
 }
 
 size_t RowTable::VersionChainLength(int64_t pk) const {
   std::shared_lock<WriterPrioritySharedMutex> g(latch_);
-  auto it = versions_.find(pk);
-  return it == versions_.end() ? 0 : it->second.size();
+  return versions_.ChainLength(pk);
 }
 
 size_t RowTable::MaxVersionChainLength() const {
   std::shared_lock<WriterPrioritySharedMutex> g(latch_);
-  size_t max_len = 0;
-  for (const auto& [pk, chain] : versions_) {
-    max_len = std::max(max_len, chain.size());
-  }
-  return max_len;
+  return versions_.MaxChainLength();
 }
 
 void RowTable::IndexInsert(const Row& row, int64_t pk) {

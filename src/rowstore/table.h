@@ -12,21 +12,9 @@
 #include "common/row.h"
 #include "common/schema.h"
 #include "rowstore/btree.h"
+#include "rowstore/mvcc.h"
 
 namespace imci {
-
-/// One entry of a row's MVCC version chain (oldest first, newest last).
-/// While the writing transaction is in flight the entry carries its TID and
-/// is invisible to every snapshot; Commit stamps it with the commit VID
-/// (tid back to 0). The newest committed entry always mirrors the B+tree
-/// image, which is what lets pruning drop a fully-caught-up chain entirely
-/// and serve the row from the tree alone.
-struct RowVersion {
-  Vid vid = 0;        // commit VID once stamped (0 == base, visible to all)
-  Tid tid = 0;        // writer TID while in flight (0 == committed)
-  bool deleted = false;
-  std::string image;  // encoded row image (empty for a delete version)
-};
 
 /// A row-store table: B+tree primary index plus optional in-memory secondary
 /// indexes over integer-family columns. Writers are serialized by an
@@ -43,15 +31,20 @@ struct RowVersion {
 /// operations out of order. Single-threaded callers (tests, bulk tools) may
 /// omit it and ship afterwards.
 ///
-/// MVCC: a mutation carrying a non-zero `writer` TID additionally records a
-/// version in the row's chain. Version chains are a side structure over the
-/// B+tree (the tree always holds the newest physical image — the one REDO
-/// replication reproduces on replicas); Snapshot* readers resolve the newest
-/// version with commit VID <= their snapshot, falling back to the tree for
-/// rows with no chain. The pruning invariant that makes the fallback safe:
-/// chains are only trimmed below the oldest live snapshot
-/// (TransactionManager::PruneWatermark), so a missing chain means the tree
-/// image is visible to every snapshot that can still be opened or is live.
+/// MVCC: the table keeps no version bookkeeping of its own — it is a client
+/// of the shared VersionChains layer (rowstore/mvcc.h), guarded by the same
+/// table latch as the tree. A mutation carrying a non-zero `writer` TID
+/// installs an in-flight version in the row's chain. Chains are a side
+/// structure over the B+tree (the tree always holds the newest physical
+/// image — the one REDO replication reproduces on replicas); Snapshot*
+/// readers resolve the newest version with commit VID <= their snapshot,
+/// falling back to the tree for rows with no chain. The pruning invariant
+/// that makes the fallback safe: chains are only trimmed below the oldest
+/// live snapshot (SnapshotRegistry::Watermark), so a missing chain means the
+/// tree image is visible to every snapshot that can still be opened or is
+/// live. The same machinery serves the RO replica (Phase#1 installs via
+/// ApplyReplica, Phase#2 stamps via StampVersions) and the boot-time undo
+/// pass (RollbackInflight).
 class RowTable {
  public:
   /// Ships stamped records to the log; invoked under the table write latch.
@@ -113,18 +106,19 @@ class RowTable {
   Status SnapshotIndexLookupRange(Vid s, int col, int64_t lo, int64_t hi,
                                   std::vector<int64_t>* pks) const;
 
-  // --- MVCC version maintenance (transaction layer) ----------------------
+  // --- MVCC version maintenance (transaction layer / Phase#2) ------------
 
   /// Stamps `tid`'s in-flight versions on `pks` with commit VID `vid`, then
   /// opportunistically trims each touched chain below `trim_below` (the
   /// oldest VID any live or future snapshot can read) so hot rows don't
-  /// accumulate history between checkpoints. Called by Commit *before* the
-  /// snapshot point advances past `vid`.
+  /// accumulate history between checkpoints. Called by the RW Commit (and
+  /// by the RO pipeline's commit decision) *before* the snapshot point
+  /// advances past `vid`.
   void StampVersions(Tid tid, Vid vid, const std::vector<int64_t>& pks,
                      Vid trim_below);
-  /// Removes `tid`'s in-flight versions on `pks` (rollback). Call after the
-  /// undo images are physically restored so surviving chain bases match the
-  /// tree again.
+  /// Removes `tid`'s in-flight versions on `pks` (rollback / replicated
+  /// abort). Call after the undo images are physically restored so
+  /// surviving chain bases match the tree again.
   void AbortVersions(Tid tid, const std::vector<int64_t>& pks);
   /// Checkpoint pruning: drops all history below `watermark` and erases
   /// chains whose single survivor is the live tree image (or a committed
@@ -170,33 +164,52 @@ class RowTable {
   /// Used when attaching to a replica whose pages already exist (RO boot).
   Status RebuildIndexesFromPages();
 
-  /// Replica-side metadata maintenance: Phase#1 replay applies page changes
-  /// directly, bypassing Insert/Update/Delete, and calls these to keep the
-  /// secondary indexes and row count of the RO row-store replica current.
-  void NoteReplicaInsert(const Row& row);
-  void NoteReplicaDelete(const Row& row);
-  void NoteReplicaUpdate(const Row& old_row, const Row& new_row);
+  // --- Replica apply path (Phase#1) ---------------------------------------
+
+  /// Deferred replica-side effect of one replayed page record: Phase#1
+  /// applies page changes under the page latch, then hands this to the
+  /// table *after* that latch is released (readers nest table latch -> page
+  /// latch; the reverse nesting would deadlock). Carries both the metadata
+  /// maintenance (secondary indexes, row count) and the MVCC installation:
+  /// a record with a non-zero `tid` is an in-flight user DML whose images
+  /// enter the row's version chain, keyed by the owning transaction, until
+  /// the Phase#2 commit decision stamps them — so replica row-engine
+  /// readers at a pinned snapshot never observe a transaction mid-apply.
+  /// System records (tid 0: SMO, rollback compensation) maintain metadata
+  /// only.
+  struct ReplicaApply {
+    enum class Kind : uint8_t { kNone, kInsert, kUpdate, kDelete };
+    Kind kind = Kind::kNone;
+    Tid tid = 0;
+    Row old_row;             // update/delete (index/rowcount maintenance)
+    Row new_row;             // insert/update
+    std::string image;       // after image (insert/update version)
+    std::string base_image;  // pre-image (update/delete chain base seed)
+  };
+  void ApplyReplica(ReplicaApply&& a);
+
+  // --- Boot-time recovery (ARIES undo) ------------------------------------
+
+  /// Rolls back every row whose chain still carries in-flight (unstamped)
+  /// versions: the page state is physically restored to the newest
+  /// committed version the chain recorded (the images compensation records
+  /// would have carried), secondary indexes and the row count are fixed up,
+  /// and the in-flight entries are dropped. Only valid when no more log
+  /// will arrive for those transactions — i.e. after replaying a final
+  /// (crashed) log prefix; the restore is replica-local and ships no redo.
+  /// Returns the number of in-flight versions undone.
+  size_t RollbackInflight();
 
   uint64_t row_count() const { return row_count_.load(); }
 
  private:
   void IndexInsert(const Row& row, int64_t pk);
   void IndexRemove(const Row& row, int64_t pk);
-  /// Appends an in-flight version for `writer` under the write latch. When
-  /// the pk has no chain yet and `base_image` is non-null, the chain is
-  /// seeded with it as the all-visible base (pruning guarantees the tree
-  /// image a chainless row shows is below every live snapshot).
-  void PushVersionLocked(int64_t pk, Tid writer, bool deleted,
-                         std::string image, const std::string* base_image);
-  /// Drops chain history below `watermark`: everything older than the
-  /// newest committed version with VID <= watermark. Returns versions
-  /// erased.
-  static size_t TrimChain(std::vector<RowVersion>* chain, Vid watermark);
-  /// Newest version of `chain` visible at snapshot `s`, or nullptr.
-  static const RowVersion* ResolveVersion(const std::vector<RowVersion>& chain,
-                                          Vid s);
   /// Shared body of SnapshotGet / SnapshotGetCurrent (latch held).
   Status SnapshotGetLocked(Vid s, int64_t pk, std::string* image) const;
+  /// Physically restores `pk` to `target` (nullptr/deleted == absent) under
+  /// the write latch; fixes indexes and the row count. Undo-path helper.
+  void RestoreRowLocked(int64_t pk, const RowVersion* target);
 
   std::shared_ptr<const Schema> schema_;
   BTree btree_;
@@ -205,10 +218,10 @@ class RowTable {
   mutable WriterPrioritySharedMutex latch_;
   // col -> (key -> pk set)
   std::map<int, std::map<int64_t, std::set<int64_t>>> sec_index_;
-  // pk -> MVCC version chain. Guarded by latch_ (exclusive for writers,
-  // stamping, abort and pruning; shared for snapshot readers). Ordered so
-  // snapshot scans can merge chain-only keys into B+tree key order.
-  std::map<int64_t, std::vector<RowVersion>> versions_;
+  /// pk -> MVCC version chain (shared layer, rowstore/mvcc.h). Guarded by
+  /// latch_ (exclusive for writers, stamping, abort and pruning; shared for
+  /// snapshot readers).
+  VersionChains versions_;
   std::atomic<uint64_t> row_count_{0};
 };
 

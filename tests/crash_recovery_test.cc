@@ -7,12 +7,13 @@
 // the commit history (commit-VID order == commit-LSN order, so the LSN cut
 // is a VID prefix).
 //
-// The commit-gated column index is the recovered state asserted here: the
-// row *replica* pages legitimately contain page changes of transactions
-// still in flight at the cut (Phase#1 physical replay is commit-agnostic;
-// an ARIES-style undo pass for the replica row engine is a ROADMAP
-// follow-up), while Phase#2 only surfaces transactions whose commit record
-// made it into the durable prefix.
+// Both engines are asserted against the durable-prefix model: the
+// commit-gated column index directly (Phase#2 only surfaces transactions
+// whose commit record made it into the durable prefix), and the row
+// *replica* after the ARIES-style undo pass (RecoverRowReplica) — Phase#1
+// physical replay is commit-agnostic, so the raw pages contain effects of
+// transactions still in flight at the cut until the undo pass rolls them
+// back to the newest committed images their version chains recorded.
 //
 // Seeded via the standard IMCI_TEST_SEED / IMCI_TEST_ITERS hooks.
 #include <gtest/gtest.h>
@@ -135,8 +136,40 @@ TEST_P(CrashRecoveryTest, RecoveredStateEqualsDurableWatermarkPrefix) {
   const uint64_t sample_at =
       std::max<uint64_t>(1, static_cast<uint64_t>(txns_per_thread) / 2);
   while (txns->commits() < sample_at) std::this_thread::yield();
+  // Deterministic straddler: a transaction whose DML records are durable
+  // *below* the cut but whose commit record lands beyond it. Phase#1 replay
+  // on the recovery node applies its page effects commit-agnostically; only
+  // the ARIES undo pass can roll them back. (The random workload can also
+  // produce straddlers, but not reliably on every seed.) pk 300 is outside
+  // the workload's key range, so no lock interference.
+  Transaction straddler;
+  txns->Begin(&straddler);
+  ASSERT_TRUE(
+      txns->Insert(&straddler, 1, {int64_t(300), int64_t(1), std::string("straddle")})
+          .ok());
+  // A filler commit forces a group-commit fsync that covers the straddler's
+  // insert record, pulling it under the durable watermark we cut at.
+  Transaction filler;
+  txns->Begin(&filler);
+  ASSERT_TRUE(
+      txns->Insert(&filler, 1, {int64_t(301), int64_t(2), std::string("filler")}).ok());
+  ASSERT_TRUE(txns->Commit(&filler).ok());
+  {
+    TxnEffect eff;
+    eff.vid = filler.commit_vid();
+    eff.commit_lsn = filler.commit_lsn();
+    eff.ops.push_back(
+        {TxnEffect::Op::Kind::kPut, 301, 2, std::string("filler")});
+    std::lock_guard<std::mutex> g(commits_mu);
+    commits.push_back(std::move(eff));
+  }
   const Lsn cut = fs.log("redo")->durable_lsn();
+  ASSERT_GE(cut, filler.commit_lsn());
   for (auto& w : workers) w.join();
+  // Committed only now — beyond the cut: the crash erases this commit, so
+  // recovery must not expose pk 300.
+  ASSERT_TRUE(txns->Commit(&straddler).ok());
+  ASSERT_GT(straddler.commit_lsn(), cut);
   const Lsn final_written = fs.log("redo")->written_lsn();
 
   // SIGKILL simulation: everything volatile is gone; a fresh shared store
@@ -197,13 +230,15 @@ TEST_P(CrashRecoveryTest, RecoveredStateEqualsDurableWatermarkPrefix) {
   SCOPED_TRACE(::testing::Message()
                << "cut=" << cut << " committed=" << commits.size()
                << " included=" << included);
-  // The cut must be a real crash: some history recovered, some lost.
+  // The cut must be a real crash: some history recovered, some lost. The
+  // straddler is the *guaranteed* loss (its commit record is beyond the cut
+  // by construction and its effect is deliberately absent from the model);
+  // recorded worker commits may or may not land beyond the cut depending on
+  // scheduling, so no expectation is placed on them.
   if (cut > 0) {
     EXPECT_GT(included, 0u);
   }
-  if (final_written > cut) {
-    EXPECT_LT(included, commits.size());
-  }
+  EXPECT_GT(final_written, cut);
 
   EXPECT_EQ(node.applied_vid(), last_vid);
 
@@ -214,6 +249,33 @@ TEST_P(CrashRecoveryTest, RecoveredStateEqualsDurableWatermarkPrefix) {
   std::vector<Row> got;
   ASSERT_TRUE(node.ExecuteColumn(LScan(1, {0, 1, 2}), &got).ok());
   EXPECT_EQ(testing_util::Canonicalize(got),
+            testing_util::Canonicalize(expected));
+
+  // --- Row-replica arm (ARIES undo at boot) ------------------------------
+  // Before the undo pass the raw replica pages may contain page effects of
+  // transactions whose commit record lies beyond the cut (their versions
+  // are still unstamped). The undo pass rolls every such row back to the
+  // newest committed image its version chain recorded; afterwards the raw
+  // tree, the snapshot-consistent row engine, and the row-count metadata
+  // must all equal the same durable-prefix model. Disabling the undo pass
+  // leaves the in-flight effects in the pages and fails the raw-state
+  // assertion below.
+  const size_t undone = node.RecoverRowReplica();
+  SCOPED_TRACE(::testing::Message() << "undone=" << undone);
+  EXPECT_GE(undone, 1u);  // at least the deterministic straddler
+  RowTable* replica = node.engine()->GetTable(1);
+  ASSERT_NE(replica, nullptr);
+  std::vector<Row> raw;
+  ASSERT_TRUE(replica->Scan([&](int64_t, const Row& r) {
+    raw.push_back(r);
+    return true;
+  }).ok());
+  EXPECT_EQ(testing_util::Canonicalize(raw),
+            testing_util::Canonicalize(expected));
+  EXPECT_EQ(replica->row_count(), expected.size());
+  std::vector<Row> row_got;
+  ASSERT_TRUE(node.ExecuteRow(LScan(1, {0, 1, 2}), &row_got).ok());
+  EXPECT_EQ(testing_util::Canonicalize(row_got),
             testing_util::Canonicalize(expected));
 }
 

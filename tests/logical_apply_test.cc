@@ -111,8 +111,10 @@ TEST_F(LogicalApplyTest, AbortedTransactionsNeverReachTheBinlog) {
 
 TEST_F(LogicalApplyTest, StrongReadsWaitOnCommitVidsAcrossLsnSpaces) {
   // Binlog LSNs are a different space from the RW's redo LSN, so the proxy's
-  // strong-consistency wait must use commit VIDs for logical-apply nodes —
-  // comparing across spaces would spin forever (regression test).
+  // strong-consistency wait translates the commit point observed at
+  // submission through the binlog writer's commit-VID → binlog-LSN map and
+  // waits on the node's applied binlog LSN — comparing redo LSNs across
+  // spaces would spin forever (regression test).
   Transaction txn;
   txns_->Begin(&txn);
   ASSERT_TRUE(

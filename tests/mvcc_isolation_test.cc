@@ -5,6 +5,13 @@
 // atomicity under a concurrent write-heavy mix (the tsan stress), version
 // chain pruning pinned by long-lived snapshots across TriggerCheckpoint, and
 // the reader/writer latch regression: a slow scan no longer blocks writers.
+//
+// The RoMvccTest arm covers the RO side of the same substrate: Phase#1
+// physical replay installs replica page changes as *in-flight* versions
+// keyed by the owning transaction, Phase#2 stamps them at the commit
+// decision, and RO row-engine scans run at a pinned applied-VID snapshot —
+// so a scan during a straddling multi-row apply sees all-or-nothing even
+// though the raw replica pages are torn mid-apply.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -336,6 +343,184 @@ TEST(MvccPruningTest, LongLivedSnapshotPinsVersionsAcrossCheckpoint) {
   EXPECT_EQ(table->MaxVersionChainLength(), 0u);
   ASSERT_TRUE(txns->Get(1, 0, &row).ok());
   EXPECT_EQ(AsInt(row[1]), 3000);
+}
+
+TEST(RoMvccTest, RowEngineScanSeesAllOrNothingDuringStraddlingApply) {
+  // Step the RO apply one redo record at a time (chunk_records = 1) across
+  // a 4-row transaction: the raw replica pages become torn after the first
+  // stepped record, but the row engine — reading at the pinned applied-VID
+  // snapshot through the replica's version chains — must show all-or-none
+  // of the transaction at every step. Reverting Phase#1 stamping to
+  // apply-time visibility (or row reads to latest-applied) fails this test
+  // at the intermediate steps.
+  PolarFs fs;
+  Catalog catalog;
+  RwNode rw(&fs, &catalog);
+  ASSERT_TRUE(rw.CreateTable(KvSchema(1, "a")).ok());
+  ASSERT_TRUE(rw.BulkLoad(1, KvRows(4, 100)).ok());
+  ASSERT_TRUE(rw.FinishLoad().ok());
+
+  RoNodeOptions opts;
+  opts.replication.chunk_records = 1;
+  RoNode node("ro-step", &fs, &catalog, opts);
+  ASSERT_TRUE(node.Boot().ok());
+  ASSERT_TRUE(node.CatchUpNow().ok());  // seeds the pipeline cursor
+
+  auto* txns = rw.txn_manager();
+  Transaction txn;
+  txns->Begin(&txn);
+  for (int64_t pk = 0; pk < 4; ++pk) {
+    Row row;
+    ASSERT_TRUE(txns->GetForUpdate(&txn, 1, pk, &row).ok());
+    row[1] = int64_t(777);
+    ASSERT_TRUE(txns->Update(&txn, 1, pk, row).ok());
+  }
+  ASSERT_TRUE(txns->Commit(&txn).ok());
+
+  auto scan_vals = [&] {
+    std::vector<Row> out;
+    EXPECT_TRUE(node.ExecuteRow(LScan(1, {0, 1}), &out).ok());
+    std::vector<int64_t> vals;
+    for (const Row& r : out) vals.push_back(AsInt(r[1]));
+    return vals;
+  };
+  const std::vector<int64_t> all_old(4, 100);
+  const std::vector<int64_t> all_new(4, 777);
+  const Lsn tail = fs.log("redo")->written_lsn();  // 4 DML records + commit
+  int steps = 0;
+  bool saw_torn_pages = false;
+  while (node.pipeline()->read_lsn() < tail) {
+    ASSERT_TRUE(node.pipeline()->PollOnce().ok());
+    ++steps;
+    const std::vector<int64_t> vals = scan_vals();
+    const bool committed = node.applied_vid() == txn.commit_vid();
+    EXPECT_EQ(vals, committed ? all_new : all_old)
+        << "torn multi-row apply visible to the row engine at step " << steps;
+    if (!committed && node.pipeline()->parser()->records_applied() > 0) {
+      // The raw replica state IS torn mid-apply — the chains, not luck,
+      // provide the isolation above.
+      Row raw;
+      ASSERT_TRUE(node.engine()->GetTable(1)->Get(0, &raw).ok());
+      if (AsInt(raw[1]) == 777) saw_torn_pages = true;
+      EXPECT_GT(node.engine()->GetTable(1)->versioned_row_count(), 0u);
+    }
+  }
+  EXPECT_GE(steps, 5);  // the apply really straddled poll boundaries
+  EXPECT_TRUE(saw_torn_pages);
+  EXPECT_EQ(node.applied_vid(), txn.commit_vid());
+  EXPECT_EQ(scan_vals(), all_new);
+}
+
+TEST(RoMvccTest, RowEngineStressSeesNoTornTransactionsDuringReplication) {
+  // The concurrent arm: RW writers commit 4-row group transactions while
+  // the background pipeline replicates and RO row-engine scans (each at its
+  // own pinned applied-VID snapshot) assert every group is uniform — the
+  // RO-side counterpart of MultiRowTxnAtomicityUnderWriteHeavyStress.
+  constexpr int kGroups = 8;
+  constexpr int kWriters = 2;
+  constexpr int kScanners = 2;
+  ClusterOptions copts;
+  Cluster cluster(copts);
+  ASSERT_TRUE(cluster.CreateTable(KvSchema(1, "g")).ok());
+  ASSERT_TRUE(cluster.BulkLoad(1, KvRows(4 * kGroups, 0)).ok());
+  ASSERT_TRUE(cluster.Open().ok());
+  auto* txns = cluster.rw()->txn_manager();
+  RoNode* ro = cluster.ro(0);
+  ASSERT_NE(ro, nullptr);
+
+  const uint64_t seed = testing_util::TestSeed(77);
+  const int txns_per_writer = testing_util::TestIters(150);
+  SCOPED_TRACE(::testing::Message() << "IMCI_TEST_SEED=" << seed
+                                    << " IMCI_TEST_ITERS=" << txns_per_writer
+                                    << " reproduces this run");
+  std::atomic<int> writers_left{kWriters};
+  std::atomic<int64_t> next_token{1};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(seed + w);
+      for (int i = 0; i < txns_per_writer; ++i) {
+        const int64_t g = static_cast<int64_t>(rng.Next() % kGroups);
+        const int64_t token = next_token.fetch_add(1);
+        Transaction txn;
+        txns->Begin(&txn);
+        bool ok = true;
+        for (int64_t r = 0; r < 4 && ok; ++r) {
+          Row row;
+          ok = txns->GetForUpdate(&txn, 1, g * 4 + r, &row).ok();
+          if (ok) {
+            row[1] = token;
+            ok = txns->Update(&txn, 1, g * 4 + r, row).ok();
+          }
+        }
+        if (ok) {
+          EXPECT_TRUE(txns->Commit(&txn).ok());
+        } else {
+          txns->Rollback(&txn);  // lock timeout: abort and move on
+        }
+      }
+      writers_left.fetch_sub(1);
+    });
+  }
+  for (int s = 0; s < kScanners; ++s) {
+    threads.emplace_back([&] {
+      while (writers_left.load() > 0) {
+        std::vector<Row> out;
+        Status st = ro->ExecuteRow(LScan(1, {0, 1}), &out);
+        EXPECT_TRUE(st.ok()) << st.ToString();
+        ASSERT_EQ(out.size(), static_cast<size_t>(4 * kGroups));
+        std::vector<int64_t> vals(4 * kGroups, -1);
+        for (const Row& row : out) vals[AsInt(row[0])] = AsInt(row[1]);
+        for (int g = 0; g < kGroups; ++g) {
+          for (int r = 1; r < 4; ++r) {
+            EXPECT_EQ(vals[g * 4], vals[g * 4 + r])
+                << "torn replicated transaction visible in group " << g;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(ro->CatchUpNow().ok());
+}
+
+TEST(RoMvccTest, ReplicaChainsStampedThenPrunedByMaintenance) {
+  // Replica version chains must not leak: once transactions are stamped and
+  // no row-engine snapshot pins them, the pipeline's maintenance pass
+  // (SnapshotRegistry watermark == applied VID) erases caught-up chains.
+  PolarFs fs;
+  Catalog catalog;
+  RwNode rw(&fs, &catalog);
+  ASSERT_TRUE(rw.CreateTable(KvSchema(1, "a")).ok());
+  ASSERT_TRUE(rw.BulkLoad(1, KvRows(10, 100)).ok());
+  ASSERT_TRUE(rw.FinishLoad().ok());
+
+  RoNodeOptions opts;
+  opts.replication.maintenance_interval = 1;  // maintenance on every poll
+  RoNode node("ro-prune", &fs, &catalog, opts);
+  ASSERT_TRUE(node.Boot().ok());
+  ASSERT_TRUE(node.CatchUpNow().ok());
+
+  auto* txns = rw.txn_manager();
+  for (int round = 1; round <= 3; ++round) {
+    for (int64_t pk = 0; pk < 10; ++pk) {
+      ASSERT_TRUE(UpdateOne(txns, 1, pk, 1000 * round + pk).ok());
+    }
+  }
+  const Lsn tail = fs.log("redo")->written_lsn();
+  while (node.pipeline()->read_lsn() < tail) {
+    ASSERT_TRUE(node.pipeline()->PollOnce().ok());
+  }
+  ASSERT_TRUE(node.pipeline()->PollOnce().ok());  // one more: maintenance
+  RowTable* replica = node.engine()->GetTable(1);
+  EXPECT_EQ(replica->versioned_row_count(), 0u);
+  EXPECT_EQ(replica->MaxVersionChainLength(), 0u);
+  std::vector<Row> out;
+  ASSERT_TRUE(node.ExecuteRow(LScan(1, {0, 1}), &out).ok());
+  ASSERT_EQ(out.size(), 10u);
+  for (const Row& r : out) {
+    EXPECT_EQ(AsInt(r[1]), 3000 + AsInt(r[0]));
+  }
 }
 
 TEST_F(MvccIsolationTest, SlowScanNoLongerBlocksWriters) {
