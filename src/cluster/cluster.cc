@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "archive/archive.h"
+#include "common/coding.h"
 #include "imci/checkpoint.h"
 #include "log/log_store.h"
 
@@ -75,6 +77,14 @@ Status Cluster::Open() {
     rw_->txn_manager()->set_binlog_enabled(true);
   }
   IMCI_RETURN_NOT_OK(rw_->FinishLoad());
+  // Register the freshly-flushed base image as restore anchor 0 — until the
+  // first checkpoint completes, it is the only state RestoreToLsn can start
+  // replay from.
+  if (ArchiveStore* arc = fs_.archive()) {
+    Lsn base = 0;
+    IMCI_RETURN_NOT_OK(RwNode::ReadBaseLsn(&fs_, &base));
+    IMCI_RETURN_NOT_OK(arc->snapshots()->Register(0, 0, base));
+  }
   for (int i = 0; i < options_.initial_ro_nodes; ++i) {
     RoNode* node = nullptr;
     IMCI_RETURN_NOT_OK(AddRoNode(&node));
@@ -170,9 +180,10 @@ Status Cluster::RecycleBinlog(Lsn* recycled_upto) {
 Status Cluster::RecycleBinlogLocked(Lsn* recycled_upto) {
   if (recycled_upto) *recycled_upto = 0;
   // Only logical-apply cursors make binlog history reclaimable: every
-  // attached consumer has applied what we cut, and new logical-apply boots
-  // are refused below a truncated binlog (RoNode::Boot) until the binlog
-  // arm grows its own checkpoint anchor (ROADMAP follow-up). With no
+  // attached consumer has applied what we cut. With the archive attached,
+  // the sealed segments keep later logical-apply boots possible
+  // (RoNode::Boot bridges the recycled prefix from the archive); without
+  // it, new logical-apply boots below the cut are refused. With no
   // consumer there is no cursor to clamp to, so nothing is recycled.
   Lsn safe = 0;
   bool has_consumer = false;
@@ -192,6 +203,69 @@ Status Cluster::RecycleBinlogLocked(Lsn* recycled_upto) {
   // need their VID → LSN fence entries anymore; keep the map bounded.
   rw_->binlog()->ForgetVidsBelow(cut);
   if (recycled_upto) *recycled_upto = cut;
+  return Status::OK();
+}
+
+Status Cluster::RestoreToLsn(Lsn lsn, RestoredCluster* out) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  ArchiveStore* arc = fs_.archive();
+  if (arc == nullptr) {
+    return Status::NotSupported("point-in-time recovery needs the archive "
+                                "tier (PolarFs::Options::enable_archive)");
+  }
+  LogStore* redo = fs_.log("redo");
+  const Lsn target = std::min(lsn, redo->written_lsn());
+  SnapshotStore::Anchor anchor;
+  IMCI_RETURN_NOT_OK(arc->snapshots()->FindAnchor(target, &anchor));
+  auto fs = std::make_unique<PolarFs>(options_.fs);
+  IMCI_RETURN_NOT_OK(arc->snapshots()->Restore(anchor, fs.get()));
+  // LSN alignment: pre-seed the fresh redo log's truncation watermark at
+  // the anchor's start LSN *before* its first open, so the spliced records
+  // appended below keep their original LSNs (the anchor's checkpoint
+  // manifest and page LSNs are all in that space).
+  std::string wm;
+  PutFixed64(&wm, anchor.start_lsn);
+  IMCI_RETURN_NOT_OK(fs->WriteFile("log/redo/TRUNCATED", std::move(wm)));
+  // Splice the redo history (anchor.start_lsn, target]: the archived prefix
+  // (below the live log's recycle watermark) first, the live tail after.
+  std::vector<std::string> records;
+  Lsn cursor = anchor.start_lsn;
+  const Lsn archived_to = std::min(target, arc->archived_upto("redo"));
+  if (archived_to > cursor) {
+    IMCI_RETURN_NOT_OK(
+        arc->ReadRecords("redo", cursor, archived_to, &records, &cursor));
+  }
+  if (cursor < target) cursor = redo->Read(cursor, target, &records);
+  if (cursor != target ||
+      records.size() != static_cast<size_t>(target - anchor.start_lsn)) {
+    return Status::Corruption(
+        "restore splice incomplete: history (" +
+        std::to_string(anchor.start_lsn) + ", " + std::to_string(target) +
+        "] not contiguously available");
+  }
+  // Replay stops at exactly `target` because nothing past it exists in the
+  // restored log — CatchUpNow below cannot overshoot.
+  if (!records.empty()) fs->log("redo")->Append(std::move(records), false);
+  auto catalog = std::make_unique<Catalog>();
+  for (const auto& schema : catalog_.All()) catalog->Register(schema);
+  RoNodeOptions ro = options_.ro;
+  // The restored environment replays physical redo regardless of what arm
+  // the live cluster's ROs run: the snapshot's pages + redo suffix are the
+  // durable history.
+  ro.replication.source = ApplySource::kRedoReuse;
+  auto node =
+      std::make_unique<RoNode>("restore", fs.get(), catalog.get(), ro);
+  IMCI_RETURN_NOT_OK(node->Boot());
+  IMCI_RETURN_NOT_OK(node->CatchUpNow());
+  // Durable-prefix cut: transactions still undecided at `target` roll back.
+  const size_t undone = node->RecoverRowReplica();
+  out->anchor_ckpt_id = anchor.ckpt_id;
+  out->lsn = target;
+  out->applied_vid = node->applied_vid();
+  out->undone = undone;
+  out->node = std::move(node);
+  out->catalog = std::move(catalog);
+  out->fs = std::move(fs);
   return Status::OK();
 }
 

@@ -94,7 +94,37 @@ class Cluster {
   /// node is attached — a later logical-apply boot replays the binlog from
   /// LSN 0 over the base state, so with no consumer cursor to clamp to,
   /// nothing is provably reclaimable. Segment-granular, like the redo path.
+  /// With the archive tier attached (PolarFs::Options::enable_archive),
+  /// recycled segments are sealed into the archive first, and later
+  /// logical-apply boots bridge the recycled prefix from there.
   Status RecycleBinlog(Lsn* recycled_upto = nullptr);
+
+  /// Point-in-time recovery: a cluster environment restored to exactly the
+  /// durable prefix at `lsn`, independent of the live one. Declaration order
+  /// matters to destruction: the node detaches before its catalog and fs go.
+  struct RestoredCluster {
+    std::unique_ptr<PolarFs> fs;
+    std::unique_ptr<Catalog> catalog;
+    std::unique_ptr<RoNode> node;
+    uint64_t anchor_ckpt_id = 0;  // snapshot anchor restore started from
+    Lsn lsn = 0;                  // redo LSN actually restored to
+    Vid applied_vid = 0;          // commit point visible on the node
+    size_t undone = 0;            // in-flight versions rolled back at the cut
+  };
+
+  /// Restores a fresh, self-contained environment to redo LSN `lsn` (clamped
+  /// to the live log's written tail): picks the nearest snapshot anchor at
+  /// or below it, primes a new PolarFs from the frozen snapshot, splices the
+  /// archived + live redo suffix up to exactly `lsn` into the new log (the
+  /// pre-seeded truncation watermark keeps original LSNs), and boots + fully
+  /// replays an RO over it. Durable-prefix semantics at the cut: replay
+  /// stops at `lsn`, and transactions whose commit decision lies beyond it
+  /// are rolled back (row replica) / never surfaced (column state). `lsn`
+  /// may lie far below the recycle watermark — that is the point of the
+  /// archive tier. NotSupported without an archive; Corruption when the
+  /// spliced history is torn, truncated, or gapped — never a silent partial
+  /// restore.
+  Status RestoreToLsn(Lsn lsn, RestoredCluster* out);
 
   RwNode* rw() { return rw_.get(); }
   Proxy* proxy() { return &proxy_; }

@@ -1,5 +1,6 @@
 #include "cluster/ro_node.h"
 
+#include "archive/archive.h"
 #include "cluster/rw_node.h"
 
 namespace imci {
@@ -37,19 +38,26 @@ Status RoNode::Boot() {
   // beginning over the base row-store state: binlog LSNs are a different
   // space from redo LSNs, so redo-anchored checkpoints don't apply to them.
   if (options_.replication.source == ApplySource::kLogicalBinlog) {
-    // Binlog recycling (Cluster::RecycleBinlog) truncates below the slowest
-    // attached cursor. A fresh node's replay from LSN 0 would silently skip
-    // the recycled transactions (LogStore::Read elides them), so refuse to
-    // boot rather than diverge — joining mid-run after recycling needs a
-    // binlog-space checkpoint anchor (ROADMAP follow-up).
-    if (fs_->log("binlog")->truncated_lsn() != 0) {
-      return Status::NotSupported(
-          "binlog recycled below boot point; logical-apply scale-out needs "
-          "a binlog checkpoint anchor");
-    }
     boot_lsn_ = 0;
     boot_vid_ = 0;
     IMCI_RETURN_NOT_OK(RebuildFromRowStore());
+    // Binlog recycling (Cluster::RecycleBinlog) truncates below the slowest
+    // attached cursor. A fresh node's replay from LSN 0 would silently skip
+    // the recycled transactions (LogStore::Read elides them), so bridge the
+    // recycled prefix from the archive tier — and refuse to boot rather
+    // than diverge when no archive covers it.
+    const Lsn truncated = fs_->log("binlog")->truncated_lsn();
+    if (truncated != 0) {
+      ArchiveStore* arc = fs_->archive();
+      if (arc == nullptr || !arc->Covers("binlog", 0, truncated)) {
+        return Status::NotSupported(
+            "binlog recycled below boot point and no archive covers the "
+            "recycled prefix; logical-apply scale-out impossible");
+      }
+      IMCI_RETURN_NOT_OK(pipeline_.BootstrapFromArchive(truncated));
+      boot_lsn_ = truncated;
+      boot_vid_ = pipeline_.applied_vid();
+    }
     RefreshStats();
     return Status::OK();
   }

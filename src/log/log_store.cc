@@ -224,11 +224,42 @@ Lsn LogStore::Read(Lsn from, Lsn to, std::vector<std::string>* out) const {
   return last;
 }
 
+void LogStore::set_archive(ArchiveSink* sink) {
+  archive_.store(sink, std::memory_order_release);
+}
+
+bool LogStore::DecodeFrames(const std::string& data,
+                            std::vector<std::string>* out) {
+  size_t pos = 0;
+  while (pos + kFrameHeader <= data.size()) {
+    const uint32_t len = GetFixed32(data.data() + pos);
+    const uint64_t hash = GetFixed64(data.data() + pos + 4);
+    if (pos + kFrameHeader + len > data.size()) return false;  // torn frame
+    if (HashBytes(data.data() + pos + kFrameHeader, len) != hash) return false;
+    out->emplace_back(data, pos + kFrameHeader, len);
+    pos += kFrameHeader + len;
+  }
+  return pos == data.size();
+}
+
 void LogStore::Truncate(Lsn lsn) {
   std::lock_guard<std::mutex> g(mu_);
+  ArchiveSink* archive = archive_.load(std::memory_order_acquire);
   bool recycled = false;
   while (!segments_.empty() && segments_.front().sealed &&
          segments_.front().last <= lsn) {
+    if (archive != nullptr) {
+      // Seal-before-truncate: the archive absorbs the segment's durable
+      // bytes before the only copy is deleted. A failed seal stops
+      // recycling here — the segment stays live until a later Truncate
+      // re-offers it.
+      const Segment& front = segments_.front();
+      std::string data;
+      if (!fs_->ReadFile(front.file, &data).ok() ||
+          !archive->Seal(name_, front.first, front.last, data).ok()) {
+        break;
+      }
+    }
     fs_->DeleteFile(segments_.front().file);
     truncated_lsn_.store(segments_.front().last, std::memory_order_release);
     segments_.pop_front();

@@ -18,6 +18,17 @@ namespace imci {
 class GroupCommitter;
 class PolarFs;
 
+/// Sink for segments about to be recycled (the archive tier behind PITR —
+/// see src/archive). Truncate hands every sealed segment's durable bytes to
+/// the sink *before* deleting the file, and stops recycling when sealing
+/// fails: once a sink is attached, history is never destroyed unarchived.
+class ArchiveSink {
+ public:
+  virtual ~ArchiveSink() = default;
+  virtual Status Seal(const std::string& log_name, Lsn first, Lsn last,
+                      const std::string& framed) = 0;
+};
+
 struct LogStoreOptions {
   /// Soft cap on a segment's payload size. Appending never splits a record:
   /// the active segment is sealed at the first record boundary at or past
@@ -114,10 +125,21 @@ class LogStore {
   size_t segment_count() const;
   uint64_t segments_recycled() const { return segments_recycled_.load(); }
 
+  /// Attaches the archive sink. From then on Truncate seals every segment
+  /// into the sink before deleting it, and stops recycling (leaving the
+  /// segment live) when sealing fails.
+  void set_archive(ArchiveSink* sink);
+
   /// Durable file name of the segment starting at `first_lsn` (exposed so
   /// tests can mutilate exactly the segment they mean to).
   static std::string SegmentFileName(const std::string& log_name,
                                      Lsn first_lsn);
+
+  /// Splits checksum-framed segment bytes (`[len:4][hash:8][payload]`...)
+  /// into payloads. Returns false when a torn or corrupt frame cut the scan
+  /// short (`out` holds the good prefix).
+  static bool DecodeFrames(const std::string& data,
+                           std::vector<std::string>* out);
 
  private:
   struct Segment {
@@ -141,6 +163,7 @@ class LogStore {
   PolarFs* fs_;
   const std::string name_;
   const LogStoreOptions options_;
+  std::atomic<ArchiveSink*> archive_{nullptr};
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "archive/archive.h"
 #include "log/group_committer.h"
 #include "log/log_store.h"
 
@@ -39,6 +40,7 @@ LogStore* PolarFs::log(const std::string& name) {
     opts.segment_bytes = options_.log_segment_bytes;
     auto store = std::make_unique<LogStore>(this, name, opts);
     store->Open();  // recovery over an in-memory fs cannot fail
+    if (options_.enable_archive) store->set_archive(archive());
     it = logs_.emplace(name, std::move(store)).first;
   }
   return it->second.get();
@@ -52,6 +54,18 @@ void PolarFs::ReopenLogs() {
 void PolarFs::SyncLog() {
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   SimulateLatency(options_.fsync_latency_us);
+}
+
+void PolarFs::SyncControl() {
+  control_syncs_.fetch_add(1, std::memory_order_relaxed);
+  SimulateLatency(options_.fsync_latency_us);
+}
+
+ArchiveStore* PolarFs::archive() {
+  if (!options_.enable_archive) return nullptr;
+  std::lock_guard<std::mutex> g(archive_mu_);
+  if (!archive_) archive_ = std::make_unique<ArchiveStore>(this);
+  return archive_.get();
 }
 
 uint64_t PolarFs::commit_batches() const {
@@ -134,6 +148,7 @@ std::vector<std::string> PolarFs::ListFiles(const std::string& prefix) const {
 
 void PolarFs::ResetCounters() {
   fsyncs_ = 0;
+  control_syncs_ = 0;
   log_bytes_ = 0;
   page_reads_ = 0;
   page_writes_ = 0;

@@ -15,6 +15,7 @@
 
 namespace imci {
 
+class ArchiveStore;
 class LogStore;
 struct LogStoreOptions;
 
@@ -44,6 +45,11 @@ class PolarFs {
     uint32_t page_read_latency_us = 0;
     /// Soft segment size for logs opened through log() (see LogStore).
     size_t log_segment_bytes = 1 << 20;
+    /// When set, every log opened through log() gets the shared ArchiveStore
+    /// attached as its recycle sink (seal-before-truncate), enabling
+    /// point-in-time recovery and post-recycle scale-out. Disable to model a
+    /// cluster without an archive tier: Truncate destroys history again.
+    bool enable_archive = true;
   };
 
   PolarFs();
@@ -67,6 +73,17 @@ class PolarFs {
   /// Accounts one fsync (with simulated latency). Called by group-commit
   /// batch leaders (one per batch) and explicit LogStore::Sync calls.
   void SyncLog();
+
+  /// Accounts one *control-plane* fsync (archive manifests, snapshot
+  /// indexes). Same simulated latency as SyncLog, separate counter so the
+  /// commit-path fsyncs-per-commit metric stays undiluted.
+  void SyncControl();
+
+  // --- Archive tier ---------------------------------------------------------
+
+  /// The shared archive (lazily created). nullptr when Options::enable_archive
+  /// is false.
+  ArchiveStore* archive();
 
   // --- Page store ----------------------------------------------------------
   // Persistent home of row-store pages (the RW checkpoint / flush target,
@@ -95,6 +112,8 @@ class PolarFs {
   // derive fsyncs-per-commit (= commit_batches/batched_commits) and the mean
   // batch size (= batched_commits/commit_batches) without walking the logs.
   uint64_t fsync_count() const { return fsyncs_.load(); }
+  /// Control-plane fsyncs (archive manifests / snapshot indexes).
+  uint64_t control_syncs() const { return control_syncs_.load(); }
   /// Group-commit fsync batches issued across all open logs.
   uint64_t commit_batches() const;
   /// Durable commits those batches served across all open logs.
@@ -113,6 +132,9 @@ class PolarFs {
   mutable std::mutex logs_mu_;
   std::map<std::string, std::unique_ptr<LogStore>> logs_;
 
+  mutable std::mutex archive_mu_;
+  std::unique_ptr<ArchiveStore> archive_;
+
   mutable std::mutex page_mu_;
   std::unordered_map<PageId, std::string> pages_;
 
@@ -120,6 +142,7 @@ class PolarFs {
   std::map<std::string, std::string> files_;
 
   std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> control_syncs_{0};
   std::atomic<uint64_t> log_bytes_{0};
   mutable std::atomic<uint64_t> page_reads_{0};
   std::atomic<uint64_t> page_writes_{0};

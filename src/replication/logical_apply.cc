@@ -9,7 +9,14 @@ Lsn LogicalApplySource::Poll(Lsn from, size_t max_txns,
   // Read skips a recycled prefix (whole-segment truncation), so the first
   // record returned sits just past max(from, truncated) — label LSNs from
   // there, not from `from`.
-  Lsn lsn = std::max(from, log_->truncated_lsn());
+  DecodeRaw(std::max(from, log_->truncated_lsn()) + 1, raw, out);
+  return last;
+}
+
+void LogicalApplySource::DecodeRaw(Lsn first_lsn,
+                                   const std::vector<std::string>& raw,
+                                   std::vector<LogicalTxn>* out) {
+  Lsn lsn = first_lsn - 1;
   for (const std::string& data : raw) {
     ++lsn;
     Tid tid = 0;
@@ -55,7 +62,6 @@ Lsn LogicalApplySource::Poll(Lsn from, size_t max_txns,
     txns_.fetch_add(1, std::memory_order_relaxed);
     out->push_back(std::move(txn));
   }
-  return last;
 }
 
 }  // namespace imci

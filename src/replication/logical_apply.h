@@ -38,6 +38,13 @@ class LogicalApplySource {
   /// Returns the last binlog LSN consumed.
   Lsn Poll(Lsn from, size_t max_txns, std::vector<LogicalTxn>* out);
 
+  /// Decodes raw binlog record payloads (the first carrying LSN `first_lsn`,
+  /// the rest consecutive) into transactions — the Poll body without the log
+  /// read, reused by the archive bootstrap path, whose records come from
+  /// ArchiveStore::ReadRecords instead of the live log.
+  void DecodeRaw(Lsn first_lsn, const std::vector<std::string>& raw,
+                 std::vector<LogicalTxn>* out);
+
   uint64_t txns_decoded() const { return txns_.load(); }
   uint64_t dmls_produced() const { return dmls_.load(); }
 

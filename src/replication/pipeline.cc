@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
+#include "archive/archive.h"
 #include "common/clock.h"
 #include "common/coding.h"
 
@@ -62,7 +64,12 @@ uint64_t ReplicationPipeline::LsnDelay() const {
 std::string ReplicationPipeline::SerializeInflight() const {
   // Layout: u32 ntxns, then per transaction: tid, first_lsn, pre_committed,
   // the buffered DMLs (rows encoded with the table's RowCodec; deletes have
-  // an empty row), and the pre-committed residue ops.
+  // an empty row), the pre-committed residue ops, and the committed
+  // pre-images of the rows the transaction touched. The pre-images are what
+  // lets a booting node gate the flushed pages' mid-transaction effects:
+  // the checkpoint's pages carry this transaction's *after*-images, and the
+  // replayed log starts past the records that wrote them, so the committed
+  // state of those rows exists nowhere else.
   std::string out;
   PutFixed32(&out, static_cast<uint32_t>(txn_buffers_.size()));
   for (const auto& [tid, buf] : txn_buffers_) {
@@ -89,6 +96,29 @@ std::string ReplicationPipeline::SerializeInflight() const {
       PutFixed32(&out, op.table_id);
       PutFixed64(&out, static_cast<uint64_t>(op.pk));
       PutFixed64(&out, op.rid);
+    }
+    std::set<std::pair<TableId, int64_t>> touched;
+    for (const LogicalDml& dml : buf->dmls) {
+      touched.emplace(dml.table_id, dml.pk);
+    }
+    for (const TxnBuffer::PreOp& op : buf->pre_ops) {
+      touched.emplace(op.table_id, op.pk);
+    }
+    if (!MaintainsRowReplica()) {
+      // No row replica to read pre-images from (or to gate at boot).
+      PutFixed32(&out, 0);
+      continue;
+    }
+    PutFixed32(&out, static_cast<uint32_t>(touched.size()));
+    for (const auto& [table_id, pk] : touched) {
+      PutFixed32(&out, table_id);
+      PutFixed64(&out, static_cast<uint64_t>(pk));
+      std::string image;
+      RowTable* t = replica_engine_->GetTable(table_id);
+      const bool has_pre = t != nullptr && t->CommittedImage(pk, &image);
+      out.push_back(has_pre ? 1 : 0);
+      PutFixed32(&out, static_cast<uint32_t>(image.size()));
+      out.append(image);
     }
   }
   return out;
@@ -150,6 +180,33 @@ Status ReplicationPipeline::RestoreInflight(const std::string& blob) {
       op.rid = GetFixed64(blob.data() + pos);
       pos += 8;
       buf->pre_ops.push_back(op);
+    }
+    if (!need(4)) return Status::Corruption("inflight touched count");
+    const uint32_t ntouched = GetFixed32(blob.data() + pos);
+    pos += 4;
+    for (uint32_t i = 0; i < ntouched; ++i) {
+      if (!need(4 + 8 + 1 + 4)) return Status::Corruption("inflight touched");
+      const TableId table_id = GetFixed32(blob.data() + pos);
+      pos += 4;
+      const int64_t pk = static_cast<int64_t>(GetFixed64(blob.data() + pos));
+      pos += 8;
+      const bool has_pre = blob[pos++] != 0;
+      const uint32_t len = GetFixed32(blob.data() + pos);
+      pos += 4;
+      if (!need(len)) return Status::Corruption("inflight pre-image");
+      if (MaintainsRowReplica()) {
+        // Gate the flushed pages' mid-transaction effects: re-create the
+        // transaction's version chain with the checkpoint-carried committed
+        // pre-image as its base. Must run before replay starts — a later
+        // DML on the same row would otherwise seed the chain base from the
+        // dirty tree image.
+        RowTable* t = replica_engine_->GetTable(table_id);
+        if (t != nullptr) {
+          t->InstallBootInflight(buf->tid, pk, has_pre,
+                                 blob.substr(pos, len));
+        }
+      }
+      pos += len;
     }
     txn_buffers_[buf->tid] = std::move(buf);
   }
@@ -253,6 +310,47 @@ Status ReplicationPipeline::PollRedoOnce() {
   // Publish the consumed position only after the batch landed, so
   // "read_lsn >= X" implies everything committed at or before X is visible.
   read_lsn_.store(to, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ReplicationPipeline::BootstrapFromArchive(Lsn upto) {
+  if (options_.source != ApplySource::kLogicalBinlog) {
+    return Status::NotSupported("archive bootstrap is a logical-apply path");
+  }
+  ArchiveStore* arc = fs_->archive();
+  if (arc == nullptr) return Status::NotSupported("no archive tier");
+  Lsn from = read_lsn_.load(std::memory_order_acquire);
+  while (from < upto) {
+    std::vector<std::string> raw;
+    Lsn last = from;
+    IMCI_RETURN_NOT_OK(
+        arc->ReadRecords("binlog", from,
+                         std::min<Lsn>(upto, from + options_.chunk_records),
+                         &raw, &last));
+    if (last == from) {
+      return Status::Corruption("archived binlog ends at lsn " +
+                                std::to_string(from) + ", need " +
+                                std::to_string(upto));
+    }
+    std::vector<LogicalTxn> txns;
+    logical_.DecodeRaw(from + 1, raw, &txns);
+    std::vector<CommittedTxn> batch;
+    batch.reserve(txns.size());
+    for (LogicalTxn& lt : txns) {
+      if (lt.vid <= options_.skip_vids_upto) continue;
+      CommittedTxn txn;
+      txn.buffer = std::make_shared<TxnBuffer>();
+      txn.buffer->tid = lt.tid;
+      txn.buffer->dmls = std::move(lt.dmls);
+      txn.vid = lt.vid;
+      txn.commit_ts_us = lt.commit_ts_us;
+      txn.lsn = lt.lsn;
+      batch.push_back(std::move(txn));
+    }
+    if (!batch.empty()) ApplyBatch(batch);
+    read_lsn_.store(last, std::memory_order_release);
+    from = last;
+  }
   return Status::OK();
 }
 
@@ -475,8 +573,16 @@ Status ReplicationPipeline::TakeCheckpoint(uint64_t ckpt_id) {
   const Lsn start_lsn = options_.source == ApplySource::kRedoReuse
                             ? read_lsn_.load(std::memory_order_acquire)
                             : 0;
-  return ImciCheckpoint::WriteSnapshot(*imci_, csn, start_lsn, fs_, ckpt_id,
-                                       SerializeInflight());
+  IMCI_RETURN_NOT_OK(ImciCheckpoint::WriteSnapshot(
+      *imci_, csn, start_lsn, fs_, ckpt_id, SerializeInflight()));
+  // Register the checkpoint as a PITR restore anchor: the pages just
+  // flushed + this checkpoint directory are exactly the state replay from
+  // start_lsn resumes from (Cluster::RestoreToLsn).
+  if (ArchiveStore* arc = fs_->archive()) {
+    IMCI_RETURN_NOT_OK(
+        arc->snapshots()->Register(ckpt_id, csn, start_lsn));
+  }
+  return Status::OK();
 }
 
 void ReplicationPipeline::RequestCheckpoint(uint64_t ckpt_id) {

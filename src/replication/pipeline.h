@@ -120,8 +120,18 @@ class ReplicationPipeline {
   Status TakeCheckpoint(uint64_t ckpt_id);
 
   /// Restores in-flight transaction buffers persisted by a checkpoint.
-  /// Call after Boot's LoadLatest and before Start/PollOnce.
+  /// Call after Boot's LoadLatest and before Start/PollOnce. On a node
+  /// maintaining a row replica, also re-creates each in-flight transaction's
+  /// version chains from the checkpoint-carried committed pre-images, so
+  /// readers gate the flushed pages' mid-transaction effects until the
+  /// replayed log delivers the commit decisions.
   Status RestoreInflight(const std::string& blob);
+
+  /// Logical-binlog bootstrap across the recycled prefix: replays archived
+  /// binlog transactions with LSN in (read_lsn, upto] through Phase#2, in
+  /// chunks, and advances read_lsn. Corruption when the archive does not
+  /// reach `upto`. Call before Start (the live log takes over from there).
+  Status BootstrapFromArchive(Lsn upto);
 
   /// Requests the coordinator to take a checkpoint at the next boundary.
   void RequestCheckpoint(uint64_t ckpt_id);

@@ -86,6 +86,32 @@ bool RowTable::Exists(int64_t pk) const {
   return btree_.Lookup(pk, &image).ok();
 }
 
+bool RowTable::CommittedImage(int64_t pk, std::string* image) const {
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+  auto it = versions_.find(pk);
+  if (it != versions_.end()) {
+    const RowVersion* v = VersionChains::NewestCommitted(it->second);
+    if (v == nullptr || v->deleted) return false;
+    *image = v->image;
+    return true;
+  }
+  // Chainless row: the tree image is committed (pruning invariant).
+  return btree_.Lookup(pk, image).ok();
+}
+
+void RowTable::InstallBootInflight(Tid tid, int64_t pk, bool has_pre,
+                                   const std::string& pre_image) {
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
+  // The tree (restored from the checkpoint's pages) holds the transaction's
+  // after-image — or lost the row to its in-flight delete. Re-create the
+  // chain the crashed node had: tree state as the in-flight version, the
+  // checkpoint-carried committed pre-image as the base.
+  std::string cur;
+  const bool in_tree = btree_.Lookup(pk, &cur).ok();
+  versions_.Install(pk, tid, /*deleted=*/!in_tree, std::move(cur),
+                    has_pre ? &pre_image : nullptr);
+}
+
 Status RowTable::InsertImage(int64_t pk, const std::string& image,
                              std::vector<RedoRecord>* redo,
                              const RedoShipFn& ship) {

@@ -71,6 +71,13 @@ class RowTable {
   Status Get(int64_t pk, Row* row) const;
   bool Exists(int64_t pk) const;
 
+  /// Newest *committed* image of `pk` (chain resolution first, tree
+  /// fallback). False when the row's committed state is absent/deleted.
+  /// Checkpoint serialization uses this to freeze pre-images of rows touched
+  /// by in-flight transactions — the tree itself may already hold their
+  /// uncommitted after-images.
+  bool CommittedImage(int64_t pk, std::string* image) const;
+
   // --- MVCC snapshot read path -------------------------------------------
 
   /// Point read at snapshot `s`: newest committed version with VID <= s.
@@ -199,6 +206,16 @@ class RowTable {
   /// (crashed) log prefix; the restore is replica-local and ships no redo.
   /// Returns the number of in-flight versions undone.
   size_t RollbackInflight();
+
+  /// Boot-time seeding for a replica restored from a checkpoint whose pages
+  /// may hold after-images of a transaction that was still in flight at
+  /// checkpoint time: installs the current tree image as `tid`'s in-flight
+  /// version and seeds the chain base with the checkpoint-carried committed
+  /// pre-image (absent when `has_pre` is false — the row did not exist).
+  /// Until the replayed log delivers `tid`'s decision, snapshot readers see
+  /// the pre-image and RollbackInflight can physically restore it.
+  void InstallBootInflight(Tid tid, int64_t pk, bool has_pre,
+                           const std::string& pre_image);
 
   uint64_t row_count() const { return row_count_.load(); }
 

@@ -282,5 +282,138 @@ TEST_P(CrashRecoveryTest, RecoveredStateEqualsDurableWatermarkPrefix) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashRecoveryTest,
                          ::testing::Values(1, 2, 3));
 
+// --- Mid-transaction checkpoint --------------------------------------------
+// A checkpoint taken while a transaction is in flight flushes replica pages
+// that already contain the transaction's *undecided* page effects (Phase#1
+// replay is commit-agnostic). The inflight blob therefore carries the newest
+// committed pre-image of every row such a transaction touched, and a booting
+// node rebuilds its version chains from them — gating the dirty tree images
+// behind the commit decision exactly like the node that took the checkpoint
+// did, and keeping them undoable should the decision never arrive. Reverting
+// the pre-image plumbing (SerializeInflight's touched-row section or
+// RestoreInflight's InstallBootInflight calls) fails both arms below: the
+// booted node would read in-flight after-images as committed state, and the
+// recovery node's undo pass would find no chains to roll back.
+TEST(MidTxnCheckpointTest, BootedNodeGatesUndecidedCheckpointEffects) {
+  PolarFs fs;
+  Catalog catalog;
+  RwNode rw(&fs, &catalog);
+  ASSERT_TRUE(rw.CreateTable(KvSchema()).ok());
+  std::vector<Row> base;
+  for (int64_t pk = 0; pk < 20; pk += 2) {
+    base.push_back({pk, int64_t(0), std::string("base")});
+  }
+  ASSERT_TRUE(rw.BulkLoad(1, base).ok());
+  ASSERT_TRUE(rw.FinishLoad().ok());
+
+  RoNodeOptions ro_opts;
+  RoNode leader("leader", &fs, &catalog, ro_opts);
+  ASSERT_TRUE(leader.Boot().ok());
+  ASSERT_TRUE(leader.CatchUpNow().ok());
+
+  auto* txns = rw.txn_manager();
+  Transaction committed;
+  txns->Begin(&committed);
+  ASSERT_TRUE(txns->Update(&committed, 1, 2,
+                           {int64_t(2), int64_t(100), std::string("committed")})
+                  .ok());
+  ASSERT_TRUE(txns->Commit(&committed).ok());
+
+  // In flight across the checkpoint: an update, a delete and an insert, all
+  // shipped commit-ahead, none decided.
+  Transaction t;
+  txns->Begin(&t);
+  ASSERT_TRUE(
+      txns->Update(&t, 1, 4, {int64_t(4), int64_t(999), std::string("dirty")})
+          .ok());
+  ASSERT_TRUE(txns->Delete(&t, 1, 6).ok());
+  ASSERT_TRUE(
+      txns->Insert(&t, 1, {int64_t(100), int64_t(7), std::string("ghost")})
+          .ok());
+
+  ASSERT_TRUE(leader.CatchUpNow().ok());
+  ASSERT_TRUE(leader.pipeline()->TakeCheckpoint(1).ok());
+
+  // The committed prefix at the checkpoint: the base rows with pk 2 updated
+  // and no trace of the in-flight transaction.
+  std::map<int64_t, std::pair<int64_t, std::string>> model;
+  for (const Row& r : base) {
+    model[AsInt(r[0])] = {AsInt(r[1]), AsString(r[2])};
+  }
+  model[2] = {100, "committed"};
+  std::vector<Row> expected;
+  for (const auto& [pk, vp] : model) {
+    expected.push_back({pk, vp.first, vp.second});
+  }
+
+  // Arm 1: a node booted from the checkpoint before the decision. Its raw
+  // replica tree holds the dirty effects, but snapshot reads resolve through
+  // the boot-installed chains to the committed pre-images.
+  RoNode booted("booted", &fs, &catalog, ro_opts);
+  ASSERT_TRUE(booted.Boot().ok());
+  std::vector<Row> got;
+  ASSERT_TRUE(booted.ExecuteRow(LScan(1, {0, 1, 2}), &got).ok());
+  EXPECT_EQ(testing_util::Canonicalize(got),
+            testing_util::Canonicalize(expected));
+
+  // Arm 2: crash right here — the decision never becomes durable. A recovery
+  // node boots from the checkpoint in a fresh store; the undo pass restores
+  // the committed images the checkpoint's pre-image section preserved.
+  const Lsn cut = fs.log("redo")->written_lsn();
+  PolarFs fs2;
+  for (PageId id : fs.ListPages()) {
+    std::string image;
+    ASSERT_TRUE(fs.ReadPage(id, &image).ok());
+    ASSERT_TRUE(fs2.WritePage(id, std::move(image)).ok());
+  }
+  for (const std::string& name : fs.ListFiles("")) {
+    if (name.rfind("log/", 0) == 0) continue;
+    std::string data;
+    ASSERT_TRUE(fs.ReadFile(name, &data).ok());
+    ASSERT_TRUE(fs2.WriteFile(name, std::move(data)).ok());
+  }
+  std::vector<std::string> prefix;
+  fs.log("redo")->Read(0, cut, &prefix);
+  ASSERT_EQ(prefix.size(), cut);
+  fs2.log("redo")->Append(std::move(prefix), /*durable=*/false);
+
+  Catalog catalog2;
+  catalog2.Register(KvSchema());
+  RoNode rec("rec", &fs2, &catalog2, ro_opts);
+  ASSERT_TRUE(rec.Boot().ok());
+  ASSERT_TRUE(rec.CatchUpNow().ok());
+  EXPECT_GE(rec.RecoverRowReplica(), 3u);  // the update, delete and insert
+  RowTable* replica = rec.engine()->GetTable(1);
+  ASSERT_NE(replica, nullptr);
+  std::vector<Row> raw;
+  ASSERT_TRUE(replica->Scan([&](int64_t, const Row& r) {
+    raw.push_back(r);
+    return true;
+  }).ok());
+  EXPECT_EQ(testing_util::Canonicalize(raw),
+            testing_util::Canonicalize(expected));
+  EXPECT_EQ(replica->row_count(), expected.size());
+
+  // Back on the live store the decision arrives, and the booted node's gated
+  // effects become visible wholesale.
+  ASSERT_TRUE(txns->Commit(&t).ok());
+  ASSERT_TRUE(booted.CatchUpNow().ok());
+  model[4] = {999, "dirty"};
+  model.erase(6);
+  model[100] = {7, "ghost"};
+  std::vector<Row> after;
+  for (const auto& [pk, vp] : model) {
+    after.push_back({pk, vp.first, vp.second});
+  }
+  std::vector<Row> row_after;
+  ASSERT_TRUE(booted.ExecuteRow(LScan(1, {0, 1, 2}), &row_after).ok());
+  EXPECT_EQ(testing_util::Canonicalize(row_after),
+            testing_util::Canonicalize(after));
+  std::vector<Row> col_after;
+  ASSERT_TRUE(booted.ExecuteColumn(LScan(1, {0, 1, 2}), &col_after).ok());
+  EXPECT_EQ(testing_util::Canonicalize(col_after),
+            testing_util::Canonicalize(after));
+}
+
 }  // namespace
 }  // namespace imci

@@ -183,9 +183,48 @@ TEST(BinlogRecycleTest, TruncatesBelowTheSlowestLogicalCursorAndNoFurther) {
   ASSERT_TRUE(ro->ExecuteColumn(LScan(1, {0, 1, 2}), &col_rows).ok());
   EXPECT_EQ(Canonicalize(col_rows), Canonicalize(truth));
 
-  // A *new* logical-apply node would replay from LSN 0 over the base state;
-  // with history recycled it must refuse to boot instead of silently
-  // skipping transactions (binlog checkpoint anchors are a follow-up).
+  // A *new* logical-apply node replays from LSN 0 over the base state; the
+  // live log lost the recycled prefix, but the archive tier sealed it
+  // before truncation, so the late joiner bootstraps across the gap and
+  // converges to the same contents (mid-run scale-out on the binlog arm).
+  RoNode* late = nullptr;
+  ASSERT_TRUE(cluster.AddRoNode(&late).ok());
+  ASSERT_TRUE(late->CatchUpNow().ok());
+  EXPECT_EQ(late->applied_vid(), ro->applied_vid());
+  std::vector<Row> late_rows;
+  ASSERT_TRUE(late->ExecuteColumn(LScan(1, {0, 1, 2}), &late_rows).ok());
+  EXPECT_EQ(Canonicalize(late_rows), Canonicalize(truth))
+      << "late logical joiner diverged after archive bootstrap";
+}
+
+TEST(BinlogRecycleTest, LateJoinRefusedWhenArchiveDisabled) {
+  // The pre-archive behavior, now opt-out: without the archive tier,
+  // recycling destroys history and a post-recycle logical-apply boot must
+  // refuse rather than silently skip the truncated transactions.
+  ClusterOptions opts;
+  opts.fs.log_segment_bytes = 512;
+  opts.fs.enable_archive = false;
+  opts.initial_ro_nodes = 1;
+  opts.ro.imci.row_group_size = 256;
+  opts.ro.replication.source = ApplySource::kLogicalBinlog;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.CreateTable(SimpleSchema()).ok());
+  ASSERT_TRUE(cluster.BulkLoad(1, {{int64_t(0), int64_t(0), Value{}}}).ok());
+  ASSERT_TRUE(cluster.Open().ok());
+  auto* txns = cluster.rw()->txn_manager();
+  for (int i = 0; i < 120; ++i) {
+    Transaction txn;
+    txns->Begin(&txn);
+    ASSERT_TRUE(txns->Insert(&txn, 1,
+                             {int64_t(1000 + i), int64_t(i),
+                              std::string("payload-") + std::to_string(i)})
+                    .ok());
+    ASSERT_TRUE(txns->Commit(&txn).ok());
+  }
+  ASSERT_TRUE(cluster.ro(0)->CatchUpNow().ok());
+  Lsn upto = 0;
+  ASSERT_TRUE(cluster.RecycleBinlog(&upto).ok());
+  ASSERT_GT(upto, 0u);
   RoNode* late = nullptr;
   EXPECT_FALSE(cluster.AddRoNode(&late).ok());
 }
