@@ -226,6 +226,27 @@ int main(int argc, char** argv) {
   run_rw_read_step(reader_steps.back(), /*legacy=*/true, &rw_base_cps);
   std::printf("# MVCC claim: writer commits/s flat within noise as RW "
               "snapshot readers grow (Fig 10c)\n");
+  // Substrate accounting after the whole 10c run: how much version history
+  // the arm left behind and what the arena reclaimed along the way.
+  const MvccStats mvcc = cluster->rw()->engine()->MvccStatsSnapshot();
+  std::printf("# mvcc: %llu chains (max len %llu), %llu live versions, "
+              "%.1f MiB arena, %llu epochs dropped, %llu relocations\n",
+              static_cast<unsigned long long>(mvcc.chains),
+              static_cast<unsigned long long>(mvcc.max_chain_length),
+              static_cast<unsigned long long>(mvcc.versions),
+              mvcc.arena_bytes_live / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(mvcc.epochs_dropped),
+              static_cast<unsigned long long>(mvcc.relocations));
+  report.Metric("mvcc_chains", static_cast<double>(mvcc.chains));
+  report.Metric("mvcc_max_chain_length",
+                static_cast<double>(mvcc.max_chain_length));
+  report.Metric("mvcc_live_versions", static_cast<double>(mvcc.versions));
+  report.Metric("mvcc_versions_installed",
+                static_cast<double>(mvcc.versions_installed));
+  report.Metric("mvcc_arena_bytes_live",
+                static_cast<double>(mvcc.arena_bytes_live));
+  report.Metric("mvcc_epochs_dropped",
+                static_cast<double>(mvcc.epochs_dropped));
   report.Write();
   return 0;
 }

@@ -26,6 +26,7 @@ struct Point {
   double mean_commit_ms = 0;
   double mean_batch_size = 0;
   double fsyncs_per_commit = 0;
+  double versions_per_commit = 0;
 };
 
 /// One configuration: a fresh RW commit path (no cluster — the ceiling is an
@@ -95,6 +96,14 @@ Point RunClients(int clients, double secs, uint32_t fsync_us, bool binlog,
       batches == 0 ? 0.0 : static_cast<double>(batched) / batches;
   p.fsyncs_per_commit =
       commits == 0 ? 0.0 : static_cast<double>(fsyncs) / commits;
+  // MVCC cost of the commit path: arena versions allocated per commit
+  // (insert-only sysbench should sit at ~1.0 — anything above means the
+  // write path double-installs).
+  p.versions_per_commit =
+      commits == 0 ? 0.0
+                   : static_cast<double>(
+                         engine.MvccStatsSnapshot().versions_installed) /
+                         commits;
   return p;
 }
 
@@ -112,9 +121,9 @@ int main(int argc, char** argv) {
               "fsync latency %uus%s%s\n",
               fsync_us, binlog ? " | +binlog arm" : "",
               smoke ? " | smoke" : "");
-  std::printf("%-10s %12s %14s %14s %12s %16s\n", "clients", "commits/s",
-              "mean_commit_ms", "p99_commit_ms", "batch_size",
-              "fsyncs/commit");
+  std::printf("%-10s %12s %14s %14s %12s %16s %16s\n", "clients",
+              "commits/s", "mean_commit_ms", "p99_commit_ms", "batch_size",
+              "fsyncs/commit", "versions/commit");
   BenchReport report("group_commit");
   report.Label("workload", "sysbench-insert-only");
   report.Metric("fsync_latency_us", fsync_us);
@@ -122,7 +131,7 @@ int main(int argc, char** argv) {
   report.Metric("smoke", smoke ? 1 : 0);
   // Warm-up: allocator arenas and code paths, uncounted.
   RunClients(4, secs / 4, fsync_us, binlog);
-  double tput_1 = 0, tput_16 = 0, fpc_16 = 1.0, batch_16 = 0;
+  double tput_1 = 0, tput_16 = 0, fpc_16 = 1.0, batch_16 = 0, vpc_16 = 0;
   for (int clients : client_counts) {
     const Point p = RunClients(clients, secs, fsync_us, binlog);
     if (clients == 1) tput_1 = p.commits_per_s;
@@ -130,6 +139,7 @@ int main(int argc, char** argv) {
       tput_16 = p.commits_per_s;
       fpc_16 = p.fsyncs_per_commit;
       batch_16 = p.mean_batch_size;
+      vpc_16 = p.versions_per_commit;
     }
     report.Row()
         .Set("clients", clients)
@@ -137,10 +147,11 @@ int main(int argc, char** argv) {
         .Set("mean_commit_ms", p.mean_commit_ms)
         .Set("p99_commit_ms", p.p99_commit_ms)
         .Set("mean_batch_size", p.mean_batch_size)
-        .Set("fsyncs_per_commit", p.fsyncs_per_commit);
-    std::printf("%-10d %12.0f %14.3f %14.3f %12.1f %16.3f\n", clients,
+        .Set("fsyncs_per_commit", p.fsyncs_per_commit)
+        .Set("versions_per_commit", p.versions_per_commit);
+    std::printf("%-10d %12.0f %14.3f %14.3f %12.1f %16.3f %16.3f\n", clients,
                 p.commits_per_s, p.mean_commit_ms, p.p99_commit_ms,
-                p.mean_batch_size, p.fsyncs_per_commit);
+                p.mean_batch_size, p.fsyncs_per_commit, p.versions_per_commit);
   }
   // Batch-latency knob sweep (ROADMAP PR 3 follow-up): at low-but-nonzero
   // concurrency, does a tiny leader wait before the tail snapshot (MySQL's
@@ -187,13 +198,15 @@ int main(int argc, char** argv) {
   // the commit ceiling across PRs is this pair at 16 clients.
   report.Metric("fsyncs_per_commit", fpc_16);
   report.Metric("mean_batch_size", batch_16);
+  report.Metric("versions_per_commit", vpc_16);
   report.Metric("speedup_16_over_1", tput_1 > 0 ? tput_16 / tput_1 : 0);
   const bool ok = fpc_16 < 0.5 && tput_16 > tput_1;
   report.Metric("scaling_verified", ok ? 1 : 0);
   std::printf("# durable path %s: 16-client fsyncs/commit %.3f (< 0.5 "
-              "required), speedup over 1 client x%.2f\n",
+              "required), speedup over 1 client x%.2f, "
+              "versions-allocated/commit %.3f\n",
               ok ? "BATCHES" : "FAILED TO BATCH", fpc_16,
-              tput_1 > 0 ? tput_16 / tput_1 : 0);
+              tput_1 > 0 ? tput_16 / tput_1 : 0, vpc_16);
   report.Write();
   return ok ? 0 : 1;
 }

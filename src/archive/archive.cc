@@ -131,6 +131,45 @@ Status ArchiveStore::ListSegments(const std::string& log_name,
   return LoadManifest(log_name, out);
 }
 
+Status ArchiveStore::GcEligibleSegments(const std::string& log_name,
+                                        std::vector<ArchivedSegment>* out) const {
+  out->clear();
+  const Lsn floor = snapshots_.GcFloorLsn();
+  if (floor == 0) return Status::OK();  // every anchor still restorable
+  std::vector<ArchivedSegment> segs;
+  Status s = LoadManifest(log_name, &segs);
+  if (s.IsNotFound()) return Status::OK();
+  IMCI_RETURN_NOT_OK(s);
+  for (const ArchivedSegment& seg : segs) {
+    if (seg.last > floor) break;  // segments are LSN-ordered: prefix only
+    out->push_back(seg);
+  }
+  return Status::OK();
+}
+
+Status ArchiveStore::DropGcEligibleSegments(const std::string& log_name,
+                                            size_t* dropped) {
+  if (dropped != nullptr) *dropped = 0;
+  const Lsn floor = snapshots_.GcFloorLsn();
+  if (floor == 0) return Status::OK();
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<ArchivedSegment> segs;
+  Status s = LoadManifest(log_name, &segs);
+  if (s.IsNotFound()) return Status::OK();
+  IMCI_RETURN_NOT_OK(s);
+  size_t n = 0;
+  while (n < segs.size() && segs[n].last <= floor) ++n;
+  if (n == 0) return Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    (void)fs_->DeleteFile(SegmentFileName(log_name, segs[i].first));
+  }
+  segs.erase(segs.begin(), segs.begin() + static_cast<ptrdiff_t>(n));
+  IMCI_RETURN_NOT_OK(StoreManifestLocked(log_name, segs));
+  fs_->SyncControl();
+  if (dropped != nullptr) *dropped = n;
+  return Status::OK();
+}
+
 Lsn ArchiveStore::archived_upto(const std::string& log_name) const {
   std::vector<ArchivedSegment> segs;
   if (!LoadManifest(log_name, &segs).ok() || segs.empty()) return 0;

@@ -83,6 +83,23 @@ class ArchiveStore : public ArchiveSink {
   SnapshotStore* snapshots() { return &snapshots_; }
   const SnapshotStore* snapshots() const { return &snapshots_; }
 
+  /// Archived segments of `log_name` no restore can need any more: those
+  /// entirely below the snapshot GC floor (smallest start_lsn among
+  /// retained anchors — see SnapshotStore::GcFloorLsn). Empty until a
+  /// retention cap actually drops an anchor whose start was 0. The eligible
+  /// set is always a prefix of the archived range.
+  Status GcEligibleSegments(const std::string& log_name,
+                            std::vector<ArchivedSegment>* out) const;
+
+  /// Deletes the GC-eligible prefix of `log_name` (segment files + manifest
+  /// entries). `*dropped` (optional) receives the segment count. Safe with
+  /// concurrent Seal calls; the surviving manifest stays contiguous. Note
+  /// the trade-off: a dropped binlog prefix is also gone for logical-apply
+  /// bootstrap, so callers gate this on the same retention policy that
+  /// dropped the anchors.
+  Status DropGcEligibleSegments(const std::string& log_name,
+                                size_t* dropped = nullptr);
+
   uint64_t sealed_segments() const { return sealed_segments_.load(); }
   uint64_t sealed_bytes() const { return sealed_bytes_.load(); }
 

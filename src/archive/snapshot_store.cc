@@ -92,9 +92,35 @@ Status SnapshotStore::Register(uint64_t ckpt_id, Vid csn, Lsn start_lsn) {
     }
   }
   if (!replaced) anchors.push_back(a);
+  if (retention_ > 0 && anchors.size() > retention_) {
+    // Cap exceeded: drop the oldest anchors (their frozen blobs first, then
+    // the index entries). A restore to an LSN below the surviving anchors is
+    // no longer possible, which is exactly what raises the archive GC floor.
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor& x, const Anchor& y) {
+                return x.ckpt_id < y.ckpt_id;
+              });
+    const size_t drop = anchors.size() - retention_;
+    for (size_t i = 0; i < drop; ++i) {
+      const std::string old_dir = AnchorDir(anchors[i].ckpt_id);
+      (void)fs_->DeleteFile(old_dir + "PAGES");
+      (void)fs_->DeleteFile(old_dir + "FILES");
+      (void)fs_->DeleteFile(old_dir + "MANIFEST");
+    }
+    anchors.erase(anchors.begin(),
+                  anchors.begin() + static_cast<ptrdiff_t>(drop));
+  }
   IMCI_RETURN_NOT_OK(StoreIndexLocked(anchors));
   fs_->SyncControl();
   return Status::OK();
+}
+
+Lsn SnapshotStore::GcFloorLsn() const {
+  std::vector<Anchor> anchors;
+  if (!LoadIndex(&anchors).ok() || anchors.empty()) return 0;
+  Lsn floor = anchors.front().start_lsn;
+  for (const Anchor& a : anchors) floor = std::min(floor, a.start_lsn);
+  return floor;
 }
 
 Status SnapshotStore::StoreIndexLocked(const std::vector<Anchor>& anchors) {

@@ -42,6 +42,21 @@ class SnapshotStore {
 
   explicit SnapshotStore(PolarFs* fs) : fs_(fs) {}
 
+  /// Retention cap: keep only the newest `keep` anchors (by checkpoint id);
+  /// 0 (default) keeps everything. Enforced at Register time — when a new
+  /// anchor pushes the count over the cap, the oldest anchors' frozen blobs
+  /// are deleted and the index rewritten. Dropping anchors raises the GC
+  /// floor (GcFloorLsn), which is what makes old archived log segments
+  /// eligible for reclamation.
+  void set_retention(size_t keep) { retention_ = keep; }
+  size_t retention() const { return retention_; }
+
+  /// The smallest start_lsn among retained anchors: no restore can ever
+  /// replay log at or below it (every anchor starts at or above). 0 — the
+  /// conservative "nothing reclaimable" floor — when no anchor exists or
+  /// the oldest anchor starts at 0.
+  Lsn GcFloorLsn() const;
+
   /// Freezes the current shared state as a restore anchor. Idempotent per
   /// ckpt_id (a re-registration replaces the anchor). Call quiesced — at a
   /// checkpoint boundary, right after the page flush — so the copied pages
@@ -70,6 +85,7 @@ class SnapshotStore {
 
   PolarFs* fs_;
   std::mutex mu_;  // serializes Register's index read-modify-write
+  size_t retention_ = 0;  // newest anchors kept; 0 == unbounded
 };
 
 }  // namespace imci

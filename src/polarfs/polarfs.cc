@@ -64,7 +64,10 @@ void PolarFs::SyncControl() {
 ArchiveStore* PolarFs::archive() {
   if (!options_.enable_archive) return nullptr;
   std::lock_guard<std::mutex> g(archive_mu_);
-  if (!archive_) archive_ = std::make_unique<ArchiveStore>(this);
+  if (!archive_) {
+    archive_ = std::make_unique<ArchiveStore>(this);
+    archive_->snapshots()->set_retention(options_.snapshot_retention);
+  }
   return archive_.get();
 }
 

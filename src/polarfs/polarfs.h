@@ -50,6 +50,12 @@ class PolarFs {
     /// point-in-time recovery and post-recycle scale-out. Disable to model a
     /// cluster without an archive tier: Truncate destroys history again.
     bool enable_archive = true;
+    /// Point-in-time-recovery retention: keep only the newest N snapshot
+    /// anchors (SnapshotStore::set_retention). 0 (default) keeps every
+    /// anchor. Dropping anchors raises the archive GC floor, making the
+    /// archived log prefix below it reclaimable
+    /// (ArchiveStore::DropGcEligibleSegments).
+    size_t snapshot_retention = 0;
   };
 
   PolarFs();

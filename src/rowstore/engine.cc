@@ -83,6 +83,18 @@ size_t RowStoreEngine::UndoInflight() {
   return undone;
 }
 
+MvccStats RowStoreEngine::MvccStatsSnapshot() const {
+  std::vector<const RowTable*> tables;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    tables.reserve(tables_.size());
+    for (const auto& [id, table] : tables_) tables.push_back(table.get());
+  }
+  MvccStats total;
+  for (const RowTable* table : tables) total.Add(table->MvccStatsSnapshot());
+  return total;
+}
+
 Status RowStoreEngine::LoadRegistry(
     PolarFs* fs, std::vector<std::pair<TableId, PageId>>* entries) {
   std::string data;

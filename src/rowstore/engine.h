@@ -60,6 +60,11 @@ class RowStoreEngine {
   /// commit decisions. Returns the number of versions undone.
   size_t UndoInflight();
 
+  /// Engine-wide MVCC counters: the per-table snapshots summed (max for the
+  /// chain-length bound). O(tables), not O(chains) — each table's snapshot
+  /// is a counter read.
+  MvccStats MvccStatsSnapshot() const;
+
   /// Flushes all dirty pages to shared storage and persists the table
   /// registry (table id -> meta page id) so other nodes can attach.
   Status CheckpointPages();

@@ -28,8 +28,7 @@ Status RowTable::Insert(const Row& row, std::vector<RedoRecord>* redo,
   if (writer != 0) {
     // No base seed: before this insert the key's visible history is either
     // empty or already in the chain (committed delete).
-    versions_.Install(pk, writer, /*deleted=*/false, std::move(image),
-                      nullptr);
+    versions_.Install(pk, writer, /*deleted=*/false, image, nullptr);
   }
   if (ship) ship(redo);  // under the latch: log order == page-op order
   return Status::OK();
@@ -48,8 +47,7 @@ Status RowTable::Update(int64_t pk, const Row& new_row, Row* old_row,
   IndexRemove(*old_row, pk);
   IndexInsert(new_row, pk);
   if (writer != 0) {
-    versions_.Install(pk, writer, /*deleted=*/false, std::move(new_image),
-                      &old_image);
+    versions_.Install(pk, writer, /*deleted=*/false, new_image, &old_image);
   }
   if (ship) ship(redo);
   return Status::OK();
@@ -66,7 +64,7 @@ Status RowTable::Delete(int64_t pk, Row* old_row,
   IndexRemove(*old_row, pk);
   row_count_.fetch_sub(1, std::memory_order_relaxed);
   if (writer != 0) {
-    versions_.Install(pk, writer, /*deleted=*/true, std::string(),
+    versions_.Install(pk, writer, /*deleted=*/true, std::string_view(),
                       &old_image);
   }
   if (ship) ship(redo);
@@ -90,9 +88,10 @@ bool RowTable::CommittedImage(int64_t pk, std::string* image) const {
   std::shared_lock<WriterPrioritySharedMutex> g(latch_);
   auto it = versions_.find(pk);
   if (it != versions_.end()) {
-    const RowVersion* v = VersionChains::NewestCommitted(it->second);
-    if (v == nullptr || v->deleted) return false;
-    *image = v->image;
+    const RowVersion* v = VersionChains::NewestCommitted(
+        it->second.head.load(std::memory_order_acquire));
+    if (v == nullptr || v->deleted()) return false;
+    image->assign(v->image());
     return true;
   }
   // Chainless row: the tree image is committed (pruning invariant).
@@ -108,7 +107,7 @@ void RowTable::InstallBootInflight(Tid tid, int64_t pk, bool has_pre,
   // checkpoint-carried committed pre-image as the base.
   std::string cur;
   const bool in_tree = btree_.Lookup(pk, &cur).ok();
-  versions_.Install(pk, tid, /*deleted=*/!in_tree, std::move(cur),
+  versions_.Install(pk, tid, /*deleted=*/!in_tree, cur,
                     has_pre ? &pre_image : nullptr);
 }
 
@@ -195,41 +194,68 @@ Status RowTable::ScanRange(
   }
 }
 
-Status RowTable::SnapshotGetLocked(Vid s, int64_t pk,
-                                   std::string* image) const {
-  // One copy of the point-visibility rules: chain resolution wins, deleted
-  // versions read as absent, chainless rows fall back to the tree (safe by
-  // the pruning invariant). Caller holds the shared latch.
-  const RowVersion* v = nullptr;
-  if (versions_.Resolve(pk, s, &v)) {
-    if (v == nullptr || v->deleted) return Status::NotFound("snapshot get");
-    *image = v->image;
-    return Status::OK();
-  }
-  return btree_.Lookup(pk, image);
-}
-
 Status RowTable::SnapshotGet(Vid s, int64_t pk, Row* row) const {
-  std::string image;
+  // Guard first, then harvest: pointers loaded from the chain map after the
+  // guard opened stay dereferenceable until it closes, whatever concurrent
+  // maintenance unlinks or retires.
+  ArenaReadGuard guard;
+  const RowVersion* head = nullptr;
   {
     std::shared_lock<WriterPrioritySharedMutex> g(latch_);
-    IMCI_RETURN_NOT_OK(SnapshotGetLocked(s, pk, &image));
+    head = versions_.Head(pk);
+    if (head == nullptr) {
+      // Chainless row: the tree image is the visible version (pruning
+      // invariant); tree pages are read under the latch as always.
+      std::string image;
+      IMCI_RETURN_NOT_OK(btree_.Lookup(pk, &image));
+      return RowCodec::Decode(*schema_, image.data(), image.size(), row);
+    }
   }
+  // Latch-free resolution. `s` is a registered snapshot, so every
+  // concurrent trim cuts strictly below it — the visible version is always
+  // still linked; versions being stamped right now commit above `s`.
+  const RowVersion* v = VersionChains::ResolveChain(head, s);
+  if (v == nullptr || v->deleted()) return Status::NotFound("snapshot get");
+  const std::string_view image = v->image();
   return RowCodec::Decode(*schema_, image.data(), image.size(), row);
 }
 
 Status RowTable::SnapshotGetCurrent(const std::atomic<Vid>& published,
                                     int64_t pk, Row* row) const {
-  std::string image;
-  {
-    std::shared_lock<WriterPrioritySharedMutex> g(latch_);
-    // Sampled under the latch: trims/prunes (exclusive) are excluded, and
-    // any earlier trim's watermark was <= the VID published back then <=
-    // this value — so resolution below cannot miss its version.
-    const Vid s = published.load(std::memory_order_acquire);
-    IMCI_RETURN_NOT_OK(SnapshotGetLocked(s, pk, &image));
+  ArenaReadGuard guard;
+  for (;;) {
+    const RowVersion* head = nullptr;
+    Vid s = 0;
+    {
+      std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+      // Sampled under the same latch hold that harvests the head: every
+      // trim that already ran used a watermark <= the VID published back
+      // then <= this sample, so the version visible at `s` is reachable
+      // from `head`.
+      s = published.load(std::memory_order_acquire);
+      head = versions_.Head(pk);
+      if (head == nullptr) {
+        std::string image;
+        IMCI_RETURN_NOT_OK(btree_.Lookup(pk, &image));
+        return RowCodec::Decode(*schema_, image.data(), image.size(), row);
+      }
+    }
+    const RowVersion* v = VersionChains::ResolveChain(head, s);
+    if (v != nullptr) {
+      if (v->deleted()) return Status::NotFound("snapshot get");
+      const std::string_view image = v->image();
+      return RowCodec::Decode(*schema_, image.data(), image.size(), row);
+    }
+    // Nothing committed at or below `s` is reachable. Nobody registered
+    // `s`, so a commit that advanced `published` past it may have trimmed
+    // the chain above our sample after we dropped the latch. A stable
+    // re-sample rules that out: the row genuinely has no committed state
+    // at `s`. Otherwise re-harvest and retry — each lap needs a further
+    // commit, so the loop cannot spin.
+    if (published.load(std::memory_order_acquire) == s) {
+      return Status::NotFound("snapshot get");
+    }
   }
-  return RowCodec::Decode(*schema_, image.data(), image.size(), row);
 }
 
 Status RowTable::SnapshotScan(
@@ -243,12 +269,22 @@ Status RowTable::SnapshotScanRange(
     const std::function<bool(int64_t, const Row&)>& fn) const {
   if (lo > hi) return Status::OK();
   int64_t cursor = lo;
-  std::vector<std::pair<int64_t, std::string>> resolved;
+  // One merged entry per key in the step: a chain head to resolve
+  // latch-free, or (head == nullptr) a tree image taken under the latch.
+  struct Pending {
+    int64_t pk;
+    const RowVersion* head;
+    std::string image;
+  };
+  std::vector<Pending> merged;
   std::vector<std::pair<int64_t, std::string>> batch;
   Row row;
+  // The guard spans the whole scan: heads harvested in any step stay
+  // traversable until we return, even across the per-step latch drops.
+  ArenaReadGuard guard;
   for (;;) {
     batch.clear();
-    resolved.clear();
+    merged.clear();
     bool more = false;
     int64_t last_tree_pk = 0;
     {
@@ -258,8 +294,10 @@ Status RowTable::SnapshotScanRange(
             batch.emplace_back(pk, im);
             return batch.size() < kScanBatch;
           }));
-      // This step covers [cursor, upper]; resolution happens inside the same
-      // latch hold so the tree images and the chains are one consistent cut.
+      // This step covers [cursor, upper]; the latch hold only *harvests* —
+      // tree images and chain heads form one consistent cut, and the chain
+      // walk happens after the latch is released (`s` is registered, so no
+      // concurrent trim can cut at or above it).
       int64_t upper = hi;
       if (batch.size() >= kScanBatch && batch.back().first < hi) {
         upper = batch.back().first;
@@ -283,22 +321,28 @@ Status RowTable::SnapshotScanRange(
         }
         const int64_t pk = take_tree ? bit->first : vit->first;
         if (take_chain) {
-          const RowVersion* v = VersionChains::ResolveChain(vit->second, s);
-          if (v != nullptr && !v->deleted) resolved.emplace_back(pk, v->image);
+          merged.push_back(
+              {pk, vit->second.head.load(std::memory_order_acquire), {}});
           ++vit;
         } else {
           // Chainless row: the tree image is the visible version (pruning
           // invariant); hand the string over instead of copying it.
-          resolved.emplace_back(pk, std::move(bit->second));
+          merged.push_back({pk, nullptr, std::move(bit->second)});
         }
         if (take_tree) ++bit;
       }
     }
-    for (const auto& [pk, image] : resolved) {
+    for (const Pending& p : merged) {
+      std::string_view image = p.image;
+      if (p.head != nullptr) {
+        const RowVersion* v = VersionChains::ResolveChain(p.head, s);
+        if (v == nullptr || v->deleted()) continue;
+        image = v->image();
+      }
       if (!RowCodec::Decode(*schema_, image.data(), image.size(), &row).ok()) {
         continue;
       }
-      if (!fn(pk, row)) return Status::OK();
+      if (!fn(p.pk, row)) return Status::OK();
     }
     if (!more) return Status::OK();
     cursor = last_tree_pk + 1;
@@ -327,18 +371,18 @@ Status RowTable::SnapshotIndexLookupRange(Vid s, int col, int64_t lo,
     cand.insert(it->first);
   }
   Row row;
+  std::string tree_image;
   for (int64_t pk : cand) {
-    const std::string* image = nullptr;
-    std::string tree_image;
+    std::string_view image;
     const RowVersion* v = nullptr;
     if (versions_.Resolve(pk, s, &v)) {
-      if (v == nullptr || v->deleted) continue;
-      image = &v->image;
+      if (v == nullptr || v->deleted()) continue;
+      image = v->image();
     } else {
       if (!btree_.Lookup(pk, &tree_image).ok()) continue;
-      image = &tree_image;
+      image = tree_image;
     }
-    if (!RowCodec::Decode(*schema_, image->data(), image->size(), &row).ok()) {
+    if (!RowCodec::Decode(*schema_, image.data(), image.size(), &row).ok()) {
       continue;
     }
     if (IsNull(row[col])) continue;
@@ -414,8 +458,7 @@ void RowTable::ApplyReplica(ReplicaApply&& a) {
       IndexInsert(a.new_row, pk);
       row_count_.fetch_add(1, std::memory_order_relaxed);
       if (a.tid != 0) {
-        versions_.Install(pk, a.tid, /*deleted=*/false, std::move(a.image),
-                          nullptr);
+        versions_.Install(pk, a.tid, /*deleted=*/false, a.image, nullptr);
       }
       break;
     }
@@ -424,7 +467,7 @@ void RowTable::ApplyReplica(ReplicaApply&& a) {
       IndexRemove(a.old_row, pk);
       IndexInsert(a.new_row, pk);
       if (a.tid != 0) {
-        versions_.Install(pk, a.tid, /*deleted=*/false, std::move(a.image),
+        versions_.Install(pk, a.tid, /*deleted=*/false, a.image,
                           &a.base_image);
       }
       break;
@@ -434,7 +477,7 @@ void RowTable::ApplyReplica(ReplicaApply&& a) {
       IndexRemove(a.old_row, pk);
       row_count_.fetch_sub(1, std::memory_order_relaxed);
       if (a.tid != 0) {
-        versions_.Install(pk, a.tid, /*deleted=*/true, std::string(),
+        versions_.Install(pk, a.tid, /*deleted=*/true, std::string_view(),
                           &a.base_image);
       }
       break;
@@ -452,7 +495,7 @@ void RowTable::RestoreRowLocked(int64_t pk, const RowVersion* target) {
   std::string cur;
   const bool in_tree = btree_.Lookup(pk, &cur).ok();
   Row row;
-  if (target == nullptr || target->deleted) {
+  if (target == nullptr || target->deleted()) {
     if (in_tree) {
       std::string old_image;
       if (btree_.Delete(pk, &old_image, &discard).ok()) {
@@ -466,25 +509,26 @@ void RowTable::RestoreRowLocked(int64_t pk, const RowVersion* target) {
     }
     return;
   }
+  const std::string target_image(target->image());
   if (!in_tree) {
-    if (btree_.Insert(pk, target->image, &discard).ok()) {
+    if (btree_.Insert(pk, target_image, &discard).ok()) {
       row_count_.fetch_add(1, std::memory_order_relaxed);
-      if (RowCodec::Decode(*schema_, target->image.data(),
-                           target->image.size(), &row)
+      if (RowCodec::Decode(*schema_, target_image.data(), target_image.size(),
+                           &row)
               .ok()) {
         IndexInsert(row, pk);
       }
     }
     return;
   }
-  if (cur == target->image) return;  // compensation already restored it
+  if (cur == target_image) return;  // compensation already restored it
   std::string old_image;
-  if (!btree_.Update(pk, target->image, &old_image, &discard).ok()) return;
+  if (!btree_.Update(pk, target_image, &old_image, &discard).ok()) return;
   if (RowCodec::Decode(*schema_, old_image.data(), old_image.size(), &row)
           .ok()) {
     IndexRemove(row, pk);
   }
-  if (RowCodec::Decode(*schema_, target->image.data(), target->image.size(),
+  if (RowCodec::Decode(*schema_, target_image.data(), target_image.size(),
                        &row)
           .ok()) {
     IndexInsert(row, pk);
@@ -497,7 +541,8 @@ size_t RowTable::RollbackInflight() {
   for (int64_t pk : versions_.InflightPks()) {
     auto it = versions_.find(pk);
     if (it == versions_.end()) continue;
-    RestoreRowLocked(pk, VersionChains::NewestCommitted(it->second));
+    RestoreRowLocked(pk, VersionChains::NewestCommitted(
+                             it->second.head.load(std::memory_order_acquire)));
     undone += versions_.DropInflight(pk);
   }
   return undone;
@@ -533,6 +578,11 @@ size_t RowTable::VersionChainLength(int64_t pk) const {
 size_t RowTable::MaxVersionChainLength() const {
   std::shared_lock<WriterPrioritySharedMutex> g(latch_);
   return versions_.MaxChainLength();
+}
+
+MvccStats RowTable::MvccStatsSnapshot() const {
+  std::shared_lock<WriterPrioritySharedMutex> g(latch_);
+  return versions_.Stats();
 }
 
 void RowTable::IndexInsert(const Row& row, int64_t pk) {

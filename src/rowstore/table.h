@@ -38,7 +38,11 @@ namespace imci {
 /// structure over the B+tree (the tree always holds the newest physical
 /// image — the one REDO replication reproduces on replicas); Snapshot*
 /// readers resolve the newest version with commit VID <= their snapshot,
-/// falling back to the tree for rows with no chain. The pruning invariant
+/// falling back to the tree for rows with no chain. Chain *resolution* is
+/// latch-free: readers take the shared latch only to harvest the chain head
+/// (and for tree access), then traverse arena-backed nodes with
+/// acquire-loads under an ArenaReadGuard — the table latch stays on the
+/// write/maintenance path only. The pruning invariant
 /// that makes the fallback safe: chains are only trimmed below the oldest
 /// live snapshot (SnapshotRegistry::Watermark), so a missing chain means the
 /// tree image is visible to every snapshot that can still be opened or is
@@ -80,14 +84,21 @@ class RowTable {
 
   // --- MVCC snapshot read path -------------------------------------------
 
-  /// Point read at snapshot `s`: newest committed version with VID <= s.
+  /// Point read at snapshot `s` (a *registered* snapshot: the caller holds
+  /// it open in the SnapshotRegistry, so the prune watermark never exceeds
+  /// it). The table latch is taken shared only for the chain-map/tree
+  /// lookup; the chain itself is resolved latch-free under an
+  /// ArenaReadGuard — trims running concurrently never cut at or above a
+  /// registered snapshot, and unlinked nodes stay readable until the guard
+  /// closes.
   Status SnapshotGet(Vid s, int64_t pk, Row* row) const;
-  /// Registration-free point read at the *current* published snapshot:
-  /// `published` is sampled after the shared latch is held, so no trim or
-  /// prune can run concurrently — and every past trim used a watermark at
-  /// or below the then-published VID, which is at or below the sampled one,
-  /// so the visible version is always still present. Single-statement reads
-  /// use this to skip the live-view registry on the hottest path.
+  /// Registration-free point read at the *current* published snapshot.
+  /// Chainless rows read the tree under the shared latch (pruning
+  /// invariant). Rows with a chain resolve latch-free; because nothing
+  /// registers the sampled VID, a concurrent commit's trim can race past
+  /// it, so a resolution that comes up empty re-samples `published`: stable
+  /// sample == genuine NotFound, advanced sample == re-harvest and retry
+  /// (each retry needs a further commit, so the loop terminates).
   Status SnapshotGetCurrent(const std::atomic<Vid>& published, int64_t pk,
                             Row* row) const;
   /// Key-ordered scans at snapshot `s`. Rows deleted after the snapshot was
@@ -136,8 +147,11 @@ class RowTable {
   size_t versioned_row_count() const;
   /// Chain length of `pk` (0 when the row has no chain).
   size_t VersionChainLength(int64_t pk) const;
-  /// Longest chain in the table (tests/stats).
+  /// Longest chain in the table. O(1): maintained incrementally by the
+  /// version layer, not by walking every chain.
   size_t MaxVersionChainLength() const;
+  /// O(1) snapshot of the table's MVCC counters and arena accounting.
+  MvccStats MvccStatsSnapshot() const;
 
   /// Raw-image variants used by transaction rollback (no re-encode).
   Status InsertImage(int64_t pk, const std::string& image,
@@ -222,8 +236,6 @@ class RowTable {
  private:
   void IndexInsert(const Row& row, int64_t pk);
   void IndexRemove(const Row& row, int64_t pk);
-  /// Shared body of SnapshotGet / SnapshotGetCurrent (latch held).
-  Status SnapshotGetLocked(Vid s, int64_t pk, std::string* image) const;
   /// Physically restores `pk` to `target` (nullptr/deleted == absent) under
   /// the write latch; fixes indexes and the row count. Undo-path helper.
   void RestoreRowLocked(int64_t pk, const RowVersion* target);

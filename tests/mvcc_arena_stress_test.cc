@@ -1,0 +1,194 @@
+// Concurrency suites for the arena-backed MVCC version chains: latch-free
+// snapshot readers racing Install/Stamp/Prune exactly the way RowTable
+// drives them (tsan proves the publication protocol), and reclamation
+// tests proving no version reachable by a live snapshot is ever freed —
+// including a death-test arm that reverts the reader-grace guard and
+// demonstrates the resulting use-after-free under asan.
+
+#include <atomic>
+#include <cstring>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "rowstore/mvcc.h"
+#include "tests/test_util.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define IMCI_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define IMCI_ASAN 1
+#endif
+#endif
+
+namespace imci {
+namespace {
+
+std::string ImageFor(Vid vid) {
+  // Payload encodes the commit VID so readers can detect torn images.
+  std::string img(16, '\0');
+  std::memcpy(img.data(), &vid, sizeof(vid));
+  img.back() = static_cast<char>(vid & 0xFF);
+  return img;
+}
+
+Vid VidOfImage(std::string_view img) {
+  Vid vid = 0;
+  std::memcpy(&vid, img.data(), sizeof(vid));
+  return vid;
+}
+
+// The RowTable read protocol, reproduced at the VersionChains layer: the
+// "table latch" (a shared_mutex) is taken only to harvest the chain head;
+// resolution walks arena nodes with no lock, inside an ArenaReadGuard.
+TEST(MvccArenaStressTest, LatchFreeReadersRaceInstallStampPrune) {
+  VersionChains chains;
+  std::shared_mutex latch;  // plays RowTable::latch_
+  std::atomic<Vid> published{0};
+  std::atomic<bool> stop{false};
+  constexpr int kPks = 8;
+  const int iters = testing_util::TestIters(20000);
+
+  std::thread writer([&] {
+    Vid next_vid = 0;
+    std::string committed[kPks];
+    for (int i = 0; i < iters; ++i) {
+      const int64_t pk = i % kPks;
+      const Tid tid = static_cast<Tid>(i + 1);
+      const Vid vid = ++next_vid;
+      const std::string img = ImageFor(vid);
+      {
+        std::unique_lock<std::shared_mutex> g(latch);
+        chains.Install(pk, tid, /*deleted=*/false, img,
+                       committed[pk].empty() ? nullptr : &committed[pk]);
+        // Trim below the currently published VID: registration-free readers
+        // must survive the cut via the SnapshotGetCurrent retry protocol.
+        chains.Stamp(tid, vid, {pk}, published.load());
+      }
+      committed[pk] = img;
+      published.store(vid, std::memory_order_release);
+      if (i % 128 == 127) {
+        std::unique_lock<std::shared_mutex> g(latch);
+        chains.Prune(published.load());
+      }
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> resolved{0};
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      // Race while the writer runs, then one guaranteed full pass over the
+      // final state (the writer may outpace thread startup on fast runs).
+      for (bool last = false; !last;) {
+        last = stop.load(std::memory_order_acquire);
+        for (int64_t pk = 0; pk < kPks; ++pk) {
+          ArenaReadGuard guard;
+          for (;;) {
+            const RowVersion* head = nullptr;
+            Vid s = 0;
+            {
+              std::shared_lock<std::shared_mutex> g(latch);
+              s = published.load(std::memory_order_acquire);
+              head = chains.Head(pk);
+            }
+            if (head == nullptr) break;
+            const RowVersion* v = VersionChains::ResolveChain(head, s);
+            if (v != nullptr) {
+              // The stamp word and the payload must agree — a torn image
+              // or a half-published node trips this (and tsan).
+              const Vid vid = v->vid();
+              ASSERT_LE(vid, s);
+              if (vid != 0) {
+                ASSERT_EQ(VidOfImage(v->image()), vid);
+              }
+              resolved.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            if (published.load(std::memory_order_acquire) == s) break;
+            // A trim raced past our unregistered sample: re-harvest.
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(resolved.load(), 0u);
+
+  std::unique_lock<std::shared_mutex> g(latch);
+  chains.Prune(published.load());
+  EXPECT_EQ(chains.chain_count(), 0u);
+  EXPECT_EQ(chains.MaxChainLength(), 0u);
+}
+
+// A reader holding a guard pins every version it can reach, across trims
+// *and* bulk epoch drops: the version bytes must stay intact (asan makes
+// any premature free fatal).
+TEST(MvccArenaStressTest, LiveSnapshotPinsVersionsAcrossEpochDrop) {
+  VersionChains chains;
+  const std::string base = "base-image-of-row-one";
+  chains.Install(1, 10, false, ImageFor(2), &base);
+  chains.Stamp(10, 2, {1}, 0);
+  chains.Prune(0);  // seals the epoch holding vid-2 and the base
+
+  ArenaReadGuard guard;
+  const RowVersion* pinned = nullptr;
+  ASSERT_TRUE(chains.Resolve(1, 2, &pinned));
+  ASSERT_NE(pinned, nullptr);
+  ASSERT_EQ(pinned->vid(), 2u);
+
+  // New history, then prune far above the pinned snapshot: vid-2 and the
+  // base are unlinked and their epoch dropped — but the guard predates the
+  // retire, so the memory survives until it closes.
+  chains.Install(1, 11, false, ImageFor(5), nullptr);
+  chains.Stamp(11, 5, {1}, 0);
+  chains.Prune(5);
+  EXPECT_EQ(VidOfImage(pinned->image()), 2u);
+  const RowVersion* older = pinned->next();
+  ASSERT_NE(older, nullptr);
+  EXPECT_EQ(older->image(), base);
+
+  // The chain itself collapsed to the tree image (caught up to vid 5) —
+  // only the guard keeps the unlinked history readable.
+  EXPECT_EQ(chains.chain_count(), 0u);
+  EXPECT_GE(chains.Stats().epochs_dropped, 1u);
+}
+
+#ifdef IMCI_ASAN
+// Revert the grace guard (free dropped chunks immediately) and show the
+// exact failure it prevents: a reader that resolved a version before the
+// prune dereferences freed memory. Without the guard this suite dies under
+// asan — proof the reclamation protocol is load-bearing, not decorative.
+TEST(MvccArenaStressDeathTest, ImmediateReclaimFaultsUnderLiveSnapshot) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        VersionArena::test_unsafe_immediate_reclaim = true;
+        VersionChains chains;
+        const std::string base = "base-image";
+        chains.Install(1, 10, false, ImageFor(2), &base);
+        chains.Stamp(10, 2, {1}, 0);
+        chains.Prune(0);  // seal the epoch holding vid-2 + base
+        ArenaReadGuard guard;
+        const RowVersion* pinned = nullptr;
+        if (!chains.Resolve(1, 2, &pinned) || pinned == nullptr) abort();
+        chains.Install(1, 11, false, ImageFor(5), nullptr);
+        chains.Stamp(11, 5, {1}, 0);
+        chains.Prune(5);  // drops the cold epoch; flag frees it NOW
+        // Use-after-free: the guard should have pinned this.
+        volatile char c = pinned->image()[0];
+        (void)c;
+      },
+      "");
+}
+#endif
+
+}  // namespace
+}  // namespace imci

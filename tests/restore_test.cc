@@ -74,11 +74,16 @@ void CheckRestored(Cluster::RestoredCluster* r, const std::vector<Row>& want) {
 
 class RestoreTest : public ::testing::Test {
  protected:
+  /// Anchor-retention cap the fixture's cluster runs with (0 = unbounded);
+  /// the GC suite below overrides it.
+  virtual size_t Retention() const { return 0; }
+
   void SetUp() override {
     ClusterOptions opts;
     opts.initial_ro_nodes = 1;
     opts.ro.imci.row_group_size = 256;
     opts.fs.log_segment_bytes = 512;  // small segments: recycling bites early
+    opts.fs.snapshot_retention = Retention();
     cluster_ = std::make_unique<Cluster>(opts);
     ASSERT_TRUE(cluster_->CreateTable(KvSchema()).ok());
     std::vector<Row> rows;
@@ -230,6 +235,80 @@ TEST_F(RestoreTest, TornArchiveSurfacesAsCorruptionNotShorterHistory) {
                   .ok());
   Cluster::RestoredCluster gone;
   EXPECT_FALSE(cluster_->RestoreToLsn(victim.first, &gone).ok());
+}
+
+class RetentionRestoreTest : public RestoreTest {
+ protected:
+  size_t Retention() const override { return 2; }
+};
+
+// The retention satellite: capping the anchor count drops the oldest frozen
+// snapshots at Register time, which raises the archive GC floor and makes
+// the archived redo prefix below it reclaimable — while every restore the
+// retained anchors can serve keeps working, and restores below the floor
+// fail cleanly instead of replaying a gapped history.
+TEST_F(RetentionRestoreTest, RetentionDropsAnchorsAndMakesLogPrefixGcEligible) {
+  Churn(0, 40);
+  CheckpointAndRecycle(1);
+  Churn(40, 40);
+  CheckpointAndRecycle(2);
+  Churn(80, 40);
+  CheckpointAndRecycle(3);
+
+  ArchiveStore* arc = cluster_->fs()->archive();
+  ASSERT_NE(arc, nullptr);
+  SnapshotStore* snaps = arc->snapshots();
+  ASSERT_EQ(snaps->retention(), 2u);
+
+  // Base anchor and checkpoint 1 were evicted; 2 and 3 remain, and their
+  // frozen blobs are the only ones left on the filesystem.
+  std::vector<SnapshotStore::Anchor> anchors;
+  ASSERT_TRUE(snaps->Anchors(&anchors).ok());
+  ASSERT_EQ(anchors.size(), 2u);
+  EXPECT_EQ(anchors.front().ckpt_id + anchors.back().ckpt_id, 5u);
+  const Lsn floor = snaps->GcFloorLsn();
+  EXPECT_GT(floor, 0u);
+  for (const auto& a : anchors) EXPECT_GE(a.start_lsn, floor);
+
+  // Archived segments wholly below the floor are GC-eligible; dropping them
+  // removes the files and the manifest entries.
+  std::vector<ArchivedSegment> eligible;
+  ASSERT_TRUE(arc->GcEligibleSegments("redo", &eligible).ok());
+  ASSERT_FALSE(eligible.empty());
+  for (const auto& seg : eligible) EXPECT_LE(seg.last, floor);
+  size_t dropped = 0;
+  ASSERT_TRUE(arc->DropGcEligibleSegments("redo", &dropped).ok());
+  EXPECT_EQ(dropped, eligible.size());
+  for (const auto& seg : eligible) {
+    std::string data;
+    EXPECT_FALSE(cluster_->fs()
+                     ->ReadFile(ArchiveStore::SegmentFileName("redo", seg.first),
+                                &data)
+                     .ok());
+  }
+  std::vector<ArchivedSegment> again;
+  ASSERT_TRUE(arc->GcEligibleSegments("redo", &again).ok());
+  EXPECT_TRUE(again.empty());
+
+  // Every restore the retained anchors serve still works end-to-end: the
+  // live tail, and the first commit above the floor (worst case — maximum
+  // archived replay from the oldest retained anchor).
+  const CommitMark& tail = commits_.back();
+  Cluster::RestoredCluster full;
+  ASSERT_TRUE(cluster_->RestoreToLsn(tail.lsn, &full).ok());
+  CheckRestored(&full, ModelAt(commits_, tail.lsn));
+  size_t k = 0;
+  while (k < commits_.size() && commits_[k].lsn <= floor) ++k;
+  ASSERT_LT(k, commits_.size());
+  Cluster::RestoredCluster oldest;
+  ASSERT_TRUE(cluster_->RestoreToLsn(commits_[k].lsn, &oldest).ok());
+  CheckRestored(&oldest, ModelAt(commits_, commits_[k].lsn));
+
+  // History below the floor is genuinely gone: no anchor covers it, so the
+  // restore is refused rather than anchored too high.
+  ASSERT_LT(commits_.front().lsn, floor);
+  Cluster::RestoredCluster below;
+  EXPECT_FALSE(cluster_->RestoreToLsn(commits_.front().lsn, &below).ok());
 }
 
 TEST(RestoreDisabledTest, RefusedWithoutArchiveTier) {
