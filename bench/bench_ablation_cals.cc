@@ -18,9 +18,9 @@ void RunOnce(bool cals, double secs, BenchReport* report) {
   auto* txns = cluster->rw()->txn_manager();
   const double tps = DriveOltp(8, secs, [&](int t) {
     thread_local Rng rng(41 + t);
-    bench.RunTransaction(txns, &rng);
+    (void)bench.RunTransaction(txns, &rng);
   });
-  cluster->ro(0)->CatchUpNow();
+  (void)cluster->ro(0)->CatchUpNow();
   auto* vd = cluster->ro(0)->pipeline()->vd_histogram();
   report->Row()
       .Set("commit_ahead", cals ? 1 : 0)

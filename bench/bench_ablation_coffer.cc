@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   auto* txns = cluster->rw()->txn_manager();
   DriveOltp(16, secs, [&](int t) {
     thread_local Rng rng(61 + t);
-    bench.RunTransaction(txns, &rng);
+    (void)bench.RunTransaction(txns, &rng);
   });
   const Lsn log_end = cluster->fs()->log("redo")->written_lsn();
   std::printf("# Ablation: 2P-COFFER | replaying %lu log records\n",
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     RoNode node("ablate", cluster->fs(), cluster->catalog(), ro_opts);
     if (!node.Boot().ok()) return 1;
     Timer t;
-    node.CatchUpNow();
+    (void)node.CatchUpNow();
     const double elapsed = t.ElapsedSeconds();
     report.Row()
         .Set("workers", workers)

@@ -48,7 +48,7 @@ void BM_IntDecode(benchmark::State& state, const std::string& pattern) {
   IntCodec::Encode(v, &buf);
   for (auto _ : state) {
     std::vector<int64_t> out;
-    IntCodec::Decode(buf, &out);
+    (void)IntCodec::Decode(buf, &out);
     benchmark::DoNotOptimize(out);
   }
   state.SetBytesProcessed(state.iterations() * v.size() * 8);

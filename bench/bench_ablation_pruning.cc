@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   auto cluster = MakeTpchCluster(sf, 1);
   if (!cluster) return 1;
   RoNode* ro = cluster->ro(0);
-  ro->CatchUpNow();
+  (void)ro->CatchUpNow();
   ColumnIndex* li = ro->imci()->GetIndex(tpch::kLineitem);
   const auto& schema = li->schema();
   const int shipdate = schema.ColumnIndex("l_shipdate");

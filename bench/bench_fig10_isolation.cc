@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     Timer t;
     double tp_tps = DriveOltp(tp_saturation, secs, [&](int w) {
       thread_local Rng rng(1234 + w);
-      bench.RunTransaction(txns, &rng);
+      (void)bench.RunTransaction(txns, &rng);
     });
     stop.store(true);
     for (auto& th : ap_threads) th.join();
@@ -116,7 +116,7 @@ int main(int argc, char** argv) {
       tp_threads.emplace_back([&, w] {
         Rng rng(99 + w);
         while (!stop.load(std::memory_order_relaxed)) {
-          bench.RunTransaction(txns, &rng);
+          (void)bench.RunTransaction(txns, &rng);
           tp_ops.fetch_add(1);
         }
       });
@@ -197,7 +197,7 @@ int main(int argc, char** argv) {
     Timer t;
     const double tp_tps = DriveOltp(rw_tp, secs, [&](int w) {
       thread_local Rng rng(777 + w);
-      bench.RunTransaction(txns, &rng);
+      (void)bench.RunTransaction(txns, &rng);
     });
     const double elapsed = t.ElapsedSeconds();
     stop.store(true);

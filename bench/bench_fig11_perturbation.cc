@@ -26,7 +26,7 @@ bool VerifyConverged(Cluster* cluster, const sysbench::Sysbench& sb) {
   for (int t = 0; t < sb.num_tables(); ++t) {
     const TableId table = sysbench::Sysbench::kBaseTableId + t;
     std::vector<Row> truth;
-    cluster->rw()->engine()->GetTable(table)->Scan(
+    (void)cluster->rw()->engine()->GetTable(table)->Scan(
         [&](int64_t, const Row& row) {
           truth.push_back(row);
           return true;
@@ -89,7 +89,7 @@ ArmResult RunSysbench(bool with_imci, bool binlog, int clients, double secs,
   r.tps = DriveOltp(clients, secs, [&](int t) {
     thread_local Rng rng(17 + t);
     thread_local Zipf zipf(2000, 0.99, 17 + t);
-    sb.RunOp(txns, t, &rng, &zipf);
+    (void)sb.RunOp(txns, t, &rng, &zipf);
   });
   const uint64_t commits = txns->commits() - commits0;
   const uint64_t batches = fs->commit_batches() - batches0;

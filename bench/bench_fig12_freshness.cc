@@ -68,13 +68,13 @@ int main(int argc, char** argv) {
         txns->Begin(&txn);
         Row row;
         if (!txns->GetForUpdate(&txn, kProbeTable, 0, &row).ok()) {
-          txns->Rollback(&txn);
+          (void)txns->Rollback(&txn);
           continue;
         }
         row[1] = token;
         if (!txns->Update(&txn, kProbeTable, 0, row).ok() ||
             !txns->Commit(&txn).ok()) {
-          txns->Rollback(&txn);
+          (void)txns->Rollback(&txn);
           continue;
         }
         Timer t;
@@ -98,11 +98,11 @@ int main(int argc, char** argv) {
 
     const double tps = DriveOltp(threads, secs, [&](int t) {
       thread_local Rng rng(31 + t);
-      bench.RunTransaction(txns, &rng);
+      (void)bench.RunTransaction(txns, &rng);
     });
     probe_stop.store(true);
     prober.join();
-    ro->CatchUpNow();
+    (void)ro->CatchUpNow();
     auto* vd = ro->pipeline()->vd_histogram();
     report.Row()
         .Set("threads", threads)

@@ -35,7 +35,7 @@ double PackWriteTput(int threads, double secs) {
   return DriveOltp(threads, secs, [&](int t) {
     thread_local Rng rng(t + 1);
     thread_local int64_t seq = t * 100'000'000LL;
-    index.Insert({seq++, static_cast<int64_t>(rng.Next() % 1000),
+    (void)index.Insert({seq++, static_cast<int64_t>(rng.Next() % 1000),
                   rng.UniformDouble(), std::string("val")}, 1);
   });
 }
@@ -55,9 +55,9 @@ int main(int argc, char** argv) {
   auto* txns = cluster->rw()->txn_manager();
   const double rw_tps = DriveOltp(16, secs, [&](int t) {
     thread_local Rng rng(7 + t);
-    bench.RunTransaction(txns, &rng);
+    (void)bench.RunTransaction(txns, &rng);
   });
-  cluster->ro(0)->CatchUpNow();
+  (void)cluster->ro(0)->CatchUpNow();
 
   std::printf("# Figure 13 | component max throughput (ops/s) vs RW OLTP\n");
   std::printf("# RW OLTP max: %.0f txn/s\n", rw_tps);
@@ -85,13 +85,13 @@ int main(int argc, char** argv) {
     auto* t2 = c2->rw()->txn_manager();
     DriveOltp(16, secs, [&](int t) {
       thread_local Rng rng(70 + t);
-      b2.RunTransaction(t2, &rng);
+      (void)b2.RunTransaction(t2, &rng);
     });
     // Boot a second RO node and time its full-log catch-up (pure replay).
     RoNode* fresh = nullptr;
-    c2->AddRoNode(&fresh);
+    (void)c2->AddRoNode(&fresh);
     Timer t;
-    fresh->CatchUpNow();
+    (void)fresh->CatchUpNow();
     const double replay_secs = t.ElapsedSeconds();
     const uint64_t records = fresh->pipeline()->parser()->records_applied();
     const uint64_t ops = fresh->pipeline()->applied_ops();
@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
     auto schema = BenchSchema();
     catalog.Register(schema);
     RowStoreEngine rw(&fs, &catalog);
-    rw.CreateTable(schema);
+    (void)rw.CreateTable(schema);
     RedoWriter writer(fs.log("redo"));
     LockManager locks;
     TransactionManager tm(&rw, &writer, &locks);
@@ -122,9 +122,9 @@ int main(int argc, char** argv) {
     while (commit_t.ElapsedSeconds() < secs) {
       Transaction txn;
       tm.Begin(&txn);
-      tm.Insert(&txn, 1, {int64_t(commits), int64_t(commits), 0.5,
+      (void)tm.Insert(&txn, 1, {int64_t(commits), int64_t(commits), 0.5,
                           std::string("x")});
-      tm.Commit(&txn);
+      (void)tm.Commit(&txn);
       ++commits;
     }
     std::printf("single_thread_commit: %.0f commits/s\n",

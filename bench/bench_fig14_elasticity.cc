@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const double horizon = Flag(argc, argv, "secs", smoke ? 4.0 : 12.0);
   auto cluster = MakeTpchCluster(sf, 1);
   if (!cluster) return 1;
-  cluster->ro(0)->CatchUpNow();
+  (void)cluster->ro(0)->CatchUpNow();
 
   // Steady TP load: inserts into lineitem-like sysbench tables are not part
   // of the TPC-H schema; use direct inserts into `orders` keyspace instead.
@@ -27,12 +27,12 @@ int main(int argc, char** argv) {
     while (!stop.load(std::memory_order_relaxed)) {
       Transaction txn;
       txns->Begin(&txn);
-      txns->Insert(&txn, tpch::kOrders,
+      (void)txns->Insert(&txn, tpch::kOrders,
                    {next_pk++, int64_t(1 + rng.Next() % 100),
                     std::string("O"), 100.0, int64_t(MakeDate(1997, 1, 1)),
                     std::string("1-URGENT"), std::string("Clerk#1"),
                     int64_t(0), std::string("c")});
-      txns->Commit(&txn);
+      (void)txns->Commit(&txn);
       std::this_thread::sleep_for(std::chrono::microseconds(250));
     }
   });
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
     // Scale-out events: node 1 at ~1/4 horizon, checkpoint, node 2 at ~5/8.
     if (!no1 && t > horizon / 4) {
       Timer boot;
-      cluster->AddRoNode(&no1);
+      (void)cluster->AddRoNode(&no1);
       no1_added = t;
       std::printf("## t=%.1fs scale-out No.1 (boot %.2fs: %s)\n", t,
                   boot.ElapsedSeconds(),
@@ -82,11 +82,11 @@ int main(int argc, char** argv) {
     }
     if (no1 && no1_ready < 0 && no1->LsnDelay() == 0) {
       no1_ready = t;
-      cluster->TriggerCheckpoint();  // leader persists for the next joiner
+      (void)cluster->TriggerCheckpoint();  // leader persists for the next joiner
     }
     if (!no2 && no1_ready > 0 && t > horizon * 5 / 8) {
       Timer boot;
-      cluster->AddRoNode(&no2);
+      (void)cluster->AddRoNode(&no2);
       no2_added = t;
       std::printf("## t=%.1fs scale-out No.2 (boot %.2fs, from checkpoint)\n",
                   t, boot.ElapsedSeconds());

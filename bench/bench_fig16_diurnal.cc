@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   }
   if (!cluster->Open().ok()) return 1;
   RoNode* ro = cluster->ro(0);
-  ro->CatchUpNow();
+  (void)ro->CatchUpNow();
   auto* txns = cluster->rw()->txn_manager();
   const TableId fact = profiles[0].base_table_id;
 
@@ -65,8 +65,8 @@ int main(int argc, char** argv) {
           row.push_back(static_cast<int64_t>(rng.Next() % 1000));
         }
       }
-      txns->Insert(&txn, fact, row);
-      txns->Commit(&txn);
+      (void)txns->Insert(&txn, fact, row);
+      (void)txns->Commit(&txn);
       ++sent;
       const double expected = t.ElapsedSeconds() * target_tps;
       if (sent > expected) {
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
       }
     }
     // Let the pipeline drain this hour's tail before reading percentiles.
-    ro->CatchUpNow();
+    (void)ro->CatchUpNow();
     auto* vd = ro->pipeline()->vd_histogram();
     report.Row()
         .Set("hour", hour)

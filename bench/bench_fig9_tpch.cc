@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   RoNode* ro = cluster->ro(0);
-  ro->CatchUpNow();
+  (void)ro->CatchUpNow();
   ro->RefreshStats();
 
   struct EngineCfg {
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
         return ro->ExecuteColumn(plan, out, parallelism);
       };
       std::vector<Row> out;
-      tpch::RunQuery(q, *cluster->catalog(), warm, &out);
+      (void)tpch::RunQuery(q, *cluster->catalog(), warm, &out);
     }
     double times[3] = {0, 0, 0};
     for (int e = 0; e < 3; ++e) {

@@ -75,21 +75,21 @@ int main(int argc, char** argv) {
   auto checkpoint_and_recycle = [&] {
     RoNode* leader = cluster.leader();
     leader->StopReplication();
-    leader->CatchUpNow();
-    leader->pipeline()->TakeCheckpoint(++ckpt_id);
+    (void)leader->CatchUpNow();
+    (void)leader->pipeline()->TakeCheckpoint(++ckpt_id);
     leader->StartReplication();
-    cluster.RecycleRedoLog(&recycled);
+    (void)cluster.RecycleRedoLog(&recycled);
   };
   Timer load_t;
   for (int i = 0; i < total_txns; ++i) {
     Transaction txn;
     txns->Begin(&txn);
     const int64_t pk = static_cast<int64_t>(rng.Next() % 1000);
-    txns->Update(&txn, 1, pk,
+    (void)txns->Update(&txn, 1, pk,
                  {pk, int64_t(i), std::string("updated-") + std::to_string(i)});
-    txns->Insert(&txn, 1,
+    (void)txns->Insert(&txn, 1,
                  {int64_t(10000 + i), int64_t(i), std::string("inserted")});
-    txns->Commit(&txn);
+    (void)txns->Commit(&txn);
     if (i == total_txns / 6) {
       // Deep inside the history the first recycle destroys: restoring here
       // must replay archived segments over the base snapshot.

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     }
     if (!cluster->Open().ok()) return 1;
     RoNode* ro = cluster->ro(0);
-    ro->CatchUpNow();
+    (void)ro->CatchUpNow();
     ro->RefreshStats();
     std::printf("%s\n", profiles[ci].name.c_str());
     for (int q = 0; q < production::CustomerWorkload::kQueriesPerCustomer;

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   }
   if (!cluster.Open().ok()) return 1;
   RoNode* ro = cluster.ro(0);
-  ro->CatchUpNow();
+  (void)ro->CatchUpNow();
   ro->RefreshStats();
   std::printf("dashboard over TPC-H SF=%.2f (%lu lineitems)\n\n", sf,
               (unsigned long)ro->imci()

@@ -34,15 +34,15 @@ int main() {
     while (!stop.load()) {
       Transaction txn;
       txns->Begin(&txn);
-      txns->Insert(&txn, 1, {pk++, int64_t(rng.Next() % 97)});
-      txns->Commit(&txn);
+      (void)txns->Insert(&txn, 1, {pk++, int64_t(rng.Next() % 97)});
+      (void)txns->Commit(&txn);
     }
   });
 
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
-  cluster.ro(0)->CatchUpNow();
+  (void)cluster.ro(0)->CatchUpNow();
   std::printf("leader checkpoint requested...\n");
-  cluster.TriggerCheckpoint();
+  (void)cluster.TriggerCheckpoint();
   // Wait until the checkpoint is published.
   std::string current;
   while (!cluster.fs()->ReadFile("imci_ckpt/CURRENT", &current).ok()) {
@@ -67,7 +67,7 @@ int main() {
   stop.store(true);
   churn.join();
   // Both nodes answer identically once both are caught up.
-  for (RoNode* ro : cluster.ro_nodes()) ro->CatchUpNow();
+  for (RoNode* ro : cluster.ro_nodes()) (void)ro->CatchUpNow();
   auto plan = LAgg(LScan(1, {0}), {},
                    {AggSpec{AggKind::kCountStar, nullptr}});
   for (RoNode* ro : cluster.ro_nodes()) {

@@ -37,12 +37,12 @@ int main() {
         Transaction txn;
         txns->Begin(&txn);
         const bool fraud = rng.Next() % 500 == 0;
-        txns->Insert(&txn, 1,
+        (void)txns->Insert(&txn, 1,
                      {ids.fetch_add(1), int64_t(fraud ? 777 : accounts.Next()),
                       int64_t(rng.Next() % 100),
                       fraud ? 9500.0 + rng.UniformDouble() * 500
                             : rng.UniformDouble() * 200});
-        txns->Commit(&txn);
+        (void)txns->Commit(&txn);
       }
     });
   }

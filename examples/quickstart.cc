@@ -37,9 +37,9 @@ int main() {
   auto* txns = cluster.rw()->txn_manager();
   Transaction txn;
   txns->Begin(&txn);
-  txns->Insert(&txn, 1, {int64_t(100000), std::string("hangzhou"), 999.0});
-  txns->Update(&txn, 1, 5, {int64_t(5), std::string("beijing"), 123.45});
-  txns->Commit(&txn);
+  (void)txns->Insert(&txn, 1, {int64_t(100000), std::string("hangzhou"), 999.0});
+  (void)txns->Update(&txn, 1, 5, {int64_t(5), std::string("beijing"), 123.45});
+  (void)txns->Commit(&txn);
   std::printf("committed OLTP txn, commit VID=%lu\n",
               (unsigned long)txn.commit_vid());
 
@@ -68,7 +68,7 @@ int main() {
   // 6. A point query routes to the row engine (cheap B+tree lookup).
   auto point = LScan(1, {0, 1, 2}, Eq(Col(0, DataType::kInt64),
                                       ConstInt(100000)));
-  cluster.proxy()->ExecuteQuery(point, &result, Consistency::kStrong,
+  (void)cluster.proxy()->ExecuteQuery(point, &result, Consistency::kStrong,
                                 &engine);
   std::printf("point query ran on the %s engine: id=100000 city=%s\n",
               engine == EngineChoice::kColumnEngine ? "column" : "row",

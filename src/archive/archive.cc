@@ -119,8 +119,9 @@ Status ArchiveStore::Seal(const std::string& log_name, Lsn first, Lsn last,
   segs.push_back(seg);
   IMCI_RETURN_NOT_OK(StoreManifestLocked(log_name, segs));
   // Segment + manifest must be durable before Truncate deletes the only
-  // other copy.
-  fs_->SyncControl();
+  // other copy — a failed control sync fails the seal, and Truncate then
+  // leaves the live segment in place.
+  IMCI_RETURN_NOT_OK(fs_->SyncControl());
   sealed_segments_.fetch_add(1, std::memory_order_relaxed);
   sealed_bytes_.fetch_add(framed.size(), std::memory_order_relaxed);
   return Status::OK();
@@ -165,7 +166,7 @@ Status ArchiveStore::DropGcEligibleSegments(const std::string& log_name,
   }
   segs.erase(segs.begin(), segs.begin() + static_cast<ptrdiff_t>(n));
   IMCI_RETURN_NOT_OK(StoreManifestLocked(log_name, segs));
-  fs_->SyncControl();
+  IMCI_RETURN_NOT_OK(fs_->SyncControl());
   if (dropped != nullptr) *dropped = n;
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/fault.h"
 #include "polarfs/polarfs.h"
 
 namespace imci {
@@ -32,6 +33,11 @@ std::string SnapshotStore::AnchorDir(uint64_t ckpt_id) {
 
 Status SnapshotStore::Register(uint64_t ckpt_id, Vid csn, Lsn start_lsn) {
   std::lock_guard<std::mutex> g(mu_);
+  // Scope tag for targeted injection: tests arm e.g. `polarfs.write_file`
+  // with scope "snapshot.seal" to tear exactly an anchor blob write (the
+  // tear reports success here; Restore's checksum verification must catch
+  // it as Corruption — never a silently shorter history).
+  fault::ScopedContext seal_scope("snapshot.seal");
   // Freeze the page store: later checkpoint flushes overwrite page images in
   // place, so the anchor keeps its own copy.
   std::string pages;
@@ -111,8 +117,7 @@ Status SnapshotStore::Register(uint64_t ckpt_id, Vid csn, Lsn start_lsn) {
                   anchors.begin() + static_cast<ptrdiff_t>(drop));
   }
   IMCI_RETURN_NOT_OK(StoreIndexLocked(anchors));
-  fs_->SyncControl();
-  return Status::OK();
+  return fs_->SyncControl();
 }
 
 Lsn SnapshotStore::GcFloorLsn() const {

@@ -3,59 +3,94 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_map>
 
 #include "archive/archive.h"
+#include "common/clock.h"
 #include "common/coding.h"
 #include "imci/checkpoint.h"
 #include "log/log_store.h"
 
 namespace imci {
 
-RoNode* Proxy::PickRo() {
-  std::lock_guard<std::mutex> g(*topo_mu_);
+namespace {
+RoNode* PickLeastLoadedLocked(const std::vector<RoNode*>& ros) {
   RoNode* best = nullptr;
-  for (RoNode* ro : *ros_) {
-    if (!ro->replicating()) continue;
+  for (RoNode* ro : ros) {
+    if (!ro->healthy()) continue;
     if (best == nullptr || ro->active_sessions() < best->active_sessions()) {
       best = ro;
     }
   }
   return best;
 }
+}  // namespace
+
+RoNode* Proxy::PickRo() {
+  std::lock_guard<std::mutex> g(*topo_mu_);
+  return PickLeastLoadedLocked(*ros_);
+}
+
+RoNode* Proxy::AcquireRo() {
+  std::lock_guard<std::mutex> g(*topo_mu_);
+  RoNode* best = PickLeastLoadedLocked(*ros_);
+  // Claim under the topology lock: EvictRoNode retires the node under this
+  // same lock and then drains sessions before destroying it, so a claimed
+  // node stays alive for the duration of this query.
+  if (best != nullptr) best->EnterSession();
+  return best;
+}
 
 Status Proxy::ExecuteQuery(const LogicalRef& plan, std::vector<Row>* out,
                            Consistency consistency, EngineChoice* chosen) {
-  RoNode* ro = PickRo();
-  if (ro == nullptr) return Status::Busy("no RO node available");
-  if (consistency == Consistency::kStrong) {
-    if (ro->pipeline()->source() == ApplySource::kLogicalBinlog) {
-      // A logical-apply node tracks binlog LSNs, which are a different
-      // space from the RW's redo LSN. Commit VIDs are shared, so translate:
-      // the commit point published at submission maps (via the binlog
-      // writer's VID → binlog-LSN table) to the binlog LSN whose
-      // application makes every such commit visible — the same §6.4
-      // wait-on-LSN discipline as the redo arm, in the right LSN space.
-      // (Waiting on last_commit_vid() instead would fence on transactions
-      // still *inside* their commit call — ones the submitter could never
-      // have observed.)
-      const Vid committed = rw_->txn_manager()->snapshot_vid();
-      const Lsn target = rw_->binlog()->LsnForVid(committed);
-      while (ro->pipeline()->applied_lsn() < target) {
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
+  for (;;) {
+    RoNode* ro = AcquireRo();
+    if (ro == nullptr) {
+      // Graceful degradation: with no healthy RO the read goes to the RW's
+      // snapshot engine — slower, but never a client-visible error, and
+      // trivially strong (the RW sees its own writes).
+      rw_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      if (chosen) *chosen = EngineChoice::kRowEngine;
+      return rw_->ExecuteSnapshot(plan, out);
+    }
+    if (consistency == Consistency::kStrong) {
+      bool lost = false;
+      if (ro->pipeline()->source() == ApplySource::kLogicalBinlog) {
+        // A logical-apply node tracks binlog LSNs, which are a different
+        // space from the RW's redo LSN. Commit VIDs are shared, so
+        // translate: the commit point published at submission maps (via the
+        // binlog writer's VID → binlog-LSN table) to the binlog LSN whose
+        // application makes every such commit visible — the same §6.4
+        // wait-on-LSN discipline as the redo arm, in the right LSN space.
+        // (Waiting on last_commit_vid() instead would fence on transactions
+        // still *inside* their commit call — ones the submitter could never
+        // have observed.)
+        const Vid committed = rw_->txn_manager()->snapshot_vid();
+        const Lsn target = rw_->binlog()->LsnForVid(committed);
+        while (ro->pipeline()->applied_lsn() < target) {
+          if (!ro->healthy()) { lost = true; break; }
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      } else {
+        // §6.4: only route to an RO whose applied LSN is not less than the
+        // RW's written LSN observed at submission.
+        const Lsn written = rw_->written_lsn();
+        while (ro->applied_lsn() < written) {
+          if (!ro->healthy()) { lost = true; break; }
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
       }
-    } else {
-      // §6.4: only route to an RO whose applied LSN is not less than the
-      // RW's written LSN observed at submission.
-      const Lsn written = rw_->written_lsn();
-      while (ro->applied_lsn() < written) {
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      if (lost) {
+        // The node wedged or was retired mid-wait: release it (unblocking
+        // the evictor's drain) and re-route instead of hanging forever.
+        ro->LeaveSession();
+        continue;
       }
     }
+    Status s = ro->Execute(plan, out, chosen);
+    ro->LeaveSession();
+    return s;
   }
-  ro->EnterSession();
-  Status s = ro->Execute(plan, out, chosen);
-  ro->LeaveSession();
-  return s;
 }
 
 Cluster::Cluster(ClusterOptions options)
@@ -66,6 +101,7 @@ Cluster::Cluster(ClusterOptions options)
       proxy_(rw_.get(), &ro_nodes_, &topo_mu_) {}
 
 Cluster::~Cluster() {
+  StopHealthMonitor();
   for (auto& ro : ro_owned_) ro->StopReplication();
 }
 
@@ -89,6 +125,8 @@ Status Cluster::Open() {
     RoNode* node = nullptr;
     IMCI_RETURN_NOT_OK(AddRoNode(&node));
   }
+  target_fleet_size_ = static_cast<size_t>(options_.initial_ro_nodes);
+  if (options_.health.enabled) StartHealthMonitor();
   return Status::OK();
 }
 
@@ -167,7 +205,7 @@ Status Cluster::RecycleRedoLogLocked(Lsn* recycled_upto) {
       safe = std::min(safe, ro->pipeline()->read_lsn());
     }
   }
-  fs_.log("redo")->Truncate(safe);
+  IMCI_RETURN_NOT_OK(fs_.log("redo")->Truncate(safe));
   if (recycled_upto) *recycled_upto = fs_.log("redo")->truncated_lsn();
   return Status::OK();
 }
@@ -197,7 +235,7 @@ Status Cluster::RecycleBinlogLocked(Lsn* recycled_upto) {
     }
   }
   if (!has_consumer) return Status::OK();
-  fs_.log("binlog")->Truncate(safe);
+  IMCI_RETURN_NOT_OK(fs_.log("binlog")->Truncate(safe));
   const Lsn cut = fs_.log("binlog")->truncated_lsn();
   // Recycled records were applied by every consumer, so no strong read can
   // need their VID → LSN fence entries anymore; keep the map bounded.
@@ -235,7 +273,11 @@ Status Cluster::RestoreToLsn(Lsn lsn, RestoredCluster* out) {
     IMCI_RETURN_NOT_OK(
         arc->ReadRecords("redo", cursor, archived_to, &records, &cursor));
   }
-  if (cursor < target) cursor = redo->Read(cursor, target, &records);
+  if (cursor < target) {
+    Status read_error;
+    cursor = redo->Read(cursor, target, &records, &read_error);
+    IMCI_RETURN_NOT_OK(read_error);
+  }
   if (cursor != target ||
       records.size() != static_cast<size_t>(target - anchor.start_lsn)) {
     return Status::Corruption(
@@ -245,7 +287,11 @@ Status Cluster::RestoreToLsn(Lsn lsn, RestoredCluster* out) {
   }
   // Replay stops at exactly `target` because nothing past it exists in the
   // restored log — CatchUpNow below cannot overshoot.
-  if (!records.empty()) fs->log("redo")->Append(std::move(records), false);
+  if (!records.empty()) {
+    Status append_error;
+    fs->log("redo")->Append(std::move(records), false, &append_error);
+    IMCI_RETURN_NOT_OK(append_error);
+  }
   auto catalog = std::make_unique<Catalog>();
   for (const auto& schema : catalog_.All()) catalog->Register(schema);
   RoNodeOptions ro = options_.ro;
@@ -266,6 +312,114 @@ Status Cluster::RestoreToLsn(Lsn lsn, RestoredCluster* out) {
   out->node = std::move(node);
   out->catalog = std::move(catalog);
   out->fs = std::move(fs);
+  return Status::OK();
+}
+
+void Cluster::StartHealthMonitor() {
+  if (monitor_running_.exchange(true)) return;
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+void Cluster::StopHealthMonitor() {
+  monitor_running_.store(false);
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void Cluster::MonitorLoop() {
+  // Consecutive over-lag-limit samples per node, keyed by name (pointers
+  // die with eviction).
+  std::unordered_map<std::string, int> lag_strikes;
+  while (monitor_running_.load(std::memory_order_acquire)) {
+    YieldFor(options_.health.check_interval_us);
+    RoNode* victim = nullptr;
+    for (RoNode* node : ro_nodes()) {
+      const RoNode::Health h = node->health();
+      if (!h.replicating) continue;  // stopped by an admin, not a failure
+      if (h.wedged) {
+        victim = node;  // terminal: storage failures exhausted the retries
+        break;
+      }
+      if (h.heartbeat_age_us > options_.health.heartbeat_timeout_us) {
+        victim = node;  // coordinator hung inside storage — same as dead
+        break;
+      }
+      if (h.apply_lag > options_.health.max_apply_lag) {
+        if (++lag_strikes[node->name()] >= options_.health.lag_strikes) {
+          victim = node;  // persistently unable to keep up
+          break;
+        }
+      } else {
+        lag_strikes.erase(node->name());
+      }
+    }
+    if (victim != nullptr) {
+      lag_strikes.erase(victim->name());
+      (void)EvictRoNode(victim);  // NotFound = an admin removed it first
+      continue;  // replace on the next tick; re-check the survivors first
+    }
+    if (options_.health.auto_replace &&
+        ro_nodes().size() < target_fleet_size_) {
+      // Boot failures (e.g. faults still raging) are retried next tick.
+      (void)BootReplacement();
+    }
+  }
+}
+
+Status Cluster::EvictRoNode(RoNode* node) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  std::unique_ptr<RoNode> victim;
+  {
+    std::lock_guard<std::mutex> g(topo_mu_);
+    const auto it = std::find(ro_nodes_.begin(), ro_nodes_.end(), node);
+    if (it == ro_nodes_.end()) return Status::NotFound("node not in fleet");
+    const size_t index = static_cast<size_t>(it - ro_nodes_.begin());
+    const bool was_leader = node->is_leader();
+    // Retire under the topology lock: from here no AcquireRo admits a new
+    // session, and strong-read waiters already inside see !healthy() and
+    // bail — both of which the drain below depends on.
+    node->Retire();
+    victim = std::move(ro_owned_[index]);
+    ro_owned_.erase(ro_owned_.begin() + static_cast<ptrdiff_t>(index));
+    ro_nodes_.erase(it);
+    if (was_leader && !ro_nodes_.empty()) {
+      // RW re-designates one of the followers as the new leader (§7).
+      ro_nodes_.front()->set_leader(true);
+    }
+  }
+  // Drain: queries already admitted finish against the (still live) node
+  // before it is destroyed; none can join after Retire().
+  while (victim->active_sessions() > 0) YieldFor(100);
+  victim->StopReplication();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Cluster::BootReplacement() {
+  // admin_mu_ held across boot *and* convergence: recycling must not
+  // truncate redo/binlog records the replacement is still replaying.
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  auto node = std::make_unique<RoNode>(
+      "ro" + std::to_string(next_ro_id_++), &fs_, &catalog_, options_.ro);
+  IMCI_RETURN_NOT_OK(node->Boot());
+  node->StartReplication();
+  // Re-admission gate: the node serves no queries until its apply lag
+  // converges — routing to a cold replica would violate the freshness the
+  // fleet was sized for.
+  while (monitor_running_.load(std::memory_order_acquire)) {
+    if (node->pipeline()->wedged()) return node->pipeline()->wedge_reason();
+    if (node->LsnDelay() <= options_.health.readmit_max_lag) break;
+    YieldFor(200);
+  }
+  RoNode* raw = node.get();
+  {
+    std::lock_guard<std::mutex> g(topo_mu_);
+    ro_owned_.push_back(std::move(node));
+    ro_nodes_.push_back(raw);
+    bool has_leader = false;
+    for (RoNode* ro : ro_nodes_) has_leader = has_leader || ro->is_leader();
+    if (!has_leader) raw->set_leader(true);
+  }
+  replacements_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -1,8 +1,10 @@
 #ifndef POLARDB_IMCI_CLUSTER_CLUSTER_H_
 #define POLARDB_IMCI_CLUSTER_CLUSTER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "cluster/ro_node.h"
@@ -17,7 +19,9 @@ enum class Consistency { kEventual, kStrong };
 
 /// The database proxy (§3.1/§6.1 inter-node routing): a stateless layer that
 /// directs writes to the RW node and balances read-only queries across RO
-/// nodes by active session count.
+/// nodes by active session count. Routing degrades gracefully: unhealthy
+/// (wedged/retired) nodes are skipped, and with no healthy RO at all the
+/// query falls back to the RW's snapshot engine — never an error.
 class Proxy {
  public:
   Proxy(RwNode* rw, std::vector<RoNode*>* ros, std::mutex* topo_mu)
@@ -25,20 +29,55 @@ class Proxy {
 
   RwNode* Write() { return rw_; }
 
-  /// Picks the least-loaded available RO node; nullptr when none.
+  /// Picks the least-loaded healthy RO node; nullptr when none. A peek —
+  /// it does not claim a session (ExecuteQuery claims atomically under the
+  /// topology lock via AcquireRo, so eviction cannot free a node mid-query).
   RoNode* PickRo();
 
   /// Routes a read-only query: inter-node (this), then intra-node (the RO's
   /// optimizer). Strong consistency waits for the chosen node to catch up
-  /// to the RW's current written LSN.
+  /// to the RW's current written LSN; if the node goes unhealthy mid-wait
+  /// the query re-routes to a surviving RO (or the RW) instead of hanging.
   Status ExecuteQuery(const LogicalRef& plan, std::vector<Row>* out,
                       Consistency consistency = Consistency::kEventual,
                       EngineChoice* chosen = nullptr);
 
+  /// Queries the RW answered because no healthy RO was available.
+  uint64_t rw_fallbacks() const {
+    return rw_fallbacks_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// PickRo + EnterSession in one critical section: a claimed session keeps
+  /// the node alive until LeaveSession (eviction drains sessions first).
+  RoNode* AcquireRo();
+
   RwNode* rw_;
   std::vector<RoNode*>* ros_;
   std::mutex* topo_mu_;
+  std::atomic<uint64_t> rw_fallbacks_{0};
+};
+
+/// Self-healing knobs (the fleet monitor thread): when enabled, the cluster
+/// detects wedged / hung / hopelessly lagging RO nodes, evicts them from
+/// routing, and (optionally) boots archive/checkpoint-based replacements
+/// that are re-admitted once they converge.
+struct FleetHealthOptions {
+  bool enabled = false;
+  uint64_t check_interval_us = 2'000;
+  /// Apply-lag (LSN backlog) above which a node earns a strike; eviction
+  /// after `lag_strikes` consecutive over-limit checks (a single burst of
+  /// writes must not get a healthy node evicted).
+  uint64_t max_apply_lag = 1 << 20;
+  int lag_strikes = 5;
+  /// A replicating node whose coordinator heartbeat is older than this is
+  /// considered hung (thread stuck in storage) and evicted like a wedge.
+  uint64_t heartbeat_timeout_us = 2'000'000;
+  /// Boot a replacement whenever the fleet is below its Open() size.
+  bool auto_replace = true;
+  /// Replacements join routing only once their apply lag is at or below
+  /// this (re-admission gate).
+  uint64_t readmit_max_lag = 64;
 };
 
 struct ClusterOptions {
@@ -46,6 +85,7 @@ struct ClusterOptions {
   RoNodeOptions ro;
   size_t rw_pool_capacity = 0;
   int initial_ro_nodes = 1;
+  FleetHealthOptions health;
 };
 
 /// A PolarDB-IMCI cluster in one process: shared storage + one RW node +
@@ -134,9 +174,32 @@ class Cluster {
   RoNode* ro(size_t i);
   RoNode* leader();
 
+  // --- Self-healing fleet (FleetHealthOptions) ----------------------------
+
+  /// Starts/stops the background fleet monitor (Open() starts it when
+  /// options.health.enabled). Idempotent.
+  void StartHealthMonitor();
+  void StopHealthMonitor();
+
+  /// Removes `node` from routing, re-designates the leader if needed,
+  /// drains its in-flight sessions, and destroys it. NotFound when the
+  /// node already left the fleet.
+  Status EvictRoNode(RoNode* node);
+
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t replacements() const {
+    return replacements_.load(std::memory_order_relaxed);
+  }
+
  private:
   Status RecycleRedoLogLocked(Lsn* recycled_upto);
   Status RecycleBinlogLocked(Lsn* recycled_upto);
+  void MonitorLoop();
+  /// Boots a fresh RO via the normal checkpoint/archive bootstrap path and
+  /// admits it into routing once its apply lag converged.
+  Status BootReplacement();
 
   ClusterOptions options_;
   PolarFs fs_;
@@ -153,6 +216,13 @@ class Cluster {
   Proxy proxy_;
   uint64_t next_ckpt_id_ = 1;
   int next_ro_id_ = 1;
+
+  std::thread monitor_;
+  std::atomic<bool> monitor_running_{false};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> replacements_{0};
+  /// Fleet size the monitor restores toward (set by Open()).
+  size_t target_fleet_size_ = 0;
 };
 
 }  // namespace imci

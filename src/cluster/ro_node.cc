@@ -2,22 +2,35 @@
 
 #include "archive/archive.h"
 #include "cluster/rw_node.h"
+#include "common/clock.h"
 
 namespace imci {
+
+namespace {
+/// Default the pipeline's fault scope to the node name, so chaos tests can
+/// fail storage for exactly this node's replication I/O (fault::Policy's
+/// `scope` matches the coordinator thread's ScopedContext tag).
+RoNodeOptions WithFaultScope(RoNodeOptions options, const std::string& name) {
+  if (options.replication.fault_scope.empty()) {
+    options.replication.fault_scope = name;
+  }
+  return options;
+}
+}  // namespace
 
 RoNode::RoNode(std::string name, PolarFs* fs, Catalog* catalog,
                RoNodeOptions options)
     : name_(std::move(name)),
       fs_(fs),
       catalog_(catalog),
-      options_(options),
-      engine_(fs, catalog, options.buffer_pool_capacity),
-      imci_(options.imci),
-      exec_pool_(options.exec_threads),
-      repl_pool_(std::max(options.replication.parse_parallelism,
-                          options.replication.apply_parallelism)),
+      options_(WithFaultScope(std::move(options), name_)),
+      engine_(fs, catalog, options_.buffer_pool_capacity),
+      imci_(options_.imci),
+      exec_pool_(options_.exec_threads),
+      repl_pool_(std::max(options_.replication.parse_parallelism,
+                          options_.replication.apply_parallelism)),
       pipeline_(fs, catalog, engine_.buffer_pool(), &imci_, &repl_pool_,
-                options.replication, &engine_) {}
+                options_.replication, &engine_) {}
 
 RoNode::~RoNode() { StopReplication(); }
 
@@ -126,8 +139,11 @@ void RoNode::StopReplication() {
 
 Status RoNode::CatchUpNow() {
   if (replicating_.load()) {
-    // Background pipeline owns the cursor; just wait for it.
+    // Background pipeline owns the cursor; just wait for it — but never
+    // wait on a pipeline that can no longer make progress.
     while (pipeline_.read_lsn() < pipeline_.source_written_lsn()) {
+      if (pipeline_.wedged()) return pipeline_.wedge_reason();
+      if (!replicating_.load()) break;
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
     return Status::OK();
@@ -211,6 +227,18 @@ Status RoNode::Execute(const LogicalRef& plan, std::vector<Row>* out,
 void RoNode::RefreshStats() {
   stats_.Collect(imci_);
   stats_.CollectRowStore(engine_);
+}
+
+RoNode::Health RoNode::health() const {
+  Health h;
+  h.replicating = replicating_.load();
+  h.wedged = pipeline_.wedged();
+  if (h.wedged) h.wedge_reason = pipeline_.wedge_reason();
+  h.apply_lag = pipeline_.LsnDelay();
+  const uint64_t beat = pipeline_.heartbeat_us();
+  const uint64_t now = NowMicros();
+  h.heartbeat_age_us = (h.replicating && now > beat) ? now - beat : 0;
+  return h;
 }
 
 }  // namespace imci

@@ -82,6 +82,25 @@ class RoNode {
   uint64_t LsnDelay() const { return pipeline_.LsnDelay(); }
   bool replicating() const { return replicating_.load(); }
 
+  /// One health sample, as read by the cluster's fleet monitor.
+  struct Health {
+    bool replicating = false;
+    bool wedged = false;         // pipeline hit a terminal failure
+    Status wedge_reason;         // OK unless wedged
+    uint64_t apply_lag = 0;      // LsnDelay: shipped-but-unconsumed backlog
+    uint64_t heartbeat_age_us = 0;  // staleness of the coordinator's tick
+  };
+  Health health() const;
+
+  /// Routable: replicating, not wedged, not retired by the fleet monitor.
+  bool healthy() const {
+    return replicating_.load() && !retired_.load() && !pipeline_.wedged();
+  }
+  /// Marks the node as leaving the fleet: pickers skip it and strong-read
+  /// waiters bail out, so the evictor's session drain terminates.
+  void Retire() { retired_.store(true); }
+  bool retired() const { return retired_.load(); }
+
   bool is_leader() const { return leader_.load(); }
   void set_leader(bool on) { leader_.store(on); }
   /// RO-leader duty: request a checkpoint at the next replication boundary.
@@ -116,6 +135,7 @@ class RoNode {
   Vid boot_vid_ = 0;
   std::atomic<bool> leader_{false};
   std::atomic<bool> replicating_{false};
+  std::atomic<bool> retired_{false};
   std::atomic<int> active_sessions_{0};
 };
 

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 namespace imci {
 
@@ -20,6 +21,26 @@ inline uint64_t NowNanos() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Yield-discipline blocking wait: the caller makes no progress before the
+/// deadline, but the CPU is released (yield) so every other thread keeps
+/// running meanwhile. This is THE clock/wait primitive for simulated device
+/// time — PolarFs fsync/page-read latency and injected fault latency spikes
+/// (common/fault.h) all go through it, so A/B comparisons never mix wait
+/// disciplines. Two properties matter (see polarfs.h):
+///  - yield, not sleep_for: timed-sleep wakeup depends on kernel timer
+///    slack and would differ across otherwise-identical configurations;
+///  - yield, not spin: on 1-core runners a blocking "device wait" must let
+///    other threads (e.g. committers enqueuing into the next group-commit
+///    batch) run during the stall, exactly as during a real fsync.
+inline void YieldFor(uint64_t us) {
+  if (us == 0) return;
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+    std::this_thread::yield();
+  }
 }
 
 /// Simple stopwatch.

@@ -1,0 +1,158 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace imci {
+namespace fault {
+
+namespace {
+
+/// Thread-local scope tag consulted by policies with a non-empty `scope`.
+thread_local std::string t_scope;
+
+uint64_t DefaultSeed() {
+  const char* env = std::getenv("IMCI_TEST_SEED");
+  if (env == nullptr || *env == '\0') return 42;
+  return std::strtoull(env, nullptr, 0);
+}
+
+}  // namespace
+
+std::atomic<uint32_t> Registry::gate_{0};
+
+struct Registry::Impl {
+  struct Point {
+    Policy policy;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+  Rng rng{DefaultSeed()};
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::Instance() {
+  static Registry* r = new Registry();  // leaked: outlives all static dtors
+  return *r;
+}
+
+void Registry::Arm(const std::string& point, Policy policy) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  auto [it, inserted] = impl_->points.insert_or_assign(
+      point, Impl::Point{std::move(policy), 0, 0});
+  (void)it;
+  if (inserted) gate_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  if (impl_->points.erase(point) > 0) {
+    gate_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  gate_.fetch_sub(static_cast<uint32_t>(impl_->points.size()),
+                  std::memory_order_relaxed);
+  impl_->points.clear();
+  if (crashed_.exchange(false)) {
+    gate_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Registry::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  impl_->rng = Rng(seed);
+}
+
+uint64_t Registry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  auto it = impl_->points.find(point);
+  return it == impl_->points.end() ? 0 : it->second.hits;
+}
+
+uint64_t Registry::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  auto it = impl_->points.find(point);
+  return it == impl_->points.end() ? 0 : it->second.fires;
+}
+
+void Registry::ClearCrash() {
+  if (crashed_.exchange(false)) {
+    gate_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool Registry::Evaluate(const char* point, Injection* out) {
+  // A latched crash dominates: every instrumented call fails until the
+  // caller "restarts" the node (ClearCrash + Reopen/re-boot).
+  if (crashed_.load(std::memory_order_acquire)) {
+    out->kind = Kind::kCrash;
+    return true;
+  }
+  uint32_t latency = 0;
+  {
+    std::lock_guard<std::mutex> g(impl_->mu);
+    auto it = impl_->points.find(point);
+    if (it == impl_->points.end()) return false;
+    Impl::Point& p = it->second;
+    if (!p.policy.scope.empty() && p.policy.scope != t_scope) return false;
+    ++p.hits;
+    bool fire;
+    if (p.policy.hit_at != 0) {
+      fire = p.hits == p.policy.hit_at;
+    } else {
+      fire = p.policy.probability >= 1.0 ||
+             impl_->rng.UniformDouble() < p.policy.probability;
+    }
+    if (fire && p.fires >= p.policy.max_fires) fire = false;
+    if (!fire) return false;
+    ++p.fires;
+    out->kind = p.policy.kind;
+    out->latency_us = p.policy.latency_us;
+    out->keep_fraction = p.policy.keep_fraction;
+    if (p.policy.kind == Kind::kCrash &&
+        !crashed_.exchange(true, std::memory_order_acq_rel)) {
+      gate_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (p.policy.kind == Kind::kLatency) latency = p.policy.latency_us;
+  }
+  // Serve the latency spike outside the registry mutex: a stalled device
+  // must not stall every other fault-point consultation in the process.
+  if (latency != 0) YieldFor(latency);
+  return true;
+}
+
+namespace detail {
+Status MaybeSlow(const char* point) {
+  Injection inj;
+  if (!Registry::Instance().Evaluate(point, &inj)) return Status::OK();
+  switch (inj.kind) {
+    case Kind::kLatency:
+      return Status::OK();  // the spike was already served
+    case Kind::kCrash:
+      return Status::IOError(std::string("injected crash at ") + point);
+    case Kind::kFail:
+    case Kind::kTorn:  // nothing to tear on a Status-only path
+      return Status::IOError(std::string("injected fault at ") + point);
+  }
+  return Status::OK();
+}
+}  // namespace detail
+
+ScopedContext::ScopedContext(const std::string& tag) : prev_(t_scope) {
+  t_scope = tag;
+}
+
+ScopedContext::~ScopedContext() { t_scope = prev_; }
+
+}  // namespace fault
+}  // namespace imci

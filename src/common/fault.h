@@ -1,0 +1,171 @@
+#ifndef POLARDB_IMCI_COMMON_FAULT_H_
+#define POLARDB_IMCI_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace imci {
+namespace fault {
+
+/// Deterministic fault-injection substrate. Storage and durability code is
+/// instrumented with *named fault points* — `fault::Maybe("polarfs.fsync")`
+/// on paths that can fail with a Status, `fault::MaybeInject(...)` on write
+/// paths that can tear. A test (or the chaos bench) arms a point with a
+/// `Policy`; everything else pays only a single relaxed atomic load: when no
+/// point is armed anywhere in the process the check compiles down to a
+/// never-taken branch.
+///
+/// Reproducibility: firing decisions come from one seeded xorshift RNG
+/// (`IMCI_TEST_SEED` wins over the default, exactly like the property
+/// tests), so a chaos failure replays bit-for-bit with the same seed, arm
+/// order, and thread scoping. Points can also be armed to fire on an exact
+/// hit count (`hit_at`), which is deterministic regardless of seed.
+///
+/// Scoping: faults are process-global (the registry is a singleton — shared
+/// storage is one PolarFs), but a policy can be restricted to a *scope tag*
+/// carried in thread-local state (`ScopedContext`). The replication
+/// coordinator tags its thread with the owning node's name, so a chaos test
+/// can make storage fail for exactly one RO while the rest of the cluster
+/// proceeds — the in-process analogue of one node's NIC or disk going bad.
+
+/// What an armed point does when it fires.
+enum class Kind : uint8_t {
+  /// The instrumented call fails with Status::IOError (EIO analogue).
+  kFail = 0,
+  /// Write paths only: the stored payload is cut short (prefix kept), and
+  /// the call *reports success* — the torn write is only discoverable later
+  /// by checksum verification, like a real crash mid-write.
+  kTorn = 1,
+  /// The call stalls for `latency_us` (yield-discipline wait — see
+  /// polarfs.h), then proceeds normally.
+  kLatency = 2,
+  /// Simulated node death: the registry's crash flag latches and every
+  /// subsequent instrumented call fails until `ClearCrash()` — the caller
+  /// must "restart" (Reopen logs, re-boot nodes) to make progress.
+  kCrash = 3,
+};
+
+struct Policy {
+  Kind kind = Kind::kFail;
+  /// Per-hit fire probability (seeded RNG) when `hit_at` is 0.
+  double probability = 1.0;
+  /// Fire exactly on the Nth hit of this point (1-based); 0 = probabilistic.
+  uint64_t hit_at = 0;
+  /// Stop firing (stay armed for accounting) after this many fires.
+  uint64_t max_fires = UINT64_MAX;
+  /// kLatency: spike duration in microseconds.
+  uint32_t latency_us = 0;
+  /// kTorn: fraction of the payload prefix that survives.
+  double keep_fraction = 0.5;
+  /// When non-empty, the policy fires only on threads whose ScopedContext
+  /// tag equals this (per-node targeting).
+  std::string scope;
+};
+
+/// Decision returned by MaybeInject for write paths.
+struct Injection {
+  Kind kind = Kind::kFail;
+  uint32_t latency_us = 0;
+  double keep_fraction = 1.0;
+};
+
+class Registry {
+ public:
+  static Registry& Instance();
+
+  /// Arms (or re-arms, resetting counters of) a fault point.
+  void Arm(const std::string& point, Policy policy);
+  void Disarm(const std::string& point);
+  /// Disarms every point and clears the crash flag (test teardown).
+  void Reset();
+  /// Re-seeds the decision RNG (defaults to IMCI_TEST_SEED or 42).
+  void Reseed(uint64_t seed);
+
+  /// Times the point was consulted while armed / times it actually fired.
+  uint64_t hits(const std::string& point) const;
+  uint64_t fires(const std::string& point) const;
+
+  /// Latched by a kCrash fire; while set, every instrumented call fails.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  void ClearCrash();
+
+  /// Slow path behind Maybe/MaybeInject; returns true when a fault fires.
+  bool Evaluate(const char* point, Injection* out);
+
+  /// Fast-path gate: nonzero when any point is armed or a crash is latched.
+  static bool Active() {
+    return gate_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  Registry();
+  static std::atomic<uint32_t> gate_;
+  std::atomic<bool> crashed_{false};
+  struct Impl;
+  Impl* impl_;  // leaked singleton state; never destructed
+};
+
+/// Sets the calling thread's fault scope tag for the lifetime of the object
+/// (nesting restores the previous tag). Policies with a non-empty `scope`
+/// fire only on matching threads.
+class ScopedContext {
+ public:
+  explicit ScopedContext(const std::string& tag);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+/// RAII arm/disarm for tests: arms `point` on construction, disarms it on
+/// destruction (and clears a latched crash the policy caused).
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, Policy policy)
+      : point_(std::move(point)) {
+    Registry::Instance().Arm(point_, std::move(policy));
+  }
+  ~ScopedFault() {
+    Registry::Instance().Disarm(point_);
+    Registry::Instance().ClearCrash();
+  }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+namespace detail {
+/// Out-of-line slow path: evaluates the armed policy and renders kFail /
+/// kCrash (and kTorn, degraded — no payload to tear) as IOError.
+Status MaybeSlow(const char* point);
+}  // namespace detail
+
+/// Status-shaped fault check for fallible paths (kFail/kLatency/kCrash).
+/// OK unless the point is armed and fires. kTorn policies on a Maybe-only
+/// point degrade to kFail (there is no payload to tear). The unarmed fast
+/// path is one relaxed atomic load and a never-taken branch.
+inline Status Maybe(const char* point) {
+  if (!Registry::Active()) return Status::OK();
+  return detail::MaybeSlow(point);
+}
+
+/// Write-path fault check: returns true when a fault fires and fills `*out`
+/// so the caller can apply it (tear the payload, fail, or stall). Latency
+/// spikes are already served inside the call — callers only need to act on
+/// kFail/kTorn/kCrash.
+inline bool MaybeInject(const char* point, Injection* out) {
+  if (!Registry::Active()) return false;
+  return Registry::Instance().Evaluate(point, out);
+}
+
+}  // namespace fault
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_COMMON_FAULT_H_

@@ -25,7 +25,12 @@ enum class Code {
 /// Lightweight status object: a code plus an optional message. `Status::OK()`
 /// carries no allocation. Check with `ok()`; propagate with
 /// `IMCI_RETURN_NOT_OK(expr)`.
-class Status {
+///
+/// `[[nodiscard]]`: silently dropping a Status is how fsync and append
+/// errors used to vanish (several call sites did, pre fault-injection).
+/// A site that genuinely doesn't care — best-effort cleanup, accounting-only
+/// sync — must say so with an explicit `(void)` cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(Code::kOk) {}
   Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
@@ -61,8 +66,10 @@ class Status {
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 

@@ -300,7 +300,11 @@ Status ImciCheckpoint::LoadLatest(PolarFs* fs, const Catalog& catalog,
   }
   if (inflight != nullptr) {
     inflight->clear();
-    fs->ReadFile(dir + "TXNS", inflight);  // absent == no in-flight txns
+    Status s = fs->ReadFile(dir + "TXNS", inflight);
+    // Absent == no in-flight txns; any other failure must not silently
+    // drop them (a booting node would surface their mid-transaction page
+    // effects as committed).
+    if (!s.ok() && !s.IsNotFound()) return s;
   }
   return Status::OK();
 }

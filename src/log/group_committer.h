@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace imci {
@@ -33,6 +34,13 @@ class LogStore;
 /// their LSN order — LSNs are assigned at append time, before SyncTo. The
 /// commit-VID ≡ commit-LSN invariant Phase#2 replay relies on is enforced by
 /// the caller's enqueue-side critical section (TransactionManager::Commit).
+///
+/// Failure model: a failed batch fsync fails EVERY commit in the batch —
+/// leader and followers alike get the error, the durable watermark does not
+/// move (durability that did not happen is never reported), and the log is
+/// poisoned (LogStore::PoisonToDurable trims the un-fsynced tail) so later
+/// commits fail fast until Reopen() recovers it clean at the pre-batch
+/// watermark.
 class GroupCommitter {
  public:
   explicit GroupCommitter(LogStore* log) : log_(log) {}
@@ -41,8 +49,10 @@ class GroupCommitter {
   /// leading) a batch fsync as described above. `lsn` must already be
   /// appended to the log and published via written_lsn(); passing a
   /// not-yet-appended LSN would flush forever without covering it. Counts
-  /// one commit against the batching stats.
-  void SyncTo(Lsn lsn);
+  /// one commit against the batching stats. Fails — without advancing the
+  /// durable watermark — when the covering batch fsync failed or the log is
+  /// already poisoned.
+  Status SyncTo(Lsn lsn);
 
   /// Records at or below this LSN are durable. Monotonic.
   Lsn durable_lsn() const {
@@ -50,9 +60,15 @@ class GroupCommitter {
   }
 
   /// Re-seeds the durable watermark after recovery: everything a LogStore
-  /// re-reads from segment files is by definition durable.
+  /// re-reads from segment files is by definition durable. Also clears a
+  /// poison latched by a failed batch fsync — recovery re-derived a clean
+  /// durable state. (Lock order: LogStore::mu_ → this->mu_, the same nesting
+  /// PoisonToDurable uses from the leader path, which holds neither.)
   void ResetDurable(Lsn lsn) {
+    std::lock_guard<std::mutex> g(mu_);
     durable_lsn_.store(lsn, std::memory_order_release);
+    poisoned_ = Status::OK();
+    cv_.notify_all();
   }
 
   /// Batch-latency knob (MySQL's binlog_group_commit_sync_delay): the
@@ -92,6 +108,7 @@ class GroupCommitter {
   std::mutex mu_;
   std::condition_variable cv_;
   bool leader_active_ = false;  // guarded by mu_: at most one flush in flight
+  Status poisoned_;  // guarded by mu_: non-OK after a failed batch fsync
   std::atomic<uint64_t> sync_delay_us_{0};
   std::atomic<Lsn> durable_lsn_{0};
   std::atomic<uint64_t> batches_{0};

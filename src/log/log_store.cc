@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/coding.h"
+#include "common/fault.h"
 #include "log/group_committer.h"
 #include "polarfs/polarfs.h"
 
@@ -65,7 +66,9 @@ bool LogStore::ParseSegment(const std::string& data, Segment* seg) {
 
 Status LogStore::Open() {
   std::lock_guard<std::mutex> g(mu_);
+  IMCI_RETURN_NOT_OK(fault::Maybe("logstore.recover"));
   segments_.clear();
+  poisoned_.store(false, std::memory_order_release);
 
   Lsn truncated = 0;
   std::string wm;
@@ -87,8 +90,9 @@ Status LogStore::Open() {
         std::strtoull(file.c_str() + prefix.size(), nullptr, 10);
     if (torn || first != tail + 1) {
       // Everything after a tear (or a gap) is an orphan of the crash:
-      // unreachable by dense-LSN replay, so reclaim it.
-      fs_->DeleteFile(file);
+      // unreachable by dense-LSN replay, so reclaim it (best-effort — an
+      // undeleted orphan is re-detected by the next recovery).
+      (void)fs_->DeleteFile(file);
       continue;
     }
     Segment seg;
@@ -106,10 +110,10 @@ Status LogStore::Open() {
       // nothing in this segment survived; the log ends with the previous one.
       torn = true;
       if (seg.offsets.empty()) {
-        fs_->DeleteFile(file);
+        (void)fs_->DeleteFile(file);
         continue;
       }
-      fs_->WriteFile(file, seg.data);
+      IMCI_RETURN_NOT_OK(fs_->WriteFile(file, seg.data));
     }
     tail = seg.last;
     seg.sealed = true;  // recovered segments take no further appends
@@ -133,10 +137,24 @@ void LogStore::StartSegmentLocked(Lsn first_lsn) {
   segments_.push_back(std::move(seg));
 }
 
-Lsn LogStore::Append(std::vector<std::string> records, bool durable) {
+Lsn LogStore::Append(std::vector<std::string> records, bool durable,
+                     Status* error) {
+  if (error != nullptr) *error = Status::OK();
+  auto fail = [error](Status s) {
+    if (error != nullptr) *error = std::move(s);
+    return Lsn{0};
+  };
+  if (Status s = fault::Maybe("logstore.append"); !s.ok()) {
+    return fail(std::move(s));
+  }
   Lsn last;
   {
     std::lock_guard<std::mutex> g(mu_);
+    if (poisoned_.load(std::memory_order_relaxed)) {
+      return fail(Status::IOError("log '" + name_ +
+                                  "' poisoned by a failed fsync; Reopen() "
+                                  "to recover"));
+    }
     if (segments_.empty() || segments_.back().sealed) {
       StartSegmentLocked(written_lsn_.load(std::memory_order_relaxed) + 1);
     }
@@ -150,7 +168,14 @@ Lsn LogStore::Append(std::vector<std::string> records, bool durable) {
         // sealed segment, then open the next one. The sealed segment's
         // in-memory mirror is dropped — the durable copy serves its reads.
         if (!flush.empty()) {
-          fs_->AppendFile(active->file, flush);
+          Status ws = fs_->AppendFile(active->file, flush);
+          if (!ws.ok()) {
+            // The durable image and the in-memory index have diverged:
+            // poison back to the fsync watermark, exactly as a failed batch
+            // fsync would.
+            PoisonToDurableLocked(group_->durable_lsn());
+            return fail(std::move(ws));
+          }
           flush.clear();
         }
         active->sealed = true;
@@ -166,7 +191,13 @@ Lsn LogStore::Append(std::vector<std::string> records, bool durable) {
                    active->data.size() - active->offsets.back());
       active->last++;
     }
-    if (!flush.empty()) fs_->AppendFile(segments_.back().file, flush);
+    if (!flush.empty()) {
+      Status ws = fs_->AppendFile(segments_.back().file, flush);
+      if (!ws.ok()) {
+        PoisonToDurableLocked(group_->durable_lsn());
+        return fail(std::move(ws));
+      }
+    }
     fs_->AccountLogBytes(bytes);
     last = segments_.back().last;
   }
@@ -180,17 +211,63 @@ Lsn LogStore::Append(std::vector<std::string> records, bool durable) {
                             prev, last, std::memory_order_release)) {
   }
   cv_.notify_all();
-  if (durable) group_->SyncTo(last);
+  if (durable) {
+    if (Status s = group_->SyncTo(last); !s.ok()) return fail(std::move(s));
+  }
   return last;
 }
 
-void LogStore::Sync() { fs_->SyncLog(); }
+Status LogStore::Sync() { return fs_->SyncLog(); }
 
-void LogStore::SyncTo(Lsn lsn) { group_->SyncTo(lsn); }
+Status LogStore::SyncTo(Lsn lsn) { return group_->SyncTo(lsn); }
+
+void LogStore::PoisonToDurable(Lsn durable) {
+  std::lock_guard<std::mutex> g(mu_);
+  PoisonToDurableLocked(durable);
+}
+
+void LogStore::PoisonToDurableLocked(Lsn durable) {
+  if (poisoned_.exchange(true, std::memory_order_acq_rel)) return;
+  // The un-fsynced tail was never guaranteed device-side. Trim it from the
+  // durable files AND the in-memory index so the live view never shows
+  // records that the next recovery would not — the exact state a crash at
+  // this fsync would leave behind. All file ops are best-effort: the device
+  // is already misbehaving, and Reopen()'s torn-tail scan re-derives the
+  // same cut from whatever survives.
+  while (!segments_.empty() && segments_.back().first > durable) {
+    (void)fs_->DeleteFile(segments_.back().file);
+    segments_.pop_back();
+  }
+  if (!segments_.empty() && segments_.back().last > durable) {
+    Segment& seg = segments_.back();
+    const size_t keep = static_cast<size_t>(durable + 1 - seg.first);
+    if (seg.sealed) {
+      // Sealed mid-batch: the mirror is gone, re-read the durable copy to
+      // find the cut offset (offsets are retained past sealing).
+      std::string data;
+      if (fs_->ReadFile(seg.file, &data).ok()) {
+        data.resize(std::min<size_t>(data.size(), seg.offsets[keep]));
+        (void)fs_->WriteFile(seg.file, std::move(data));
+      }
+    } else {
+      seg.data.resize(seg.offsets[keep]);
+      (void)fs_->WriteFile(seg.file, seg.data);
+    }
+    seg.offsets.resize(keep);
+    seg.last = durable;
+  }
+  written_lsn_.store(durable, std::memory_order_release);
+}
 
 Lsn LogStore::durable_lsn() const { return group_->durable_lsn(); }
 
-Lsn LogStore::Read(Lsn from, Lsn to, std::vector<std::string>* out) const {
+Lsn LogStore::Read(Lsn from, Lsn to, std::vector<std::string>* out,
+                   Status* error) const {
+  if (error != nullptr) *error = Status::OK();
+  if (Status s = fault::Maybe("logstore.read"); !s.ok()) {
+    if (error != nullptr) *error = std::move(s);
+    return from;
+  }
   std::lock_guard<std::mutex> g(mu_);
   Lsn last = from;
   if (segments_.empty()) return last;
@@ -207,10 +284,15 @@ Lsn LogStore::Read(Lsn from, Lsn to, std::vector<std::string>* out) const {
     const Lsn end = std::min(to, it->last);
     if (begin > end) continue;
     // Sealed segments keep no in-memory mirror; fetch the durable copy once
-    // per segment.
+    // per segment. A failed fetch STOPS the scan — skipping ahead would
+    // hand the caller a silent gap in the record stream.
     const std::string* data = &it->data;
     if (it->sealed) {
-      if (!fs_->ReadFile(it->file, &loaded).ok()) continue;
+      Status s = fs_->ReadFile(it->file, &loaded);
+      if (!s.ok()) {
+        if (error != nullptr) *error = std::move(s);
+        return last;
+      }
       data = &loaded;
     }
     for (Lsn lsn = begin; lsn <= end; ++lsn) {
@@ -242,25 +324,30 @@ bool LogStore::DecodeFrames(const std::string& data,
   return pos == data.size();
 }
 
-void LogStore::Truncate(Lsn lsn) {
+Status LogStore::Truncate(Lsn lsn) {
+  IMCI_RETURN_NOT_OK(fault::Maybe("logstore.truncate"));
   std::lock_guard<std::mutex> g(mu_);
   ArchiveSink* archive = archive_.load(std::memory_order_acquire);
   bool recycled = false;
+  Status result;
   while (!segments_.empty() && segments_.front().sealed &&
          segments_.front().last <= lsn) {
     if (archive != nullptr) {
       // Seal-before-truncate: the archive absorbs the segment's durable
       // bytes before the only copy is deleted. A failed seal stops
       // recycling here — the segment stays live until a later Truncate
-      // re-offers it.
+      // re-offers it — and the failure is surfaced (retryable).
       const Segment& front = segments_.front();
       std::string data;
-      if (!fs_->ReadFile(front.file, &data).ok() ||
-          !archive->Seal(name_, front.first, front.last, data).ok()) {
-        break;
+      result = fs_->ReadFile(front.file, &data);
+      if (result.ok()) {
+        result = archive->Seal(name_, front.first, front.last, data);
       }
+      if (!result.ok()) break;
     }
-    fs_->DeleteFile(segments_.front().file);
+    // Best-effort: an undeleted recycled segment is below the persisted
+    // watermark, so recovery ignores and re-reclaims it.
+    (void)fs_->DeleteFile(segments_.front().file);
     truncated_lsn_.store(segments_.front().last, std::memory_order_release);
     segments_.pop_front();
     segments_recycled_.fetch_add(1, std::memory_order_relaxed);
@@ -269,8 +356,9 @@ void LogStore::Truncate(Lsn lsn) {
   if (recycled) {
     std::string wm;
     PutFixed64(&wm, truncated_lsn_.load(std::memory_order_relaxed));
-    fs_->WriteFile(WatermarkFileName(), std::move(wm));
+    IMCI_RETURN_NOT_OK(fs_->WriteFile(WatermarkFileName(), std::move(wm)));
   }
+  return result;
 }
 
 Lsn LogStore::WaitFor(Lsn lsn, uint64_t timeout_us) const {

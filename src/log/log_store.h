@@ -59,6 +59,16 @@ struct LogStoreOptions {
 /// corrupt frame — including a tear that lands exactly on a segment
 /// boundary — trims the damaged durable tail, and deletes any orphaned
 /// later segments.
+///
+/// Failure model (common/fault.h): fault points `logstore.append`,
+/// `logstore.read`, `logstore.recover`, `logstore.truncate`, plus whatever
+/// PolarFs injects underneath. A failed *batch fsync* (GroupCommitter) or a
+/// failed write-through append **poisons** the log: the un-fsynced tail is
+/// trimmed back to the durable watermark (device-side it was never
+/// guaranteed — exactly what the next crash recovery would conclude), every
+/// commit in the batch fails, and all further appends/syncs fail fast until
+/// `Reopen()` recovers the store clean at the pre-batch watermark. The
+/// durable watermark never advances past an fsync that did not happen.
 class LogStore {
  public:
   /// Does not recover; call Open() before use (PolarFs::log does both).
@@ -78,18 +88,25 @@ class LogStore {
   /// `durable`, blocks until a group-commit fsync covers the batch (the
   /// commit-path flush; concurrent durable appends share one fsync per
   /// leader batch). Thread-safe; LSN order == append order.
-  Lsn Append(std::vector<std::string> records, bool durable);
+  ///
+  /// Returns 0 and sets `*error` (when non-null) if the append failed:
+  /// the log is poisoned, the write-through landed short, or the covering
+  /// batch fsync failed (the commit is NOT durable). Fault point
+  /// `logstore.append`.
+  Lsn Append(std::vector<std::string> records, bool durable,
+             Status* error = nullptr);
 
   /// Explicit immediate fsync of the log. Accounting only — appends are
   /// already write-through. Group-commit leaders call this once per batch;
   /// prefer SyncTo() on the commit path.
-  void Sync();
+  Status Sync();
 
   /// Blocks until every record at or below `lsn` is durable, joining the
   /// leader-based group commit (GroupCommitter::SyncTo). `lsn` must already
   /// be appended. Call *outside* any commit-ordering mutex so concurrent
-  /// commits can batch.
-  void SyncTo(Lsn lsn);
+  /// commits can batch. Fails (and poisons the log) when the covering batch
+  /// fsync fails.
+  Status SyncTo(Lsn lsn);
 
   /// Records at or below this LSN are covered by an fsync.
   Lsn durable_lsn() const;
@@ -100,12 +117,22 @@ class LogStore {
 
   /// Reads records with LSN in (from, to] into `out` (appended in order).
   /// Recycled LSNs are skipped. Returns the LSN of the last record read.
-  Lsn Read(Lsn from, Lsn to, std::vector<std::string>* out) const;
+  ///
+  /// Honest on I/O failure: when a sealed segment's durable copy cannot be
+  /// read, the scan STOPS there, `*error` (when non-null) carries the
+  /// failure, and the returned LSN is the last record actually delivered —
+  /// never a gap papered over by skipping ahead. Fault point
+  /// `logstore.read`.
+  Lsn Read(Lsn from, Lsn to, std::vector<std::string>* out,
+           Status* error = nullptr) const;
 
   /// Recycles storage: deletes every *sealed* segment whose records are all
   /// <= `lsn` (segment-granular, so the cut never outruns `lsn`). The active
-  /// segment is never recycled. Persists the watermark.
-  void Truncate(Lsn lsn);
+  /// segment is never recycled. Persists the watermark. A failed archive
+  /// seal or watermark write surfaces as the returned status; recycling
+  /// stops at the failure (never destroys unarchived history). Fault point
+  /// `logstore.truncate`.
+  Status Truncate(Lsn lsn);
 
   /// Highest LSN that has been appended.
   Lsn written_lsn() const {
@@ -129,6 +156,19 @@ class LogStore {
   /// into the sink before deleting it, and stops recycling (leaving the
   /// segment live) when sealing fails.
   void set_archive(ArchiveSink* sink);
+
+  /// True after a failed batch fsync / write-through append poisoned the
+  /// log: appends and syncs fail fast until Reopen() recovers it clean at
+  /// the durable watermark.
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
+  /// Poisons the log at `durable` (the group-commit watermark): the
+  /// un-fsynced tail above it is trimmed from both the in-memory index and
+  /// the durable segment files — the fsync never happened, so device-side
+  /// those bytes were never guaranteed — and written_lsn() rolls back to
+  /// `durable`. Called by GroupCommitter when a batch fsync fails; tests
+  /// may call it directly to simulate the same. Idempotent.
+  void PoisonToDurable(Lsn durable);
 
   /// Durable file name of the segment starting at `first_lsn` (exposed so
   /// tests can mutilate exactly the segment they mean to).
@@ -155,6 +195,8 @@ class LogStore {
   };
 
   void StartSegmentLocked(Lsn first_lsn);
+  /// PoisonToDurable with mu_ already held (the in-Append failure path).
+  void PoisonToDurableLocked(Lsn durable);
   std::string WatermarkFileName() const;
   /// Parses `data` frames into `seg`; returns false when a torn/corrupt
   /// frame cut the scan short (seg holds the good prefix).
@@ -172,6 +214,7 @@ class LogStore {
   std::atomic<Lsn> written_lsn_{0};
   std::atomic<Lsn> truncated_lsn_{0};
   std::atomic<uint64_t> segments_recycled_{0};
+  std::atomic<bool> poisoned_{false};
 };
 
 }  // namespace imci

@@ -1,30 +1,38 @@
 #include "polarfs/polarfs.h"
 
-#include <chrono>
-#include <thread>
-
 #include "archive/archive.h"
+#include "common/clock.h"
+#include "common/fault.h"
 #include "log/group_committer.h"
 #include "log/log_store.h"
 
 namespace imci {
 
 namespace {
-void SimulateLatency(uint32_t us) {
-  if (us == 0) return;
-  // Model a *blocking* device round trip: the caller makes no progress
-  // before the deadline, but the CPU is released (yield) so other threads
-  // keep running meanwhile — committers must be able to enqueue into the
-  // next group-commit batch while the leader's fsync is in flight, exactly
-  // as they would during a real fsync. A yield loop rather than sleep_for:
-  // wakeup from a timed sleep depends on kernel timer slack and differs
-  // across otherwise-identical configurations, which would contaminate A/B
-  // comparisons like the Fig. 11 bench.
-  const auto until =
-      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
-  while (std::chrono::steady_clock::now() < until) {
-    std::this_thread::yield();
+// Simulated device time rides the shared yield-discipline wait — see the
+// clock/yield note in polarfs.h for why this must never become a sleep or
+// a spin, and must stay the single wait primitive for fault latency too.
+void SimulateLatency(uint32_t us) { YieldFor(us); }
+
+/// Applies a write-path injection to `data`: kTorn keeps the prefix (the
+/// caller still reports success — torn writes are only discoverable later
+/// by checksum), kFail/kCrash surface as IOError, kLatency already stalled
+/// inside MaybeInject.
+Status ApplyWriteFault(const char* point, std::string* data) {
+  fault::Injection inj;
+  if (!fault::MaybeInject(point, &inj)) return Status::OK();
+  switch (inj.kind) {
+    case fault::Kind::kLatency:
+      return Status::OK();
+    case fault::Kind::kTorn:
+      data->resize(static_cast<size_t>(
+          static_cast<double>(data->size()) * inj.keep_fraction));
+      return Status::OK();
+    case fault::Kind::kFail:
+    case fault::Kind::kCrash:
+      return Status::IOError(std::string("injected fault at ") + point);
   }
+  return Status::OK();
 }
 }  // namespace
 
@@ -39,26 +47,40 @@ LogStore* PolarFs::log(const std::string& name) {
     LogStoreOptions opts;
     opts.segment_bytes = options_.log_segment_bytes;
     auto store = std::make_unique<LogStore>(this, name, opts);
-    store->Open();  // recovery over an in-memory fs cannot fail
+    // Lazy first open. Recovery of a brand-new log over an in-memory fs
+    // only fails under an injected `logstore.recover` fault; tests that
+    // exercise recovery failures go through Reopen()/ReopenLogs(), which
+    // do report them.
+    (void)store->Open();
     if (options_.enable_archive) store->set_archive(archive());
     it = logs_.emplace(name, std::move(store)).first;
   }
   return it->second.get();
 }
 
-void PolarFs::ReopenLogs() {
+Status PolarFs::ReopenLogs() {
   std::lock_guard<std::mutex> g(logs_mu_);
-  for (auto& [name, store] : logs_) store->Reopen();
+  Status result;
+  for (auto& [name, store] : logs_) {
+    // Reopen every log even when one fails (each recovers independently);
+    // report the first failure.
+    if (Status s = store->Reopen(); !s.ok() && result.ok()) {
+      result = std::move(s);
+    }
+  }
+  return result;
 }
 
-void PolarFs::SyncLog() {
+Status PolarFs::SyncLog() {
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   SimulateLatency(options_.fsync_latency_us);
+  return fault::Maybe("polarfs.fsync");
 }
 
-void PolarFs::SyncControl() {
+Status PolarFs::SyncControl() {
   control_syncs_.fetch_add(1, std::memory_order_relaxed);
   SimulateLatency(options_.fsync_latency_us);
+  return fault::Maybe("polarfs.fsync.control");
 }
 
 ArchiveStore* PolarFs::archive() {
@@ -87,6 +109,7 @@ uint64_t PolarFs::batched_commits() const {
 
 Status PolarFs::WritePage(PageId id, std::string image) {
   page_writes_.fetch_add(1, std::memory_order_relaxed);
+  IMCI_RETURN_NOT_OK(ApplyWriteFault("polarfs.write_page", &image));
   std::lock_guard<std::mutex> g(page_mu_);
   pages_[id] = std::move(image);
   return Status::OK();
@@ -95,6 +118,7 @@ Status PolarFs::WritePage(PageId id, std::string image) {
 Status PolarFs::ReadPage(PageId id, std::string* image) const {
   page_reads_.fetch_add(1, std::memory_order_relaxed);
   SimulateLatency(options_.page_read_latency_us);
+  IMCI_RETURN_NOT_OK(fault::Maybe("polarfs.read_page"));
   std::lock_guard<std::mutex> g(page_mu_);
   auto it = pages_.find(id);
   if (it == pages_.end()) return Status::NotFound("page");
@@ -116,18 +140,25 @@ std::vector<PageId> PolarFs::ListPages() const {
 }
 
 Status PolarFs::WriteFile(const std::string& name, std::string data) {
+  IMCI_RETURN_NOT_OK(ApplyWriteFault("polarfs.write_file", &data));
   std::lock_guard<std::mutex> g(file_mu_);
   files_[name] = std::move(data);
   return Status::OK();
 }
 
 Status PolarFs::AppendFile(const std::string& name, const std::string& data) {
+  // A torn append keeps a prefix of *this* append: earlier bytes of the
+  // file are already durable and untouched, exactly like a crash mid-write
+  // at the end of a real append-only segment.
+  std::string payload = data;
+  IMCI_RETURN_NOT_OK(ApplyWriteFault("polarfs.append_file", &payload));
   std::lock_guard<std::mutex> g(file_mu_);
-  files_[name].append(data);
+  files_[name].append(payload);
   return Status::OK();
 }
 
 Status PolarFs::ReadFile(const std::string& name, std::string* data) const {
+  IMCI_RETURN_NOT_OK(fault::Maybe("polarfs.read_file"));
   std::lock_guard<std::mutex> g(file_mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("file " + name);

@@ -35,6 +35,24 @@ struct LogStoreOptions;
 /// Durable logging itself lives in `LogStore` (src/log): PolarFs only hosts
 /// the per-name log directory (`log(name)`), the segment files, and the
 /// fsync accounting the log stores charge against.
+///
+/// Failure model: every I/O entry point is a named fault point
+/// (common/fault.h) — `polarfs.fsync`, `polarfs.write_page`,
+/// `polarfs.read_page`, `polarfs.write_file`, `polarfs.append_file`,
+/// `polarfs.read_file` — so chaos tests can make shared storage fail with
+/// IOError, tear a write short (reported as success, caught later by
+/// checksums), spike latency, or crash the node. Unarmed points cost one
+/// relaxed atomic load.
+///
+/// Clock/yield discipline: ALL simulated device time — configured fsync /
+/// page-read latency and injected latency spikes alike — is served by one
+/// primitive, `YieldFor` (common/clock.h): a deadline wait that yields the
+/// CPU instead of sleeping or spinning. This is a hard requirement on
+/// 1-core runners: a blocking "device wait" must let other threads run
+/// meanwhile (committers must be able to enqueue into the next group-commit
+/// batch while the leader's fsync is in flight), and timed sleeps would
+/// wake on kernel timer slack, contaminating A/B comparisons like Fig. 11.
+/// Never introduce a second wait discipline next to it.
 class PolarFs {
  public:
   struct Options {
@@ -73,17 +91,22 @@ class PolarFs {
 
   /// Re-runs recovery on every open log from its segment files, as a
   /// restarting cluster would — used to simulate crashes after tests
-  /// mutilate segment files. LogStore pointers remain valid.
-  void ReopenLogs();
+  /// mutilate segment files, and to clear a fsync-poisoned log back to its
+  /// durable watermark. LogStore pointers remain valid. Reports the first
+  /// recovery failure (every log is still reopened).
+  Status ReopenLogs();
 
   /// Accounts one fsync (with simulated latency). Called by group-commit
   /// batch leaders (one per batch) and explicit LogStore::Sync calls.
-  void SyncLog();
+  /// Fails (fault point `polarfs.fsync`) with IOError when injected — the
+  /// group committer then fails the whole batch and poisons the log.
+  Status SyncLog();
 
   /// Accounts one *control-plane* fsync (archive manifests, snapshot
   /// indexes). Same simulated latency as SyncLog, separate counter so the
-  /// commit-path fsyncs-per-commit metric stays undiluted.
-  void SyncControl();
+  /// commit-path fsyncs-per-commit metric stays undiluted. Fault point
+  /// `polarfs.fsync.control`.
+  Status SyncControl();
 
   // --- Archive tier ---------------------------------------------------------
 

@@ -2,7 +2,8 @@
 
 namespace imci {
 
-Lsn RedoWriter::Append(std::vector<RedoRecord*> records, bool durable) {
+Lsn RedoWriter::Append(std::vector<RedoRecord*> records, bool durable,
+                       Status* error) {
   std::vector<std::string> serialized;
   serialized.reserve(records.size());
   Lsn last;
@@ -17,15 +18,17 @@ Lsn RedoWriter::Append(std::vector<RedoRecord*> records, bool durable) {
       r->Serialize(&buf);
       serialized.push_back(std::move(buf));
     }
-    last = log_->Append(std::move(serialized), durable);
+    last = log_->Append(std::move(serialized), durable, error);
+    if (last == 0) return 0;  // failed append: LSNs were never published
     last_lsn_.store(last, std::memory_order_release);
   }
   return last;
 }
 
-Lsn RedoReader::Read(Lsn from, Lsn to, std::vector<RedoRecord>* out) const {
+Lsn RedoReader::Read(Lsn from, Lsn to, std::vector<RedoRecord>* out,
+                     Status* error) const {
   std::vector<std::string> raw;
-  Lsn last = log_->Read(from, to, &raw);
+  Lsn last = log_->Read(from, to, &raw, error);
   out->reserve(out->size() + raw.size());
   for (const std::string& buf : raw) {
     RedoRecord rec;

@@ -28,17 +28,21 @@ class RedoWriter {
 
   /// Assigns LSNs to `records`, serializes and appends them. Returns the LSN
   /// of the last appended record. `durable` forces an fsync (commit/abort).
-  Lsn Append(std::vector<RedoRecord*> records, bool durable);
+  /// Returns 0 and sets `*error` (when non-null) on a failed append — the
+  /// records are not in the log and their LSNs were never published.
+  Lsn Append(std::vector<RedoRecord*> records, bool durable,
+             Status* error = nullptr);
 
   /// Convenience for a single record.
-  Lsn AppendOne(RedoRecord* rec, bool durable) {
-    return Append({rec}, durable);
+  Lsn AppendOne(RedoRecord* rec, bool durable, Status* error = nullptr) {
+    return Append({rec}, durable, error);
   }
 
   /// Blocks until every record at or below `lsn` is durable, joining the
   /// log's group commit (one fsync per batch of concurrent committers).
-  /// Call *outside* the commit-ordering mutex so batches can form.
-  void SyncTo(Lsn lsn) { log_->SyncTo(lsn); }
+  /// Call *outside* the commit-ordering mutex so batches can form. Fails
+  /// when the covering batch fsync failed (the commit is NOT durable).
+  Status SyncTo(Lsn lsn) { return log_->SyncTo(lsn); }
 
   Lsn last_lsn() const { return last_lsn_.load(std::memory_order_acquire); }
 
@@ -55,8 +59,10 @@ class RedoReader {
   explicit RedoReader(const LogStore* log) : log_(log) {}
 
   /// Reads records with LSN in (from, to]; appends to `out`. Returns the last
-  /// LSN read (== from when nothing new).
-  Lsn Read(Lsn from, Lsn to, std::vector<RedoRecord>* out) const;
+  /// LSN read (== from when nothing new). A storage failure stops the scan
+  /// and is reported via `*error` (when non-null) — see LogStore::Read.
+  Lsn Read(Lsn from, Lsn to, std::vector<RedoRecord>* out,
+           Status* error = nullptr) const;
 
  private:
   const LogStore* log_;

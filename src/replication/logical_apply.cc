@@ -3,9 +3,9 @@
 namespace imci {
 
 Lsn LogicalApplySource::Poll(Lsn from, size_t max_txns,
-                             std::vector<LogicalTxn>* out) {
+                             std::vector<LogicalTxn>* out, Status* error) {
   std::vector<std::string> raw;
-  const Lsn last = log_->Read(from, from + max_txns, &raw);
+  const Lsn last = log_->Read(from, from + max_txns, &raw, error);
   // Read skips a recycled prefix (whole-segment truncation), so the first
   // record returned sits just past max(from, truncated) — label LSNs from
   // there, not from `from`.

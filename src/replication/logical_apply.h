@@ -35,8 +35,11 @@ class LogicalApplySource {
   /// Reads committed transactions with binlog LSN in (from, from + max_txns]
   /// and decodes them into `out` (appended in commit order). Corrupt records
   /// are skipped defensively, like RedoReader does for torn REDO entries.
-  /// Returns the last binlog LSN consumed.
-  Lsn Poll(Lsn from, size_t max_txns, std::vector<LogicalTxn>* out);
+  /// Returns the last binlog LSN consumed. A storage failure stops the scan
+  /// and is reported via `*error` (when non-null) so the pipeline can retry
+  /// or wedge instead of silently stalling.
+  Lsn Poll(Lsn from, size_t max_txns, std::vector<LogicalTxn>* out,
+           Status* error = nullptr);
 
   /// Decodes raw binlog record payloads (the first carrying LSN `first_lsn`,
   /// the rest consecutive) into transactions — the Poll body without the log

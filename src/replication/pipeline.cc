@@ -7,6 +7,7 @@
 #include "archive/archive.h"
 #include "common/clock.h"
 #include "common/coding.h"
+#include "common/fault.h"
 
 namespace imci {
 
@@ -36,23 +37,85 @@ void ReplicationPipeline::Start(Lsn from_lsn, Vid start_vid) {
   read_lsn_.store(from_lsn, std::memory_order_release);
   applied_lsn_.store(from_lsn, std::memory_order_release);
   applied_vid_.store(start_vid, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    wedge_reason_ = Status::OK();
+  }
+  wedged_.store(false, std::memory_order_release);
+  heartbeat_us_.store(NowMicros(), std::memory_order_release);
   running_.store(true, std::memory_order_release);
   coordinator_ = std::thread([this] { CoordinatorLoop(); });
 }
 
 void ReplicationPipeline::Stop() {
-  if (!running_.exchange(false)) return;
+  // No exchange guard: a wedged coordinator already cleared running_ on its
+  // way out, and the thread must still be joined.
+  running_.store(false, std::memory_order_release);
   if (coordinator_.joinable()) coordinator_.join();
 }
 
+namespace {
+/// Worth retrying: the storage layer may heal (latency spike, transient
+/// EIO, contention). Corruption is not — re-reading returns the same torn
+/// bytes, so the pipeline wedges immediately instead of spinning on them.
+bool IsTransient(const Status& s) { return s.IsIOError() || s.IsBusy(); }
+}  // namespace
+
 void ReplicationPipeline::CoordinatorLoop() {
+  // Tag the thread for targeted fault injection: chaos tests wedge exactly
+  // one node by arming a fault point with scope == this node's name.
+  fault::ScopedContext scope(options_.fault_scope);
+  int failures = 0;
+  uint64_t backoff_us = options_.retry_backoff_us;
   while (running_.load(std::memory_order_acquire)) {
+    heartbeat_us_.store(NowMicros(), std::memory_order_release);
     source_log_->WaitFor(read_lsn_.load(std::memory_order_acquire),
                          options_.poll_timeout_us);
-    PollOnce();
-    uint64_t ckpt = checkpoint_request_.exchange(0);
-    if (ckpt != 0) TakeCheckpoint(ckpt);
+    Status s = PollOnce();
+    if (s.ok()) {
+      failures = 0;
+      backoff_us = options_.retry_backoff_us;
+    } else if (IsTransient(s) && ++failures <= options_.max_transient_retries) {
+      // Bounded retry with exponential backoff; PollOnce preserved whatever
+      // partial progress it made, so the retry resumes past it.
+      transient_retries_.fetch_add(1, std::memory_order_relaxed);
+      YieldFor(backoff_us);
+      backoff_us = std::min(backoff_us * 2, options_.retry_backoff_cap_us);
+      continue;
+    } else {
+      Wedge(std::move(s));
+      return;
+    }
+    const uint64_t ckpt = checkpoint_request_.exchange(0);
+    if (ckpt != 0) {
+      if (Status cs = TakeCheckpoint(ckpt); !cs.ok()) {
+        // A failed checkpoint leaves replication healthy (the previous
+        // checkpoint still anchors boots) but must stay visible.
+        std::lock_guard<std::mutex> g(health_mu_);
+        last_checkpoint_error_ = std::move(cs);
+      }
+    }
   }
+}
+
+void ReplicationPipeline::Wedge(Status reason) {
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    wedge_reason_ = std::move(reason);
+  }
+  wedged_.store(true, std::memory_order_release);
+  // The coordinator exits right after; Stop() still joins the thread.
+  running_.store(false, std::memory_order_release);
+}
+
+Status ReplicationPipeline::wedge_reason() const {
+  std::lock_guard<std::mutex> g(health_mu_);
+  return wedge_reason_;
+}
+
+Status ReplicationPipeline::last_checkpoint_error() const {
+  std::lock_guard<std::mutex> g(health_mu_);
+  return last_checkpoint_error_;
 }
 
 uint64_t ReplicationPipeline::LsnDelay() const {
@@ -230,8 +293,11 @@ Status ReplicationPipeline::PollLogicalOnce() {
   // already in commit order, no commit-ahead buffering possible.
   const Lsn from = read_lsn_.load(std::memory_order_acquire);
   std::vector<LogicalTxn> txns;
-  const Lsn to = logical_.Poll(from, options_.chunk_records, &txns);
-  if (to == from) return Status::OK();
+  Status read_error;
+  const Lsn to = logical_.Poll(from, options_.chunk_records, &txns,
+                               &read_error);
+  // Nothing consumed: surface the read failure (OK when merely idle).
+  if (to == from) return read_error;
   std::vector<CommittedTxn> batch;
   batch.reserve(txns.size());
   for (LogicalTxn& lt : txns) {
@@ -247,14 +313,19 @@ Status ReplicationPipeline::PollLogicalOnce() {
   }
   if (!batch.empty()) ApplyBatch(batch);
   read_lsn_.store(to, std::memory_order_release);
-  return Status::OK();
+  // A failure mid-scan: what was delivered is applied and the cursor kept,
+  // so a retry resumes exactly past the progress made.
+  return read_error;
 }
 
 Status ReplicationPipeline::PollRedoOnce() {
   const Lsn from = read_lsn_.load(std::memory_order_acquire);
   std::vector<RedoRecord> records;
-  const Lsn to = reader_.Read(from, from + options_.chunk_records, &records);
-  if (to == from) return Status::OK();
+  Status read_error;
+  const Lsn to = reader_.Read(from, from + options_.chunk_records, &records,
+                              &read_error);
+  // Nothing consumed: surface the read failure (OK when merely idle).
+  if (to == from) return read_error;
 
   // Phase#1: parallel physical replay + logical DML reconstruction.
   std::vector<LogicalDml> dmls;
@@ -310,7 +381,9 @@ Status ReplicationPipeline::PollRedoOnce() {
   // Publish the consumed position only after the batch landed, so
   // "read_lsn >= X" implies everything committed at or before X is visible.
   read_lsn_.store(to, std::memory_order_release);
-  return Status::OK();
+  // A failure mid-scan: what was delivered is applied and the cursor kept,
+  // so a retry resumes exactly past the progress made.
+  return read_error;
 }
 
 Status ReplicationPipeline::BootstrapFromArchive(Lsn upto) {
@@ -385,7 +458,9 @@ void ReplicationPipeline::MaybePreCommit(
     switch (dml.op) {
       case LogicalDml::Op::kInsert: {
         const Rid rid = index->PreAllocate(1);
-        index->PreWrite(rid, dml.row);
+        // In-memory pre-write into a just-allocated rid cannot fail; the
+        // rectify at commit re-validates the row anyway.
+        (void)index->PreWrite(rid, dml.row);
         buf->pre_ops.push_back({false, dml.table_id, dml.pk, rid});
         break;
       }
@@ -395,7 +470,7 @@ void ReplicationPipeline::MaybePreCommit(
       case LogicalDml::Op::kUpdate: {
         buf->pre_ops.push_back({true, dml.table_id, dml.pk, kInvalidRid});
         const Rid rid = index->PreAllocate(1);
-        index->PreWrite(rid, dml.row);
+        (void)index->PreWrite(rid, dml.row);
         buf->pre_ops.push_back({false, dml.table_id, dml.pk, rid});
         break;
       }
@@ -497,18 +572,21 @@ void ReplicationPipeline::ApplyBatch(std::vector<CommittedTxn>& batch) {
     for (ApplyOp& op : shards[w]) {
       ColumnIndex* index = imci_->GetIndex(op.table_id);
       if (index == nullptr) continue;
+      // Phase#2 ops mutate in-memory column state only (no storage I/O to
+      // fault); a NotFound from Delete/Update is the replay-vs-checkpoint
+      // overlap case and is tolerated by design.
       switch (op.kind) {
         case ApplyOp::Kind::kInsert:
-          index->Insert(op.row, op.vid);
+          (void)index->Insert(op.row, op.vid);
           break;
         case ApplyOp::Kind::kDelete:
-          index->Delete(op.pk, op.vid);  // NotFound tolerated
+          (void)index->Delete(op.pk, op.vid);
           break;
         case ApplyOp::Kind::kUpdate:
-          index->Update(op.row, op.vid);
+          (void)index->Update(op.row, op.vid);
           break;
         case ApplyOp::Kind::kRectify:
-          index->RectifyInsert(op.rid, op.pk, op.vid);
+          (void)index->RectifyInsert(op.rid, op.pk, op.vid);
           break;
       }
     }

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +54,18 @@ struct ReplicationOptions {
   int maintenance_interval = 64;
   bool enable_compaction = true;
   double compaction_threshold = 0.5;
+  /// Bounded retry on transient source-read failures (IOError/Busy): the
+  /// coordinator retries with exponential backoff, then declares the
+  /// pipeline wedged. Corruption wedges immediately — retrying re-reads
+  /// the same torn bytes.
+  int max_transient_retries = 5;
+  uint64_t retry_backoff_us = 200;        // first retry; doubles per attempt
+  uint64_t retry_backoff_cap_us = 20'000;
+  /// Fault-injection scope tag for the coordinator thread
+  /// (fault::ScopedContext): chaos tests target exactly one node's
+  /// replication I/O by arming a fault point with this scope. RoNode sets
+  /// it to the node name; empty leaves the thread untagged.
+  std::string fault_scope;
 };
 
 /// The RO node's update-propagation engine (§5): a coordinator thread tails
@@ -108,6 +122,29 @@ class ReplicationPipeline {
   uint64_t precommitted_txns() const { return precommitted_txns_.load(); }
   uint64_t compactions() const { return compactions_.load(); }
 
+  // --- Health (the honest-failure surface the cluster monitor reads) ------
+
+  /// True once the coordinator gave up: a source-read failure survived the
+  /// bounded retries (or was Corruption). A wedged pipeline stops consuming
+  /// the log — it never silently stalls with running_ still true — and
+  /// stays wedged until the node is torn down or Start() runs again.
+  bool wedged() const { return wedged_.load(std::memory_order_acquire); }
+  /// The failure that wedged the pipeline (OK while healthy).
+  Status wedge_reason() const;
+  /// Wall-clock (NowMicros) of the coordinator's last liveness tick; a
+  /// stale value with running_ true means the thread is hung, which the
+  /// cluster monitor treats like a wedge.
+  uint64_t heartbeat_us() const {
+    return heartbeat_us_.load(std::memory_order_acquire);
+  }
+  /// Transient read failures absorbed by retry (did not wedge).
+  uint64_t transient_retries() const {
+    return transient_retries_.load(std::memory_order_relaxed);
+  }
+  /// Most recent coordinator-driven checkpoint failure (OK when none): a
+  /// failed checkpoint must not wedge replication, but must not vanish.
+  Status last_checkpoint_error() const;
+
   /// Takes a checkpoint at the current applied state (RO-leader duty, §7):
   /// flushes this node's row-store pages (with their page LSNs), then
   /// persists all column indexes at CSN = applied_vid plus the in-flight
@@ -151,6 +188,8 @@ class ReplicationPipeline {
   };
 
   void CoordinatorLoop();
+  /// Latches the terminal failure state and stops the coordinator.
+  void Wedge(Status reason);
   Status PollRedoOnce();
   Status PollLogicalOnce();
   void DeliverDmls(std::vector<LogicalDml>&& dmls);
@@ -204,6 +243,13 @@ class ReplicationPipeline {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> checkpoint_request_{0};
   int polls_since_maintenance_ = 0;
+
+  std::atomic<bool> wedged_{false};
+  std::atomic<uint64_t> heartbeat_us_{0};
+  std::atomic<uint64_t> transient_retries_{0};
+  mutable std::mutex health_mu_;
+  Status wedge_reason_;           // guarded by health_mu_
+  Status last_checkpoint_error_;  // guarded by health_mu_
 };
 
 }  // namespace imci

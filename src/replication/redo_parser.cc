@@ -223,7 +223,7 @@ void RedoParser::ApplyRun(const std::vector<RedoRecord*>& run,
   ParallelFor(workers_, n, [&](int w) {
     std::vector<LogicalDml>& out = (*worker_dmls)[base + w];
     for (RedoRecord* rec : shards[w]) {
-      ApplyPageRecord(*rec, &out);  // corrupt records are skipped
+      (void)ApplyPageRecord(*rec, &out);  // corrupt records are skipped
     }
   });
 }

@@ -7,7 +7,7 @@ namespace imci {
 BinlogWriter::BinlogWriter(LogStore* log) : log_(log) {}
 
 Lsn BinlogWriter::EnqueueTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
-                             const std::vector<Event>& events) {
+                             const std::vector<Event>& events, Status* error) {
   std::string buf;
   PutFixed64(&buf, tid);
   PutFixed64(&buf, vid);
@@ -29,7 +29,8 @@ Lsn BinlogWriter::EnqueueTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
   // the Binlog baseline's OLTP loss — is the caller's SyncTo, outside any
   // ordering mutex, so concurrent commits share it per batch.
   std::lock_guard<std::mutex> g(mu_);
-  const Lsn lsn = log_->Append({std::move(buf)}, /*durable=*/false);
+  const Lsn lsn = log_->Append({std::move(buf)}, /*durable=*/false, error);
+  if (lsn == 0) return 0;  // failed append: no record, no fence entry
   vid_to_lsn_[vid] = lsn;  // strong-read fence translation (LsnForVid)
   // Bound the map even when nothing ever recycles the binlog (no
   // logical-apply consumer attached): a strong read translates the commit

@@ -49,19 +49,25 @@ class BinlogWriter {
   /// reuse. The caller makes the record durable with SyncTo() *outside* the
   /// commit-ordering mutex, so the binlog arm's extra fsync is paid once per
   /// group-commit batch instead of once per transaction.
+  /// Returns 0 and sets `*error` (when non-null) if the underlying append
+  /// failed (poisoned or faulted binlog) — the transaction has no binlog
+  /// record and must not commit.
   Lsn EnqueueTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
-                 const std::vector<Event>& events);
+                 const std::vector<Event>& events, Status* error = nullptr);
 
   /// Blocks until binlog records at or below `lsn` are durable (joins the
-  /// binlog log's group commit).
-  void SyncTo(Lsn lsn) { log_->SyncTo(lsn); }
+  /// binlog log's group commit). Fails when the covering batch fsync failed.
+  Status SyncTo(Lsn lsn) { return log_->SyncTo(lsn); }
 
   /// Serializes and durably appends one transaction's events: EnqueueTxn +
   /// SyncTo. Single-threaded callers pay one fsync, exactly as before group
   /// commit; concurrent callers batch.
-  void CommitTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
-                 const std::vector<Event>& events) {
-    SyncTo(EnqueueTxn(tid, vid, commit_ts_us, events));
+  Status CommitTxn(Tid tid, Vid vid, uint64_t commit_ts_us,
+                   const std::vector<Event>& events) {
+    Status s;
+    const Lsn lsn = EnqueueTxn(tid, vid, commit_ts_us, events, &s);
+    IMCI_RETURN_NOT_OK(s);
+    return SyncTo(lsn);
   }
 
   /// Replays the durable binlog in commit order, invoking `fn` once per

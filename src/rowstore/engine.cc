@@ -313,6 +313,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   commit.prev_lsn = txn->last_lsn_;
   Lsn commit_lsn = 0;
   Lsn binlog_lsn = 0;
+  Status enqueue_status;
   const Vid trim_hint =
       txn->undo_.empty() ? 0 : engine_->row_snapshots()->hint();
   {
@@ -327,16 +328,25 @@ Status TransactionManager::Commit(Transaction* txn) {
     txn->commit_vid_ = next_vid_.fetch_add(1) + 1;
     commit.commit_vid = txn->commit_vid_;
     commit.commit_ts_us = NowMicros();
-    commit_lsn = redo_->AppendOne(&commit, /*durable=*/false);
+    commit_lsn = redo_->AppendOne(&commit, /*durable=*/false, &enqueue_status);
     txn->commit_lsn_ = commit_lsn;
-    if (binlog_enabled_ && binlog_ != nullptr) {
+    if (commit_lsn != 0 && binlog_enabled_ && binlog_ != nullptr) {
       // MySQL's ordered group commit serializes the binlog *write* with the
       // engine commit (XA between binlog and redo). The strawman's extra
       // flush still sits on the commit path — the perturbation Fig. 11
       // measures — but, like the redo flush, it is now paid once per batch.
       binlog_lsn = binlog_->EnqueueTxn(txn->tid_, txn->commit_vid_,
                                        commit.commit_ts_us,
-                                       txn->binlog_events_);
+                                       txn->binlog_events_, &enqueue_status);
+    }
+    if (!enqueue_status.ok()) {
+      // A poisoned/faulted log refused the commit record: nothing is
+      // stamped or published, the transaction fails cleanly. (A binlog
+      // enqueue failure can strand an already-appended redo commit record
+      // — the same window a crash between the two writes opens in MySQL
+      // without XA; the poison trim erases it before any recovery replays.)
+      ReleaseLocks(txn);
+      return enqueue_status;
     }
     // Stamp this transaction's row versions with its commit VID, then
     // publish the VID as the new snapshot point — in that order, so a
@@ -361,9 +371,19 @@ Status TransactionManager::Commit(Transaction* txn) {
   // record (and, in binlog mode, the logical record). Locks are released
   // only after durability so no other transaction builds on a commit that
   // could still be lost.
-  redo_->SyncTo(commit_lsn);
-  if (binlog_lsn != 0) binlog_->SyncTo(binlog_lsn);
+  Status sync_status = redo_->SyncTo(commit_lsn);
+  if (sync_status.ok() && binlog_lsn != 0) {
+    sync_status = binlog_->SyncTo(binlog_lsn);
+  }
   ReleaseLocks(txn);
+  if (!sync_status.ok()) {
+    // The batch fsync failed: the commit is NOT durable and the log is
+    // poisoned (its un-fsynced tail — this commit record included — is
+    // already trimmed). The commit point was published in-memory, but the
+    // store refuses further commits until re-opened, so recovery lands at
+    // the pre-batch watermark with nothing built on the lost tail.
+    return sync_status;
+  }
   commits_.fetch_add(1, std::memory_order_relaxed);
   // Opportunistic trim-hint refresh, off the critical path: a write-only
   // workload never opens read views, so CloseReadView alone would leave the
@@ -393,15 +413,18 @@ Status TransactionManager::Rollback(Transaction* txn) {
     RowTable* t = engine_->GetTable(it->table_id);
     if (t == nullptr) continue;
     std::vector<RedoRecord> comp;
+    // Best-effort physical undo: a row already back at its pre-image (e.g.
+    // a retried rollback) reports NotFound/Busy here; the version-chain
+    // drop below is what makes the abort logically complete.
     switch (it->op) {
       case UndoEntry::Op::kInsert:
-        t->DeleteImage(it->pk, &comp, comp_ship);
+        (void)t->DeleteImage(it->pk, &comp, comp_ship);
         break;
       case UndoEntry::Op::kUpdate:
-        t->UpdateImage(it->pk, it->old_image, &comp, comp_ship);
+        (void)t->UpdateImage(it->pk, it->old_image, &comp, comp_ship);
         break;
       case UndoEntry::Op::kDelete:
-        t->InsertImage(it->pk, it->old_image, &comp, comp_ship);
+        (void)t->InsertImage(it->pk, it->old_image, &comp, comp_ship);
         break;
     }
   }

@@ -192,7 +192,7 @@ Status ChBench::NewOrder(TransactionManager* txns, Rng* rng) {
   Transaction txn;
   txns->Begin(&txn);
   auto fail = [&](const Status& s) {
-    txns->Rollback(&txn);
+    (void)txns->Rollback(&txn);  // abort path: nothing durable to lose
     return s;
   };
   Row district;
@@ -235,7 +235,7 @@ Status ChBench::NewOrder(TransactionManager* txns, Rng* rng) {
   }
   // TPC-C: 1% of NewOrder transactions roll back (invalid item).
   if (rng->Next() % 100 == 0) {
-    txns->Rollback(&txn);
+    (void)txns->Rollback(&txn);  // abort path: nothing durable to lose
     return Status::Aborted("invalid item");
   }
   IMCI_RETURN_NOT_OK(txns->Commit(&txn));
@@ -251,7 +251,7 @@ Status ChBench::Payment(TransactionManager* txns, Rng* rng) {
   Transaction txn;
   txns->Begin(&txn);
   auto fail = [&](const Status& s) {
-    txns->Rollback(&txn);
+    (void)txns->Rollback(&txn);  // abort path: nothing durable to lose
     return s;
   };
   Row wh;
@@ -283,7 +283,7 @@ Status ChBench::Delivery(TransactionManager* txns, Rng* rng) {
   Transaction txn;
   txns->Begin(&txn);
   auto fail = [&](const Status& s) {
-    txns->Rollback(&txn);
+    (void)txns->Rollback(&txn);  // abort path: nothing durable to lose
     return s;
   };
   Row district;
@@ -291,7 +291,7 @@ Status ChBench::Delivery(TransactionManager* txns, Rng* rng) {
   if (!s.ok()) return fail(s);
   const int64_t del_o = AsInt(district[4]);
   if (del_o >= AsInt(district[3])) {
-    txns->Rollback(&txn);
+    (void)txns->Rollback(&txn);  // abort path: nothing durable to lose
     return Status::OK();  // nothing to deliver
   }
   district[4] = del_o + 1;

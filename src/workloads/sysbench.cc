@@ -66,7 +66,7 @@ Status Sysbench::RunOp(TransactionManager* txns, int thread_id, Rng* rng,
     }
   }
   if (!s.ok()) {
-    txns->Rollback(&txn);
+    (void)txns->Rollback(&txn);  // abort path: nothing durable to lose
     return s;
   }
   return txns->Commit(&txn);

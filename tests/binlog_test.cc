@@ -50,11 +50,11 @@ TEST(BinlogTest, EmptyLogReplaysNothing) {
 TEST(BinlogTest, RoundTripPreservesCommitOrderAndPayloads) {
   PolarFs fs;
   BinlogWriter binlog(fs.log("binlog"));
-  binlog.CommitTxn(11, 1, 1001,
+  (void)binlog.CommitTxn(11, 1, 1001,
                    {MakeEvent(Event::Op::kInsert, 1, 100, "row-100"),
                     MakeEvent(Event::Op::kUpdate, 1, 100, "row-100v2")});
-  binlog.CommitTxn(12, 2, 1002, {MakeEvent(Event::Op::kDelete, 2, 7)});
-  binlog.CommitTxn(13, 3, 1003, {});  // empty txn is still a commit record
+  (void)binlog.CommitTxn(12, 2, 1002, {MakeEvent(Event::Op::kDelete, 2, 7)});
+  (void)binlog.CommitTxn(13, 3, 1003, {});  // empty txn is still a commit record
   EXPECT_EQ(binlog.txns_written(), 3u);
   EXPECT_EQ(binlog.last_seq(), 3u);
 
@@ -83,8 +83,8 @@ TEST(BinlogTest, EveryCommitPaysItsOwnFsync) {
   PolarFs fs;
   BinlogWriter binlog(fs.log("binlog"));
   const uint64_t before = fs.fsync_count();
-  binlog.CommitTxn(1, 1, 0, {MakeEvent(Event::Op::kInsert, 1, 1, "x")});
-  binlog.CommitTxn(2, 2, 0, {MakeEvent(Event::Op::kInsert, 1, 2, "y")});
+  (void)binlog.CommitTxn(1, 1, 0, {MakeEvent(Event::Op::kInsert, 1, 1, "x")});
+  (void)binlog.CommitTxn(2, 2, 0, {MakeEvent(Event::Op::kInsert, 1, 2, "y")});
   EXPECT_EQ(fs.fsync_count(), before + 2);
 }
 
@@ -94,7 +94,7 @@ TEST(BinlogTest, TruncatedTailStopsReplayAtLastGoodRecord) {
   PolarFs fs(opt);
   BinlogWriter binlog(fs.log("binlog"));
   for (int i = 1; i <= 5; ++i) {
-    binlog.CommitTxn(i, i, 0,
+    (void)binlog.CommitTxn(i, i, 0,
                      {MakeEvent(Event::Op::kInsert, 1, i,
                                 "payload-" + std::to_string(i))});
   }
@@ -104,7 +104,7 @@ TEST(BinlogTest, TruncatedTailStopsReplayAtLastGoodRecord) {
   std::string tail;
   ASSERT_TRUE(fs.ReadFile(seg, &tail).ok());
   ASSERT_TRUE(fs.WriteFile(seg, tail.substr(0, tail.size() - 3)).ok());
-  fs.ReopenLogs();
+  (void)fs.ReopenLogs();
 
   auto txns = ReplayAll(&fs);
   ASSERT_EQ(txns.size(), 4u);
@@ -119,7 +119,7 @@ TEST(BinlogTest, SeqResumesAfterRecoveryOnSegmentedLayout) {
   {
     BinlogWriter binlog(fs.log("binlog"));
     for (int i = 1; i <= 6; ++i) {
-      binlog.CommitTxn(i, i, 0,
+      (void)binlog.CommitTxn(i, i, 0,
                        {MakeEvent(Event::Op::kInsert, 1, i,
                                   "old-" + std::to_string(i))});
     }
@@ -132,7 +132,7 @@ TEST(BinlogTest, SeqResumesAfterRecoveryOnSegmentedLayout) {
   ASSERT_TRUE(fs.ReadFile(files.back(), &data).ok());
   ASSERT_TRUE(
       fs.WriteFile(files.back(), data.substr(0, data.size() - 5)).ok());
-  fs.ReopenLogs();
+  (void)fs.ReopenLogs();
 
   const size_t recovered =
       BinlogWriter::Replay(fs.log("binlog"),
@@ -145,7 +145,7 @@ TEST(BinlogTest, SeqResumesAfterRecoveryOnSegmentedLayout) {
   // the LogStore's recovered LSN *is* the resume point).
   BinlogWriter resumed(fs.log("binlog"));
   EXPECT_EQ(resumed.last_seq(), recovered);
-  resumed.CommitTxn(100, 100, 0,
+  (void)resumed.CommitTxn(100, 100, 0,
                     {MakeEvent(Event::Op::kInsert, 1, 100, "new-100")});
 
   auto txns = ReplayAll(&fs);
@@ -169,7 +169,7 @@ TEST(BinlogTest, DecodeRejectsShortBuffers) {
 TEST(BinlogTest, DecodeRejectsFlippedPayloadByte) {
   PolarFs fs;
   BinlogWriter binlog(fs.log("binlog"));
-  binlog.CommitTxn(1, 1, 0, {MakeEvent(Event::Op::kInsert, 1, 1, "payload")});
+  (void)binlog.CommitTxn(1, 1, 0, {MakeEvent(Event::Op::kInsert, 1, 1, "payload")});
   std::vector<std::string> raw;
   fs.log("binlog")->Read(0, 1, &raw);
   ASSERT_EQ(raw.size(), 1u);

@@ -1,0 +1,377 @@
+// Chaos suite: the fault-injection substrate (common/fault.h) driven through
+// the storage and replication stack end-to-end.
+//
+// Three layers are pinned here:
+//  - Durability honesty: a batch fsync that fails must fail *every* commit
+//    in the batch and poison the log — the durable watermark never advances
+//    past an fsync that did not happen — and Reopen() recovers the store
+//    clean at exactly the pre-batch watermark.
+//  - Honest consumers: the replication coordinator absorbs transient source
+//    read failures with bounded retry + backoff, and wedges (with the reason
+//    preserved) instead of silently stalling when the failures persist.
+//  - Self-healing fleet: the cluster health monitor evicts a wedged RO,
+//    queries re-route to survivors (falling back to the RW when the fleet is
+//    empty — graceful degradation, never a client-visible error), a
+//    replacement boots from the shared store, converges, and is re-admitted.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault.h"
+#include "log/group_committer.h"
+#include "log/log_store.h"
+#include "tests/test_util.h"
+
+namespace imci {
+namespace {
+
+std::shared_ptr<const Schema> SimpleSchema() {
+  std::vector<ColumnDef> cols;
+  cols.push_back({"id", DataType::kInt64, false, true});
+  cols.push_back({"v", DataType::kInt64, false, true});
+  return std::make_shared<Schema>(1, "t1", cols, 0);
+}
+
+/// Policy builder (Policy has too many knobs for designated init under
+/// -Wmissing-field-initializers).
+fault::Policy MakePolicy(fault::Kind kind, std::string scope = "",
+                         uint64_t max_fires = UINT64_MAX,
+                         uint32_t latency_us = 0) {
+  fault::Policy p;
+  p.kind = kind;
+  p.scope = std::move(scope);
+  p.max_fires = max_fires;
+  p.latency_us = latency_us;
+  return p;
+}
+
+/// Polls `pred` until true or `timeout_us` elapsed.
+bool WaitUntil(const std::function<bool()>& pred,
+               uint64_t timeout_us = 20'000'000) {
+  Timer t;
+  while (t.ElapsedMicros() < timeout_us) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  return pred();
+}
+
+// --- Group commit under fsync faults ---------------------------------------
+
+/// A bare RW commit path over one PolarFs (same rig as group_commit_test).
+struct CommitRig {
+  explicit CommitRig(PolarFs::Options fopts = {})
+      : fs(fopts), engine(&fs, &catalog), redo(fs.log("redo")),
+        binlog(fs.log("binlog")), txns(&engine, &redo, &locks, &binlog) {
+    EXPECT_TRUE(engine.CreateTable(SimpleSchema()).ok());
+  }
+  PolarFs fs;
+  Catalog catalog;
+  RowStoreEngine engine;
+  RedoWriter redo;
+  LockManager locks;
+  BinlogWriter binlog;
+  TransactionManager txns;
+};
+
+Status CommitOne(CommitRig* rig, int64_t pk) {
+  Transaction txn;
+  rig->txns.Begin(&txn);
+  Status s = rig->txns.Insert(&txn, 1, {pk, pk});
+  if (!s.ok()) return s;
+  return rig->txns.Commit(&txn);
+}
+
+TEST(ChaosGroupCommitTest, FsyncFaultFailsWholeBatchAndStoreReopensClean) {
+  // Latency keeps each flush in flight long enough that concurrent
+  // committers pile into one leader batch.
+  PolarFs::Options fopts;
+  fopts.fsync_latency_us = 200;
+  CommitRig rig(fopts);
+  for (int64_t pk = 0; pk < 8; ++pk) ASSERT_TRUE(CommitOne(&rig, pk).ok());
+  LogStore* log = rig.fs.log("redo");
+  const Lsn watermark = log->durable_lsn();
+  ASSERT_EQ(log->written_lsn(), watermark);
+
+  {
+    fault::ScopedFault fsync_fail("polarfs.fsync",
+                                  MakePolicy(fault::Kind::kFail));
+    // Every commit across every batch must fail: either its own batch fsync
+    // fails, or the poison latch refuses the append outright. No commit may
+    // report durability the device never provided.
+    const int kThreads = 4;
+    const int kPerThread = 4;
+    std::atomic<int> failed{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const int64_t pk = 1000 + int64_t(t) * 100 + i;
+          if (!CommitOne(&rig, pk).ok()) failed.fetch_add(1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(failed.load(), kThreads * kPerThread);
+    EXPECT_TRUE(log->poisoned());
+    // The un-fsynced tail is trimmed: the watermark did NOT advance, and the
+    // written tail rolled back to it — device-side those bytes were never
+    // guaranteed.
+    EXPECT_EQ(log->durable_lsn(), watermark);
+    EXPECT_EQ(log->written_lsn(), watermark);
+  }
+
+  // The fault is disarmed, but the poison latch persists: the store refuses
+  // commits until it is explicitly re-opened (no silent self-heal that could
+  // mask the lost tail).
+  EXPECT_FALSE(CommitOne(&rig, 5000).ok());
+
+  // Reopen recovers clean at exactly the pre-batch watermark...
+  ASSERT_TRUE(rig.fs.ReopenLogs().ok());
+  EXPECT_FALSE(log->poisoned());
+  EXPECT_EQ(log->written_lsn(), watermark);
+  EXPECT_EQ(log->durable_lsn(), watermark);
+  // ...and the recovered records are exactly the pre-fault history.
+  std::vector<std::string> records;
+  Status read_error;
+  log->Read(0, watermark, &records, &read_error);
+  ASSERT_TRUE(read_error.ok());
+
+  // Clean resumption: new commits append and become durable past the
+  // recovered watermark.
+  ASSERT_TRUE(CommitOne(&rig, 6000).ok());
+  EXPECT_GT(log->durable_lsn(), watermark);
+}
+
+TEST(ChaosGroupCommitTest, PoisonedDurableAppendsFailFastUntilReopen) {
+  PolarFs fs;
+  LogStore* log = fs.log("redo");
+  const Lsn durable = log->Append({"a", "b", "c"}, /*durable=*/true);
+  ASSERT_GT(durable, 0u);
+  ASSERT_EQ(log->durable_lsn(), durable);
+
+  {
+    fault::ScopedFault fsync_fail("polarfs.fsync",
+                                  MakePolicy(fault::Kind::kFail));
+    Status error;
+    EXPECT_EQ(log->Append({"lost"}, /*durable=*/true, &error), 0u);
+    EXPECT_TRUE(error.IsIOError()) << error.ToString();
+    EXPECT_TRUE(log->poisoned());
+    // Fail-fast while poisoned: no fsync is even attempted.
+    Status again;
+    EXPECT_EQ(log->Append({"refused"}, /*durable=*/true, &again), 0u);
+    EXPECT_TRUE(again.IsIOError()) << again.ToString();
+  }
+  EXPECT_EQ(log->written_lsn(), durable);
+
+  ASSERT_TRUE(fs.ReopenLogs().ok());
+  EXPECT_FALSE(log->poisoned());
+  std::vector<std::string> records;
+  Status read_error;
+  log->Read(0, log->written_lsn(), &records, &read_error);
+  ASSERT_TRUE(read_error.ok());
+  ASSERT_EQ(records.size(), 3u);  // the lost tail never resurfaces
+  EXPECT_EQ(records[2], "c");
+  EXPECT_GT(log->Append({"d"}, /*durable=*/true), durable);
+}
+
+// --- Replication pipeline under read faults --------------------------------
+
+class ChaosClusterTest : public ::testing::Test {
+ protected:
+  void Build(int ros, FleetHealthOptions health = {}) {
+    ClusterOptions opts;
+    opts.initial_ro_nodes = ros;
+    opts.ro.imci.row_group_size = 256;
+    // Fast failure detection for tests: wedge after ~3 retries x ~100us.
+    opts.ro.replication.max_transient_retries = 3;
+    opts.ro.replication.retry_backoff_us = 100;
+    opts.ro.replication.retry_backoff_cap_us = 1'000;
+    opts.ro.replication.poll_timeout_us = 500;
+    opts.health = health;
+    cluster_ = std::make_unique<Cluster>(opts);
+    ASSERT_TRUE(cluster_->CreateTable(SimpleSchema()).ok());
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 200; ++i) rows.push_back({i, i});
+    ASSERT_TRUE(cluster_->BulkLoad(1, std::move(rows)).ok());
+    ASSERT_TRUE(cluster_->Open().ok());
+    committed_ = 200;
+  }
+
+  void Churn(int n) {
+    auto* txns = cluster_->rw()->txn_manager();
+    for (int i = 0; i < n; ++i) {
+      Transaction txn;
+      txns->Begin(&txn);
+      ASSERT_TRUE(
+          txns->Insert(&txn, 1, {int64_t(10000 + committed_), int64_t(i)})
+              .ok());
+      ASSERT_TRUE(txns->Commit(&txn).ok());
+      ++committed_;
+    }
+  }
+
+  LogicalRef CountPlan() {
+    return LAgg(LScan(1, {0}), {}, {AggSpec{AggKind::kCountStar, nullptr}});
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  int64_t committed_ = 0;
+};
+
+TEST_F(ChaosClusterTest, TransientReadFaultsAbsorbedByBoundedRetry) {
+  Build(1);
+  RoNode* ro = cluster_->ro(0);
+  ASSERT_EQ(ro->name(), "ro1");
+  // Two read failures, then the device recovers: the coordinator's bounded
+  // retry (3 attempts) must absorb them without wedging.
+  fault::ScopedFault blip("logstore.read",
+                          MakePolicy(fault::Kind::kFail, "ro1",
+                                     /*max_fires=*/2));
+  Churn(50);
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ro->pipeline()->transient_retries() >= 2; }));
+  ASSERT_TRUE(ro->CatchUpNow().ok());
+  EXPECT_FALSE(ro->pipeline()->wedged());
+  EXPECT_TRUE(ro->healthy());
+  std::vector<Row> out;
+  ASSERT_TRUE(ro->ExecuteColumn(CountPlan(), &out).ok());
+  EXPECT_EQ(AsInt(out[0][0]), committed_);
+}
+
+TEST_F(ChaosClusterTest, PersistentReadFaultsWedgeWithReasonNotSilentStall) {
+  Build(1);
+  RoNode* ro = cluster_->ro(0);
+  fault::ScopedFault storm("logstore.read",
+                           MakePolicy(fault::Kind::kFail, "ro1"));
+  Churn(5);  // there is history the node can no longer read
+  ASSERT_TRUE(WaitUntil([&] { return ro->pipeline()->wedged(); }));
+  // The terminal state is honest: reason preserved, health surface flipped,
+  // and a catch-up wait returns the failure instead of hanging.
+  EXPECT_TRUE(ro->pipeline()->wedge_reason().IsIOError())
+      << ro->pipeline()->wedge_reason().ToString();
+  EXPECT_FALSE(ro->healthy());
+  EXPECT_TRUE(ro->health().wedged);
+  EXPECT_FALSE(ro->CatchUpNow().ok());
+  // Retries were bounded, not infinite.
+  EXPECT_GE(ro->pipeline()->transient_retries(), 3u);
+}
+
+TEST_F(ChaosClusterTest, ProxySkipsWedgedNodeAndServesFromSurvivor) {
+  Build(2);  // no health monitor: routing alone must degrade gracefully
+  RoNode* ro1 = cluster_->ro(0);
+  RoNode* ro2 = cluster_->ro(1);
+  ASSERT_EQ(ro1->name(), "ro1");
+  fault::ScopedFault storm("logstore.read",
+                           MakePolicy(fault::Kind::kFail, "ro1"));
+  Churn(30);
+  ASSERT_TRUE(WaitUntil([&] { return ro1->pipeline()->wedged(); }));
+  // The proxy never routes to the wedged node again...
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(cluster_->proxy()->PickRo(), ro2);
+  // ...and both eventual and strong reads keep succeeding on the survivor
+  // (strong: the healthy node catches up; the wedged one is never waited on).
+  std::vector<Row> out;
+  ASSERT_TRUE(cluster_->proxy()
+                  ->ExecuteQuery(CountPlan(), &out, Consistency::kStrong)
+                  .ok());
+  EXPECT_EQ(AsInt(out[0][0]), committed_);
+  EXPECT_EQ(cluster_->proxy()->rw_fallbacks(), 0u);
+  // Without a health monitor nobody evicts: the fleet still lists 2 nodes.
+  EXPECT_EQ(cluster_->ro_nodes().size(), 2u);
+}
+
+TEST_F(ChaosClusterTest, WedgedRoIsEvictedQueriesRerouteAndReplacementRejoins) {
+  FleetHealthOptions health;
+  health.enabled = true;
+  health.check_interval_us = 1'000;
+  health.auto_replace = true;
+  health.readmit_max_lag = 64;
+  Build(1, health);
+  ASSERT_EQ(cluster_->ro(0)->name(), "ro1");
+  ASSERT_TRUE(cluster_->ro(0)->CatchUpNow().ok());
+
+  // A client hammering the proxy throughout the failure, eviction, and
+  // replacement: ZERO queries may fail — degraded routing (peer RO, then the
+  // RW snapshot engine) is the contract, errors are not.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> query_errors{0};
+  std::thread client([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<Row> out;
+      Status s = cluster_->proxy()->ExecuteQuery(CountPlan(), &out);
+      if (!s.ok() || out.empty()) query_errors.fetch_add(1);
+      queries.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  {
+    // ro1's storage goes bad: every replication read on that node fails.
+    fault::ScopedFault storm("logstore.read",
+                             MakePolicy(fault::Kind::kFail, "ro1"));
+    Churn(50);
+    // The monitor detects the wedge and evicts...
+    ASSERT_TRUE(WaitUntil([&] { return cluster_->evictions() >= 1; }));
+    // ...and boots a replacement that converges and is re-admitted. The
+    // fault stays armed the whole time: the replacement (different scope
+    // tag) must be unaffected — the in-process analogue of one bad disk.
+    ASSERT_TRUE(WaitUntil([&] {
+      return cluster_->replacements() >= 1 && cluster_->ro_nodes().size() == 1;
+    }));
+  }
+  stop.store(true);
+  client.join();
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(query_errors.load(), 0u);
+  // While the fleet was empty the proxy served reads from the RW.
+  EXPECT_GT(cluster_->proxy()->rw_fallbacks(), 0u);
+
+  RoNode* fresh = cluster_->ro(0);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->name(), "ro2");
+  EXPECT_TRUE(fresh->healthy());
+  EXPECT_TRUE(fresh->is_leader());  // leadership moved off the evicted node
+  // The replacement serves fresh, correct data...
+  ASSERT_TRUE(fresh->CatchUpNow().ok());
+  std::vector<Row> out;
+  ASSERT_TRUE(fresh->ExecuteColumn(CountPlan(), &out).ok());
+  EXPECT_EQ(AsInt(out[0][0]), committed_);
+  // ...and routing prefers it again (strong reads included).
+  EXPECT_EQ(cluster_->proxy()->PickRo(), fresh);
+  std::vector<Row> strong;
+  ASSERT_TRUE(cluster_->proxy()
+                  ->ExecuteQuery(CountPlan(), &strong, Consistency::kStrong)
+                  .ok());
+  EXPECT_EQ(AsInt(strong[0][0]), committed_);
+}
+
+TEST_F(ChaosClusterTest, HungCoordinatorIsEvictedViaHeartbeat) {
+  FleetHealthOptions health;
+  health.enabled = true;
+  health.check_interval_us = 2'000;
+  health.heartbeat_timeout_us = 50'000;
+  health.auto_replace = false;  // isolate the detection path
+  Build(1, health);
+  ASSERT_EQ(cluster_->ro(0)->name(), "ro1");
+  // Not a failure the coordinator can see: every read stalls 300ms inside
+  // the device. The pipeline never wedges — the heartbeat goes stale, which
+  // the monitor must treat exactly like a dead node.
+  fault::ScopedFault tarpit(
+      "logstore.read", MakePolicy(fault::Kind::kLatency, "ro1", UINT64_MAX,
+                                  /*latency_us=*/300'000));
+  ASSERT_TRUE(WaitUntil([&] { return cluster_->evictions() >= 1; }));
+  EXPECT_TRUE(cluster_->ro_nodes().empty());
+  // Graceful degradation with an empty fleet: reads come from the RW.
+  std::vector<Row> out;
+  ASSERT_TRUE(cluster_->proxy()->ExecuteQuery(CountPlan(), &out).ok());
+  EXPECT_EQ(AsInt(out[0][0]), committed_);
+  EXPECT_GT(cluster_->proxy()->rw_fallbacks(), 0u);
+}
+
+}  // namespace
+}  // namespace imci

@@ -90,7 +90,7 @@ TEST_F(ChBenchTest, NewOrderIsAtomicUnderConcurrency) {
 TEST_F(ChBenchTest, AnalyticalQueriesAgreeAcrossEngines) {
   auto* txns = cluster_->rw()->txn_manager();
   Rng rng(5);
-  for (int i = 0; i < 150; ++i) bench_->RunTransaction(txns, &rng);
+  for (int i = 0; i < 150; ++i) (void)bench_->RunTransaction(txns, &rng);
   RoNode* ro = cluster_->ro(0);
   ASSERT_TRUE(ro->CatchUpNow().ok());
   ro->RefreshStats();

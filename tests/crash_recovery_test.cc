@@ -118,7 +118,7 @@ TEST_P(CrashRecoveryTest, RecoveredStateEqualsDurableWatermarkPrefix) {
           // Duplicate inserts / missing keys are harmless no-op statuses.
         }
         if (aborted || rng.Next() % 10 == 0) {
-          txns->Rollback(&txn);
+          (void)txns->Rollback(&txn);
           continue;
         }
         if (!txns->Commit(&txn).ok()) continue;

@@ -30,12 +30,12 @@ TEST(GroupCommitterTest, OneFsyncCoversEveryRecordAppendedBeforeIt) {
 
   // The leader's batch target is the written tail, so one fsync covers all
   // ten records — not just the one the caller waited on.
-  log->SyncTo(5);
+  (void)log->SyncTo(5);
   EXPECT_EQ(fs.fsync_count(), 1u);
   EXPECT_EQ(log->durable_lsn(), last);
 
   // Already covered: the fast path returns without another fsync.
-  log->SyncTo(last);
+  (void)log->SyncTo(last);
   EXPECT_EQ(fs.fsync_count(), 1u);
   EXPECT_EQ(log->group()->batches(), 1u);
   EXPECT_EQ(log->group()->commits(), 2u);
@@ -58,12 +58,12 @@ TEST(GroupCommitterTest, RecoveryMarksTheRecoveredTailDurable) {
   PolarFs fs;
   LogStore* log = fs.log("redo");
   const Lsn last = log->Append({"a", "b"}, /*durable=*/true);
-  fs.ReopenLogs();
+  (void)fs.ReopenLogs();
   // Everything recovery re-read from segment files is durable: waiting on
   // the recovered tail must not flush again.
   EXPECT_EQ(log->durable_lsn(), last);
   const uint64_t before = fs.fsync_count();
-  log->SyncTo(last);
+  (void)log->SyncTo(last);
   EXPECT_EQ(fs.fsync_count(), before);
 }
 

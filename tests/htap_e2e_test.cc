@@ -54,7 +54,7 @@ class HtapE2eTest : public ::testing::Test {
   /// must converge to.
   std::vector<Row> RwTruth(TableId t) {
     std::vector<Row> rows;
-    cluster_->rw()->engine()->GetTable(t)->Scan(
+    (void)cluster_->rw()->engine()->GetTable(t)->Scan(
         [&](int64_t, const Row& row) {
           rows.push_back(row);
           return true;

@@ -105,13 +105,13 @@ TEST(LogStoreTest, TruncateBelowAtAndAboveTheWatermark) {
   ASSERT_GE(all_segments, 4u);
 
   // Below the first sealed boundary: nothing is recyclable yet.
-  log->Truncate(0);
+  (void)log->Truncate(0);
   EXPECT_EQ(log->truncated_lsn(), 0u);
   EXPECT_EQ(fs.ListFiles("log/redo/seg_").size(), all_segments);
 
   // Mid-log watermark: only whole segments at or below it are recycled, so
   // the cut never outruns the watermark.
-  log->Truncate(5);
+  (void)log->Truncate(5);
   const Lsn cut = log->truncated_lsn();
   EXPECT_GT(cut, 0u);
   EXPECT_LE(cut, 5u);
@@ -123,7 +123,7 @@ TEST(LogStoreTest, TruncateBelowAtAndAboveTheWatermark) {
 
   // At/above the written tail: every sealed segment goes, the active one
   // stays, and the log keeps appending with dense LSNs.
-  log->Truncate(log->written_lsn());
+  (void)log->Truncate(log->written_lsn());
   EXPECT_EQ(fs.ListFiles("log/redo/seg_").size(), 1u);
   EXPECT_EQ(log->Append({"payload-13"}, false), 13u);
   out.clear();
@@ -135,10 +135,10 @@ TEST(LogStoreTest, TruncationWatermarkSurvivesReopen) {
   PolarFs fs(SmallSegments(32));
   LogStore* log = fs.log("redo");
   for (int i = 1; i <= 8; ++i) log->Append({"r" + std::to_string(i)}, false);
-  log->Truncate(4);
+  (void)log->Truncate(4);
   const Lsn cut = log->truncated_lsn();
   ASSERT_GT(cut, 0u);
-  fs.ReopenLogs();
+  (void)fs.ReopenLogs();
   EXPECT_EQ(log->truncated_lsn(), cut);
   EXPECT_EQ(log->written_lsn(), 8u);
   EXPECT_EQ(log->Append({"r9"}, false), 9u);
@@ -156,7 +156,7 @@ TEST(LogStoreTest, TornTailInsideSegmentIsTrimmedOnReopen) {
   ASSERT_TRUE(fs.ReadFile(seg, &data).ok());
   ASSERT_TRUE(fs.WriteFile(seg, data.substr(0, data.size() - 3)).ok());
 
-  fs.ReopenLogs();
+  (void)fs.ReopenLogs();
   EXPECT_EQ(log->written_lsn(), 4u);
   auto out = ReadAll(log);
   ASSERT_EQ(out.size(), 4u);
@@ -180,7 +180,7 @@ TEST(LogStoreTest, TornTailOnSegmentBoundaryFallsBackToPreviousSegment) {
   const std::string last_seg = files.back();
   ASSERT_TRUE(fs.WriteFile(last_seg, "").ok());
 
-  fs.ReopenLogs();
+  (void)fs.ReopenLogs();
   // Recovery ends at the previous segment's last record and reclaims the
   // empty file.
   const Lsn tail = log->written_lsn();
@@ -213,7 +213,7 @@ TEST(LogStoreTest, CorruptedMiddleRecordCutsRecoveryAndDropsOrphans) {
   data[data.size() / 2] ^= 0x5a;
   ASSERT_TRUE(fs.WriteFile(files[1], std::move(data)).ok());
 
-  fs.ReopenLogs();
+  (void)fs.ReopenLogs();
   const Lsn tail = log->written_lsn();
   EXPECT_LT(tail, 9u);
   EXPECT_GE(tail, 2u);  // the first segment survived intact

@@ -48,10 +48,11 @@ class LogicalApplyTest : public ::testing::Test {
 
   std::vector<Row> RwTruth() {
     std::vector<Row> rows;
-    cluster_->rw()->engine()->GetTable(1)->Scan([&](int64_t, const Row& row) {
-      rows.push_back(row);
-      return true;
-    });
+    (void)cluster_->rw()->engine()->GetTable(1)->Scan(
+        [&](int64_t, const Row& row) {
+          rows.push_back(row);
+          return true;
+        });
     return rows;
   }
 
@@ -176,10 +177,11 @@ TEST(BinlogRecycleTest, TruncatesBelowTheSlowestLogicalCursorAndNoFurther) {
   churn(5000, 40);
   ASSERT_TRUE(ro->CatchUpNow().ok());
   std::vector<Row> col_rows, truth;
-  cluster.rw()->engine()->GetTable(1)->Scan([&](int64_t, const Row& row) {
-    truth.push_back(row);
-    return true;
-  });
+  (void)cluster.rw()->engine()->GetTable(1)->Scan(
+      [&](int64_t, const Row& row) {
+        truth.push_back(row);
+        return true;
+      });
   ASSERT_TRUE(ro->ExecuteColumn(LScan(1, {0, 1, 2}), &col_rows).ok());
   EXPECT_EQ(Canonicalize(col_rows), Canonicalize(truth));
 

@@ -54,7 +54,7 @@ Status UpdateOne(TransactionManager* txns, TableId table, int64_t pk,
       s = txns->Update(&txn, table, pk, row);
     }
     if (!s.ok()) {
-      txns->Rollback(&txn);
+      (void)txns->Rollback(&txn);
       if (s.IsBusy()) continue;
       return s;
     }
@@ -280,7 +280,7 @@ TEST_F(MvccIsolationTest, MultiRowTxnAtomicityUnderWriteHeavyStress) {
         if (ok) {
           EXPECT_TRUE(txns_->Commit(&txn).ok());
         } else {
-          txns_->Rollback(&txn);  // lock timeout: abort and move on
+          (void)txns_->Rollback(&txn);  // lock timeout: abort and move on
         }
       }
       writers_left.fetch_sub(1);
@@ -456,7 +456,7 @@ TEST(RoMvccTest, RowEngineStressSeesNoTornTransactionsDuringReplication) {
         if (ok) {
           EXPECT_TRUE(txns->Commit(&txn).ok());
         } else {
-          txns->Rollback(&txn);  // lock timeout: abort and move on
+          (void)txns->Rollback(&txn);  // lock timeout: abort and move on
         }
       }
       writers_left.fetch_sub(1);

@@ -63,7 +63,7 @@ TEST(PolarFsTest, DurableAppendsAccountFsyncs) {
   EXPECT_EQ(fs.fsync_count(), 0u);
   fs.log("redo")->Append({"y"}, /*durable=*/true);
   EXPECT_EQ(fs.fsync_count(), 1u);
-  fs.log("redo")->Sync();
+  (void)fs.log("redo")->Sync();
   EXPECT_EQ(fs.fsync_count(), 2u);
   EXPECT_GE(fs.log_bytes(), 2u);
 }
@@ -86,7 +86,7 @@ TEST(PolarFsTest, ReopenLogsRecoversFromSegmentFiles) {
   lg->Append({"a", "b", "c"}, true);
   // Simulated restart: in-memory state is rebuilt from the segment files,
   // and the handle stays valid.
-  fs.ReopenLogs();
+  (void)fs.ReopenLogs();
   EXPECT_EQ(lg->written_lsn(), 3u);
   std::vector<std::string> out;
   EXPECT_EQ(lg->Read(0, 10, &out), 3u);

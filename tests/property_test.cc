@@ -71,7 +71,7 @@ TEST_P(BTreeModelTest, MatchesReferenceModel) {
     if (op % 500 == 499) {
       // Full-state comparison.
       std::map<int64_t, std::string> got;
-      table->Scan([&](int64_t key, const Row& row) {
+      (void)table->Scan([&](int64_t key, const Row& row) {
         got[key] = IsNull(row[1]) ? "" : AsString(row[1]);
         return true;
       });
@@ -87,7 +87,7 @@ TEST_P(BTreeModelTest, MatchesReferenceModel) {
     size_t expect = std::distance(model.lower_bound(lo),
                                   model.upper_bound(hi));
     size_t got = 0;
-    table->ScanRange(lo, hi, [&](int64_t, const Row&) {
+    (void)table->ScanRange(lo, hi, [&](int64_t, const Row&) {
       ++got;
       return true;
     });

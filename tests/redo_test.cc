@@ -115,7 +115,7 @@ TEST(RedoWriterTest, WriterAttachedAfterRecoveryContinuesLsns) {
     a.after_image = "x";
     writer.AppendOne(&a, true);
   }
-  fs.ReopenLogs();
+  (void)fs.ReopenLogs();
   RedoWriter resumed(fs.log("redo"));
   EXPECT_EQ(resumed.last_lsn(), 1u);
   RedoRecord b;

@@ -35,7 +35,7 @@ class ReplicationTest : public ::testing::Test {
     ASSERT_NE(index, nullptr);
     const Vid read_vid = ro_->applied_vid();
     std::vector<std::string> rw_rows, ro_rows;
-    rw_table->Scan([&](int64_t /*pk*/, const Row& row) {
+    (void)rw_table->Scan([&](int64_t /*pk*/, const Row& row) {
       std::string s;
       for (const Value& v : row) s += ValueToString(v) + "|";
       rw_rows.push_back(std::move(s));
@@ -240,7 +240,7 @@ TEST_F(ReplicationTest, RandomizedConvergenceProperty) {
         }
       } else if (action == 1) {
         int64_t pk = live[rng.Next() % live.size()];
-        txns_->Update(&txn, 1,
+        (void)txns_->Update(&txn, 1,
                       pk, {pk, static_cast<int64_t>(rng.Next() % 1000),
                            rng.RandomString(0, 20)});
       } else {
@@ -251,14 +251,14 @@ TEST_F(ReplicationTest, RandomizedConvergenceProperty) {
       }
     }
     if (rng.Next() % 10 == 0) {
-      txns_->Rollback(&txn);
+      (void)txns_->Rollback(&txn);
     } else {
       ASSERT_TRUE(txns_->Commit(&txn).ok());
     }
     // Rollback invalidates our `live` tracking; resync from the row store.
     if (txn.commit_vid() == 0) {
       live.clear();
-      cluster_->rw()->engine()->GetTable(1)->Scan(
+      (void)cluster_->rw()->engine()->GetTable(1)->Scan(
           [&](int64_t pk, const Row&) {
             live.push_back(pk);
             return true;
@@ -292,7 +292,7 @@ TEST_F(ReplicationTest, ConcurrentWritersOnOneTableConverge) {
         if (ok && txns_->Commit(&txn).ok()) {
           committed.fetch_add(1);
         } else if (!ok) {
-          txns_->Rollback(&txn);
+          (void)txns_->Rollback(&txn);
         }
       }
     });

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "archive/archive.h"
+#include "common/fault.h"
 #include "log/log_store.h"
 #include "tests/test_util.h"
 
@@ -235,6 +236,40 @@ TEST_F(RestoreTest, TornArchiveSurfacesAsCorruptionNotShorterHistory) {
                   .ok());
   Cluster::RestoredCluster gone;
   EXPECT_FALSE(cluster_->RestoreToLsn(victim.first, &gone).ok());
+}
+
+TEST_F(RestoreTest, FaultInjectedTornSealSurfacesAsCorruptionAtRestore) {
+  Churn(0, 60);
+  {
+    // Tear the first write of the snapshot seal (the PAGES blob) — the
+    // write *reports success*, exactly like a crash mid-write that the
+    // device acknowledged early. Scoped to the seal path so the checkpoint
+    // files written just before are untouched.
+    fault::ScopedFault tear(
+        "polarfs.write_file",
+        fault::Policy{.kind = fault::Kind::kTorn, .hit_at = 1,
+                      .keep_fraction = 0.5, .scope = "snapshot.seal"});
+    const Lsn recycled = CheckpointAndRecycle(1);
+    ASSERT_GT(recycled, 0u);
+    ASSERT_GE(fault::Registry::Instance().fires("polarfs.write_file"), 1u);
+  }
+  Churn(60, 20);
+
+  // Any restore anchored at the torn checkpoint must refuse with Corruption
+  // — never a silently shorter history assembled from the truncated blob.
+  const CommitMark& tail = commits_.back();
+  Cluster::RestoredCluster torn;
+  Status s = cluster_->RestoreToLsn(tail.lsn, &torn);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  // The damage is contained to that anchor: a restore served by the intact
+  // base anchor (below checkpoint 1's start LSN) still works and is exact.
+  const CommitMark& early = commits_[5];
+  Cluster::RestoredCluster ok;
+  ASSERT_TRUE(cluster_->RestoreToLsn(early.lsn, &ok).ok());
+  EXPECT_EQ(ok.anchor_ckpt_id, 0u);
+  CheckRestored(&ok, ModelAt(commits_, early.lsn));
 }
 
 class RetentionRestoreTest : public RestoreTest {

@@ -89,7 +89,7 @@ TEST_F(RowStoreTest, SplitsProduceSmoRecordsAndKeepScansOrdered) {
   // Scan returns keys in ascending order across leaf chain.
   int64_t prev = -1;
   uint64_t count = 0;
-  table_->Scan([&](int64_t pk, const Row&) {
+  (void)table_->Scan([&](int64_t pk, const Row&) {
     EXPECT_GT(pk, prev);
     prev = pk;
     ++count;
@@ -105,7 +105,7 @@ TEST_F(RowStoreTest, RangeScan) {
     ASSERT_TRUE(table_->Insert({i, i, Value{}}, &redo).ok());
   }
   std::vector<int64_t> got;
-  table_->ScanRange(10, 19, [&](int64_t pk, const Row&) {
+  (void)table_->ScanRange(10, 19, [&](int64_t pk, const Row&) {
     got.push_back(pk);
     return true;
   });
@@ -260,7 +260,7 @@ TEST_F(TxnTest, ConcurrentDisjointCommits) {
             txns_.Commit(&txn).ok()) {
           ok_count.fetch_add(1);
         } else {
-          txns_.Rollback(&txn);
+          (void)txns_.Rollback(&txn);
         }
       }
     });
