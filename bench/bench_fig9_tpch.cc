@@ -4,7 +4,10 @@
 // substitution 4). Paper shape to verify: column engine beats the row engine
 // by 1-2 orders of magnitude on scan-heavy queries (gmean x5.56 at 100G),
 // loses on the highly selective Q2, and tracks the ClickHouse stand-in.
+#include <thread>
+
 #include "bench/bench_util.h"
+#include "tests/test_util.h"
 #include "workloads/tpch_internal.h"
 
 using namespace imci;
@@ -19,7 +22,9 @@ int main(int argc, char** argv) {
               "%s\n",
               sf, parallelism, smoke ? " | smoke" : "");
   ClusterOptions opts;
-  opts.ro.exec_threads = parallelism;
+  // The cores sweep below re-runs the suite at DOP up to 4 even when the
+  // headline arm was asked for less, so the pool must hold 4 workers.
+  opts.ro.exec_threads = std::max(parallelism, 4);
   opts.ro.default_parallelism = parallelism;
   auto cluster = MakeTpchCluster(sf, 1, opts);
   if (!cluster) {
@@ -116,6 +121,76 @@ int main(int argc, char** argv) {
   report.Metric("gmean_chsim_ms", g_ch);
   report.Metric("gmean_row_ms", g_row);
   report.Metric("gmean_speedup_row_over_imci", g_row / g_imci);
+
+  // --- Cores sweep: morsel-executor scaling + equivalence gate -----------
+  // Re-runs the 22-query suite at DOP 1, 2, 4 on the same node. Every run
+  // is checked for result equivalence against the DOP=1 reference (the
+  // executor's contract: parallelism must never change an answer), and the
+  // non-smoke run gates on >= 2x total-suite speedup at 4 workers. The
+  // speedup gate needs hardware: on a machine with fewer than 4 cores it is
+  // measured and reported but not enforced (a 1-core box cannot physically
+  // run 4 workers faster than 1).
+  const unsigned hw_cores = std::thread::hardware_concurrency();
+  const int sweep_dops[] = {1, 2, 4};
+  double sweep_total_ms[3] = {0, 0, 0};
+  bool equivalent = true;
+  std::printf("# cores sweep (%u hardware cores)\n", hw_cores);
+  for (int q = 1; q <= 22; ++q) {
+    std::vector<std::string> reference;
+    for (int di = 0; di < 3; ++di) {
+      const int dop = sweep_dops[di];
+      auto exec = [&](const LogicalRef& plan, std::vector<Row>* out) {
+        return ro->ExecuteColumn(plan, out, dop);
+      };
+      std::vector<Row> out;
+      Timer t;
+      Status s = tpch::RunQuery(q, *cluster->catalog(), exec, &out);
+      sweep_total_ms[di] += t.ElapsedMicros() / 1000.0;
+      if (!s.ok()) {
+        std::printf("sweep Q%d failed at dop=%d: %s\n", q, dop,
+                    s.ToString().c_str());
+        return 1;
+      }
+      std::vector<std::string> canon = testing_util::Canonicalize(out);
+      if (di == 0) {
+        reference = std::move(canon);
+      } else if (canon != reference) {
+        std::printf("sweep Q%d NOT EQUIVALENT at dop=%d (%zu rows vs %zu)\n",
+                    q, dop, canon.size(), reference.size());
+        equivalent = false;
+      }
+    }
+  }
+  const double speedup2 = sweep_total_ms[0] / std::max(sweep_total_ms[1], 1e-3);
+  const double speedup4 = sweep_total_ms[0] / std::max(sweep_total_ms[2], 1e-3);
+  std::printf("# sweep totals: dop1 %.1fms, dop2 %.1fms (x%.2f), dop4 %.1fms "
+              "(x%.2f) | stolen tasks %llu | equivalence %s\n",
+              sweep_total_ms[0], sweep_total_ms[1], speedup2,
+              sweep_total_ms[2], speedup4,
+              static_cast<unsigned long long>(ro->exec_pool()->tasks_stolen()),
+              equivalent ? "OK" : "FAILED");
+  report.Metric("sweep_dop1_ms", sweep_total_ms[0]);
+  report.Metric("sweep_dop2_ms", sweep_total_ms[1]);
+  report.Metric("sweep_dop4_ms", sweep_total_ms[2]);
+  report.Metric("sweep_speedup_2w", speedup2);
+  report.Metric("sweep_speedup_4w", speedup4);
+  report.Metric("sweep_equivalent", equivalent ? 1 : 0);
+  report.Metric("hardware_cores", hw_cores);
   report.Write();
+  if (!equivalent) {
+    std::printf("FAILED: parallel results diverge from dop=1\n");
+    return 1;
+  }
+  const bool enforce_speedup = !smoke && hw_cores >= 4;
+  if (enforce_speedup && speedup4 < 2.0) {
+    std::printf("FAILED: dop=4 speedup x%.2f < x2.0 over dop=1 "
+                "(%u cores available)\n",
+                speedup4, hw_cores);
+    return 1;
+  }
+  if (!enforce_speedup) {
+    std::printf("# speedup gate not enforced (%s)\n",
+                smoke ? "smoke run" : "fewer than 4 hardware cores");
+  }
   return 0;
 }

@@ -252,7 +252,10 @@ Status Cluster::RestoreToLsn(Lsn lsn, RestoredCluster* out) {
                                 "tier (PolarFs::Options::enable_archive)");
   }
   LogStore* redo = fs_.log("redo");
-  const Lsn target = std::min(lsn, redo->written_lsn());
+  // Clamp to the durable watermark: restore reproduces durable history, and
+  // written-but-unfsynced records are retractable (a failed batch fsync
+  // trims them), so they must never be spliced into a restored log.
+  const Lsn target = std::min(lsn, redo->durable_lsn());
   SnapshotStore::Anchor anchor;
   IMCI_RETURN_NOT_OK(arc->snapshots()->FindAnchor(target, &anchor));
   auto fs = std::make_unique<PolarFs>(options_.fs);
@@ -286,10 +289,12 @@ Status Cluster::RestoreToLsn(Lsn lsn, RestoredCluster* out) {
         "] not contiguously available");
   }
   // Replay stops at exactly `target` because nothing past it exists in the
-  // restored log — CatchUpNow below cannot overshoot.
+  // restored log — CatchUpNow below cannot overshoot. The splice is durable
+  // history, so append it durably: replication consumes only the durable
+  // prefix, and a watermark stuck at the anchor would replay nothing.
   if (!records.empty()) {
     Status append_error;
-    fs->log("redo")->Append(std::move(records), false, &append_error);
+    fs->log("redo")->Append(std::move(records), true, &append_error);
     IMCI_RETURN_NOT_OK(append_error);
   }
   auto catalog = std::make_unique<Catalog>();

@@ -27,6 +27,9 @@ RoNode::RoNode(std::string name, PolarFs* fs, Catalog* catalog,
       engine_(fs, catalog, options_.buffer_pool_capacity),
       imci_(options_.imci),
       exec_pool_(options_.exec_threads),
+      query_tokens_(options_.query_token_budget > 0
+                        ? options_.query_token_budget
+                        : options_.exec_threads),
       repl_pool_(std::max(options_.replication.parse_parallelism,
                           options_.replication.apply_parallelism)),
       pipeline_(fs, catalog, engine_.buffer_pool(), &imci_, &repl_pool_,
@@ -138,10 +141,14 @@ void RoNode::StopReplication() {
 }
 
 Status RoNode::CatchUpNow() {
+  // Catch up to the *durable* watermark, not the written tail: the pipeline
+  // never consumes past it (the unfsynced tail is retractable), so waiting
+  // on written LSNs would hang whenever a transaction's eagerly-shipped DML
+  // records are still waiting for their first covering batch fsync.
   if (replicating_.load()) {
     // Background pipeline owns the cursor; just wait for it — but never
     // wait on a pipeline that can no longer make progress.
-    while (pipeline_.read_lsn() < pipeline_.source_written_lsn()) {
+    while (pipeline_.read_lsn() < pipeline_.source_durable_lsn()) {
       if (pipeline_.wedged()) return pipeline_.wedge_reason();
       if (!replicating_.load()) break;
       std::this_thread::sleep_for(std::chrono::microseconds(200));
@@ -152,15 +159,25 @@ Status RoNode::CatchUpNow() {
     pipeline_.Start(boot_lsn_, boot_vid_);
     pipeline_.Stop();
   }
-  return pipeline_.CatchUp(pipeline_.source_written_lsn());
+  return pipeline_.CatchUp(pipeline_.source_durable_lsn());
 }
 
 Status RoNode::ExecuteColumn(const LogicalRef& plan, std::vector<Row>* out,
                              int parallelism) {
+  // Degree of parallelism: an explicit caller request wins (bench sweeps,
+  // tests); otherwise the optimizer sizes the fan-out to the estimated scan
+  // volume. Either way the request is then clamped to this query's token
+  // grant, so concurrent analytics queries share the pool's workers instead
+  // of each oversubscribing it.
+  const int desired =
+      parallelism > 0
+          ? parallelism
+          : ChooseDop(plan, stats_, options_.default_parallelism);
+  QueryTokenGrant grant(&query_tokens_, desired);
   ExecContext ctx;
   ctx.pool = &exec_pool_;
-  ctx.parallelism =
-      parallelism > 0 ? parallelism : options_.default_parallelism;
+  ctx.parallelism = grant.tokens();
+  ctx.morsel_row_groups = options_.morsel_row_groups;
   ctx.read_vid = pipeline_.applied_vid();
   // Pin the read view on every index the plan touches so maintenance never
   // reclaims versions under us (§6.4 snapshot consistency).

@@ -19,6 +19,13 @@ struct RoNodeOptions {
   /// Intra-node routing threshold: estimated row-engine rows-touched above
   /// which the column engine is chosen (§6.1).
   double row_cost_threshold = 20000.0;
+  /// Per-query worker-token budget for the column executor: concurrent
+  /// analytics queries share this many tokens, each query's parallelism is
+  /// clamped to its grant (minimum 1 — a query is never refused, it
+  /// degrades toward serial). 0 means "same as exec_threads".
+  int query_token_budget = 0;
+  /// Morsel size for column scans, in row groups per dispatch.
+  int morsel_row_groups = 1;
 };
 
 /// A read-only node (§3.1): dual-format storage — a row-store replica (its
@@ -117,6 +124,7 @@ class RoNode {
   RowStoreEngine* engine() { return &engine_; }
   StatsCollector* stats() { return &stats_; }
   ThreadPool* exec_pool() { return &exec_pool_; }
+  QueryTokenLedger* query_tokens() { return &query_tokens_; }
 
  private:
   Status RebuildFromRowStore();
@@ -128,6 +136,7 @@ class RoNode {
   RowStoreEngine engine_;
   ImciStore imci_;
   ThreadPool exec_pool_;
+  QueryTokenLedger query_tokens_;
   ThreadPool repl_pool_;
   ReplicationPipeline pipeline_;
   StatsCollector stats_;

@@ -105,25 +105,34 @@ Status ColumnScanOp::Execute(ExecContext* ctx, RowSet* out) {
   std::atomic<size_t> next_group{0};
   Status statuses[64];
   const int w = std::min(workers, 64);
-  // Morsel-driven parallel scan: workers fetch row groups ("Data Packs in a
-  // non-interleaved manner") from a shared counter.
+  const size_t morsel =
+      static_cast<size_t>(std::max(1, ctx->morsel_row_groups));
+  // Morsel-driven parallel scan: workers claim morsels — runs of consecutive
+  // row groups ("Data Packs in a non-interleaved manner") — from a shared
+  // dispatch counter. A fast worker claims more morsels than a slow one, so
+  // skew balances without a static assignment, and the pool's deque stealing
+  // covers workers blocked in other queries.
   ParallelFor(ctx->pool, w, [&](int wi) {
     for (;;) {
-      const size_t gid = next_group.fetch_add(1, std::memory_order_relaxed);
-      if (gid >= ngroups) return;
-      auto g = index_->group(gid);
-      if (!g || g->retired()) continue;
-      const uint32_t used = index_->GroupUsed(gid);
-      if (used == 0) continue;
-      if (ctx->pruning_enabled && GroupPrunable(*g)) {
-        groups_pruned_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      groups_scanned_.fetch_add(1, std::memory_order_relaxed);
-      Status s = ScanGroup(*g, used, read_vid, &partials[wi]);
-      if (!s.ok()) {
-        statuses[wi] = s;
-        return;
+      const size_t start = next_group.fetch_add(morsel,
+                                                std::memory_order_relaxed);
+      if (start >= ngroups) return;
+      const size_t end = std::min(ngroups, start + morsel);
+      for (size_t gid = start; gid < end; ++gid) {
+        auto g = index_->group(gid);
+        if (!g || g->retired()) continue;
+        const uint32_t used = index_->GroupUsed(gid);
+        if (used == 0) continue;
+        if (ctx->pruning_enabled && GroupPrunable(*g)) {
+          groups_pruned_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        groups_scanned_.fetch_add(1, std::memory_order_relaxed);
+        Status s = ScanGroup(*g, used, read_vid, &partials[wi]);
+        if (!s.ok()) {
+          statuses[wi] = s;
+          return;
+        }
       }
     }
   });
@@ -298,6 +307,19 @@ HashJoinOp::HashJoinOp(PhysOpRef build, PhysOpRef probe,
   }
 }
 
+namespace {
+
+/// Number of exchange partitions for a given worker count: the smallest
+/// power of two >= workers (power of two so the partition of a hash is a
+/// mask, and >= workers so every worker owns at least one partition).
+int ExchangePartitions(int workers) {
+  int p = 1;
+  while (p < workers) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 Status HashJoinOp::Execute(ExecContext* ctx, RowSet* out) {
   RowSet build_set;
   IMCI_RETURN_NOT_OK(build_->Execute(ctx, &build_set));
@@ -305,18 +327,47 @@ Status HashJoinOp::Execute(ExecContext* ctx, RowSet* out) {
   IMCI_RETURN_NOT_OK(probe_->Execute(ctx, &probe_set));
   out->types = out_types_;
 
-  // Build phase.
+  // Build phase, partition-parallel with an exchange step. Stage 1
+  // (scatter) runs per build batch: encode each row's key and route it to
+  // partition hash(key) & (P-1). Stage 2 (merge) runs per partition:
+  // partition p assembles its own hash table from every batch's p-bucket,
+  // walking batches in index order so refs land in the exact (batch, row)
+  // order the serial build would have produced — match emission order, and
+  // therefore results, are identical to parallelism=1.
   using Ref = std::pair<uint32_t, uint32_t>;  // (batch, row)
-  std::unordered_map<std::string, std::vector<Ref>> table;
-  table.reserve(build_set.TotalRows());
-  std::string key;
-  for (uint32_t bi = 0; bi < build_set.batches.size(); ++bi) {
+  const int workers = std::max(1, ctx->parallelism);
+  const int P = ExchangePartitions(std::min(workers, 64));
+  const uint32_t pmask = static_cast<uint32_t>(P - 1);
+  const std::hash<std::string> hasher;
+
+  const int nbuild = static_cast<int>(build_set.batches.size());
+  struct ScatterBucket {
+    std::vector<std::pair<std::string, uint32_t>> rows;  // (key, row)
+  };
+  // scatter[bi][p]: keys of batch bi routed to partition p.
+  std::vector<std::vector<ScatterBucket>> scatter(nbuild);
+  ParallelFor(ctx->pool, nbuild, [&](int bi) {
     const Batch& b = build_set.batches[bi];
+    auto& parts = scatter[bi];
+    parts.resize(P);
+    std::string key;
     for (uint32_t ri = 0; ri < b.rows; ++ri) {
       if (!EncodeKey(b, build_keys_, ri, &key)) continue;
-      table[key].push_back({bi, ri});
+      const uint32_t p = static_cast<uint32_t>(hasher(key)) & pmask;
+      parts[p].rows.emplace_back(key, ri);
     }
-  }
+  });
+
+  std::vector<std::unordered_map<std::string, std::vector<Ref>>> tables(P);
+  ParallelFor(ctx->pool, P, [&](int p) {
+    auto& table = tables[p];
+    for (int bi = 0; bi < nbuild; ++bi) {
+      for (auto& [key, ri] : scatter[bi][p].rows) {
+        table[std::move(key)].push_back({static_cast<uint32_t>(bi), ri});
+      }
+    }
+  });
+  scatter.clear();
 
   const int build_width =
       (type_ == JoinType::kInner || type_ == JoinType::kLeft)
@@ -335,6 +386,7 @@ Status HashJoinOp::Execute(ExecContext* ctx, RowSet* out) {
       const bool valid = EncodeKey(pb, probe_keys_, ri, &k);
       const std::vector<Ref>* matches = nullptr;
       if (valid) {
+        const auto& table = tables[static_cast<uint32_t>(hasher(k)) & pmask];
         auto it = table.find(k);
         if (it != table.end()) matches = &it->second;
       }
@@ -556,47 +608,65 @@ Status HashAggOp::Execute(ExecContext* ctx, RowSet* out) {
   });
   if (failed.load()) return Status::Internal("agg arg eval failed");
 
-  // Merge partials into partials[0].
-  auto& merged = partials[0];
-  for (int w = 1; w < workers; ++w) {
-    for (auto& [key, st] : partials[w]) {
-      auto it = merged.find(key);
-      if (it == merged.end()) {
-        merged.emplace(key, std::move(st));
-        continue;
-      }
-      AggState& dst = it->second;
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        dst.sums[a] += st.sums[a];
-        dst.counts[a] += st.counts[a];
-        if (!IsNull(st.mins[a]) &&
-            (IsNull(dst.mins[a]) ||
-             CompareValues(st.mins[a], dst.mins[a]) < 0)) {
-          dst.mins[a] = std::move(st.mins[a]);
+  // Exchange/merge: the thread-local partials are repartitioned by key hash
+  // and each partition is merged by a single worker. A key lives in exactly
+  // one partition, so partition workers can move agg states out of the
+  // shared partial maps without synchronization; each partition walks the
+  // partials in worker order so the accumulation order matches the serial
+  // merge exactly.
+  const int P = ExchangePartitions(workers);
+  const uint32_t pmask = static_cast<uint32_t>(P - 1);
+  const std::hash<std::string> hasher;
+  std::vector<std::unordered_map<std::string, AggState>> merged(P);
+  ParallelFor(ctx->pool, P, [&](int p) {
+    auto& part = merged[p];
+    for (int w = 0; w < workers; ++w) {
+      for (auto& [key, st] : partials[w]) {
+        if ((static_cast<uint32_t>(hasher(key)) & pmask) !=
+            static_cast<uint32_t>(p)) {
+          continue;
         }
-        if (!IsNull(st.maxs[a]) &&
-            (IsNull(dst.maxs[a]) ||
-             CompareValues(st.maxs[a], dst.maxs[a]) > 0)) {
-          dst.maxs[a] = std::move(st.maxs[a]);
+        auto it = part.find(key);
+        if (it == part.end()) {
+          part.emplace(key, std::move(st));
+          continue;
         }
-        for (auto& d : st.distincts[a]) dst.distincts[a].insert(d);
+        AggState& dst = it->second;
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          dst.sums[a] += st.sums[a];
+          dst.counts[a] += st.counts[a];
+          if (!IsNull(st.mins[a]) &&
+              (IsNull(dst.mins[a]) ||
+               CompareValues(st.mins[a], dst.mins[a]) < 0)) {
+            dst.mins[a] = std::move(st.mins[a]);
+          }
+          if (!IsNull(st.maxs[a]) &&
+              (IsNull(dst.maxs[a]) ||
+               CompareValues(st.maxs[a], dst.maxs[a]) > 0)) {
+            dst.maxs[a] = std::move(st.maxs[a]);
+          }
+          for (auto& d : st.distincts[a]) dst.distincts[a].insert(d);
+        }
       }
     }
-  }
+  });
 
   // Handle the global-aggregate-with-no-rows case: SQL returns one row.
-  if (merged.empty() && group_cols_.empty()) {
+  size_t total_groups = 0;
+  for (const auto& part : merged) total_groups += part.size();
+  if (total_groups == 0 && group_cols_.empty()) {
     AggState st;
     st.sums.assign(aggs_.size(), 0.0);
     st.counts.assign(aggs_.size(), 0);
     st.mins.assign(aggs_.size(), Value{});
     st.maxs.assign(aggs_.size(), Value{});
     st.distincts.resize(aggs_.size());
-    merged.emplace("", std::move(st));
+    merged[0].emplace("", std::move(st));
   }
 
   Batch outb = Batch::Make(out_types_);
-  for (auto& [key, st] : merged) {
+  for (auto& part : merged)
+  for (auto& [key, st] : part) {
     int c = 0;
     for (size_t g = 0; g < group_cols_.size(); ++g, ++c) {
       outb.cols[c].AppendValue(st.group_values[g]);

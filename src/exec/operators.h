@@ -17,11 +17,18 @@ namespace imci {
 /// and the pinned read view (§6.4 consistency).
 struct ExecContext {
   ThreadPool* pool = nullptr;
+  /// Intra-query degree of parallelism. 1 is the reference serial path;
+  /// every parallel operator must produce results equivalent to it.
   int parallelism = 1;
   Vid read_vid = kMaxVid;
   /// Pack min/max pruning toggle (pruning ablation and the "pure columnar
   /// comparator" configuration of the Figure 9 bench).
   bool pruning_enabled = true;
+  /// Morsel size for column scans, in row groups: workers claim this many
+  /// consecutive row groups per dispatch. Row groups are the natural split
+  /// (pruning metadata and visibility bitmaps are group-granular), so a
+  /// morsel never cuts a group in half.
+  int morsel_row_groups = 1;
 };
 
 /// Physical operator base. Operators run batch-at-a-time internally and
@@ -151,8 +158,9 @@ struct AggSpec {
   ExprRef arg;  // null for kCountStar
 };
 
-/// Hash aggregation with thread-local partial tables merged at the end
-/// (§6.3). Output: group columns (in given order) then one column per agg.
+/// Hash aggregation with thread-local partial tables, repartitioned by key
+/// hash through an exchange step and merged partition-parallel (§6.3).
+/// Output: group columns (in given order) then one column per agg.
 class HashAggOp : public PhysOp {
  public:
   HashAggOp(PhysOpRef child, std::vector<int> group_cols,

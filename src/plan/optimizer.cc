@@ -189,6 +189,20 @@ RoutingDecision RouteQuery(const LogicalRef& plan,
   return d;
 }
 
+int ChooseDop(const LogicalRef& plan, const StatsCollector& stats,
+              int max_dop, double rows_per_worker) {
+  if (max_dop <= 1) return 1;
+  if (rows_per_worker < 1.0) rows_per_worker = 1.0;
+  // rows_touched approximates total scan volume (every scanned relation's
+  // selected rows); one worker per rows_per_worker of it — about one 64K
+  // row group each — keeps the fan-out cost amortized.
+  const PlanCost cost = EstimatePlan(plan, stats);
+  const double workers = cost.rows_touched / rows_per_worker;
+  if (workers <= 1.0) return 1;
+  const double capped = std::min(static_cast<double>(max_dop), workers);
+  return static_cast<int>(std::ceil(capped));
+}
+
 JoinOrder OrderJoins(const JoinGraph& graph) {
   const int n = static_cast<int>(graph.cardinalities.size());
   JoinOrder result;

@@ -58,6 +58,15 @@ struct RoutingDecision {
 RoutingDecision RouteQuery(const LogicalRef& plan, const StatsCollector& stats,
                            double row_cost_threshold = 20000.0);
 
+/// Degree-of-parallelism choice for the column engine's morsel executor:
+/// scale the worker count to the estimated scan volume so a point-ish query
+/// stays serial (no fan-out fixed cost, no pool tokens consumed) while a
+/// full TPC-H scan asks for the whole budget. Returns a value in
+/// [1, max_dop]; the RO node then shrinks the request to its per-query
+/// token grant.
+int ChooseDop(const LogicalRef& plan, const StatsCollector& stats,
+              int max_dop, double rows_per_worker = 65536.0);
+
 // --- Join ordering -----------------------------------------------------
 
 /// A join-ordering problem: relations with cardinalities and equi-join

@@ -11,7 +11,13 @@ Lsn RedoWriter::Append(std::vector<RedoRecord*> records, bool durable,
     // LSN assignment and serialization under the lock keeps LSN order equal
     // to log order, the prerequisite Phase#2 sorting relies on (§5.4).
     std::lock_guard<std::mutex> g(mu_);
-    Lsn lsn = last_lsn_.load(std::memory_order_relaxed);
+    // Stamp from the log's tail, not a private counter: a failed batch fsync
+    // trims the log below a previously returned LSN, and a stale counter
+    // would stamp the first post-reopen record with a colliding LSN — the
+    // replica's page-LSN idempotence check then silently discards the real
+    // record that later lands there. Every redo append serializes through
+    // this mutex, so written_lsn() is exactly the last stamped position.
+    Lsn lsn = log_->written_lsn();
     for (RedoRecord* r : records) {
       r->lsn = ++lsn;
       std::string buf;

@@ -46,6 +46,13 @@ class RedoWriter {
 
   Lsn last_lsn() const { return last_lsn_.load(std::memory_order_acquire); }
 
+  /// Group-commit durable watermark: every record at or below this LSN has
+  /// been covered by a successful batch fsync. After a failed batch fsync
+  /// the log trims its un-fsynced tail, so LSNs above this point name
+  /// records that no longer exist (durable-visibility publication drops
+  /// them).
+  Lsn durable_lsn() const { return log_->durable_lsn(); }
+
  private:
   LogStore* log_;
   std::mutex mu_;

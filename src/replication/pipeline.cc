@@ -119,9 +119,14 @@ Status ReplicationPipeline::last_checkpoint_error() const {
 }
 
 uint64_t ReplicationPipeline::LsnDelay() const {
-  const Lsn written = source_log_->written_lsn();
+  // Backlog is measured against the durable watermark, not the written
+  // tail: the pipeline never consumes past it, so counting the
+  // not-yet-fsynced tail would report "lag" no amount of applying can
+  // clear (and could trip the health monitor's lag eviction on a node
+  // that is fully caught up).
+  const Lsn durable = source_log_->durable_lsn();
   const Lsn read = read_lsn_.load(std::memory_order_acquire);
-  return written > read ? written - read : 0;
+  return durable > read ? durable - read : 0;
 }
 
 std::string ReplicationPipeline::SerializeInflight() const {
@@ -292,10 +297,15 @@ Status ReplicationPipeline::PollLogicalOnce() {
   // The strawman's Phase#1: one binlog record == one committed transaction,
   // already in commit order, no commit-ahead buffering possible.
   const Lsn from = read_lsn_.load(std::memory_order_acquire);
+  // Consume only the durable prefix (see PollRedoOnce).
+  const Lsn durable = source_log_->durable_lsn();
+  if (durable <= from) return Status::OK();
   std::vector<LogicalTxn> txns;
   Status read_error;
-  const Lsn to = logical_.Poll(from, options_.chunk_records, &txns,
-                               &read_error);
+  const Lsn to = logical_.Poll(
+      from,
+      static_cast<size_t>(std::min<Lsn>(options_.chunk_records, durable - from)),
+      &txns, &read_error);
   // Nothing consumed: surface the read failure (OK when merely idle).
   if (to == from) return read_error;
   std::vector<CommittedTxn> batch;
@@ -320,10 +330,20 @@ Status ReplicationPipeline::PollLogicalOnce() {
 
 Status ReplicationPipeline::PollRedoOnce() {
   const Lsn from = read_lsn_.load(std::memory_order_acquire);
+  // Consume only the durable prefix of the source log. Written-but-unfsynced
+  // records are retractable: a failed batch fsync trims them, and a replica
+  // that already applied one would expose a commit the log no longer
+  // contains — with its cursor parked over LSNs that post-reopen appends
+  // reuse for different records. CALS still ships commit-ahead: a DML record
+  // becomes consumable as soon as any batch fsync covers it, long before its
+  // transaction decides.
+  const Lsn durable = source_log_->durable_lsn();
+  if (durable <= from) return Status::OK();
   std::vector<RedoRecord> records;
   Status read_error;
-  const Lsn to = reader_.Read(from, from + options_.chunk_records, &records,
-                              &read_error);
+  const Lsn to =
+      reader_.Read(from, std::min<Lsn>(from + options_.chunk_records, durable),
+                   &records, &read_error);
   // Nothing consumed: surface the read failure (OK when merely idle).
   if (to == from) return read_error;
 

@@ -108,9 +108,14 @@ class ReplicationPipeline {
   /// (read_lsn/applied_lsn) are in that log's LSN space.
   ApplySource source() const { return options_.source; }
   Lsn source_written_lsn() const { return source_log_->written_lsn(); }
+  /// The source log's durable watermark — the highest LSN this pipeline will
+  /// ever consume. The written-but-unfsynced tail beyond it is retractable
+  /// (a failed batch fsync trims it), so replicas never build state on it.
+  Lsn source_durable_lsn() const { return source_log_->durable_lsn(); }
   /// LSN of the last applied commit record.
   Lsn applied_lsn() const { return applied_lsn_.load(std::memory_order_acquire); }
-  /// Shipped-but-unconsumed backlog (Fig. 14's "LSN delay").
+  /// Durable-but-unconsumed backlog (Fig. 14's "LSN delay"), bounded by
+  /// the consumable ceiling (source_durable_lsn).
   uint64_t LsnDelay() const;
 
   LatencyHistogram* vd_histogram() { return &vd_; }

@@ -304,6 +304,72 @@ void TransactionManager::StampCommitLocked(Transaction* txn, Vid trim_hint) {
   }
 }
 
+void TransactionManager::PublishDurable() {
+  if (pub_pending_.load(std::memory_order_acquire) == 0) return;
+  const Lsn durable = redo_->durable_lsn();
+  std::lock_guard<std::mutex> g(pub_mu_);
+  Vid publish = 0;
+  while (!pub_queue_.empty() && pub_queue_.front().second <= durable) {
+    publish = pub_queue_.front().first;
+    pub_queue_.pop_front();
+    pub_pending_.fetch_sub(1, std::memory_order_release);
+  }
+  // The queue is VID-ascending and snapshot_vid_ is only advanced under
+  // pub_mu_ in kDurable mode, so the store stays monotone; the compare
+  // guards the mixed history left by a mode flip.
+  if (publish > snapshot_vid_.load(std::memory_order_relaxed)) {
+    snapshot_vid_.store(publish, std::memory_order_release);
+  }
+}
+
+void TransactionManager::DropLostPublications() {
+  if (pub_pending_.load(std::memory_order_acquire) == 0) return;
+  // A failed batch fsync poisons the log: durable_lsn() is frozen at the
+  // pre-batch watermark and further appends are refused until reopen, so
+  // the watermark cannot race past a trimmed LSN while we drop. Every
+  // committer in the failed batch calls this before surfacing its error —
+  // the queue is clean before any reopen can append new records onto the
+  // trimmed LSN range.
+  const Lsn durable = redo_->durable_lsn();
+  std::lock_guard<std::mutex> g(pub_mu_);
+  while (!pub_queue_.empty() && pub_queue_.back().second > durable) {
+    pub_queue_.pop_back();
+    pub_pending_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void TransactionManager::RetractLostCommit(Transaction* txn) {
+  if (txn->undo_.empty()) return;
+  // Physical undo in reverse order, exactly like Rollback — but with no
+  // compensation shipping: the poisoned log refuses appends, and the
+  // records being compensated were themselves trimmed, so recovery never
+  // replays them. Best-effort per image (a row already at its pre-image
+  // reports NotFound/Busy; the retract below is what makes the loss
+  // logically complete).
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    RowTable* t = engine_->GetTable(it->table_id);
+    if (t == nullptr) continue;
+    std::vector<RedoRecord> comp;
+    switch (it->op) {
+      case UndoEntry::Op::kInsert:
+        (void)t->DeleteImage(it->pk, &comp);
+        break;
+      case UndoEntry::Op::kUpdate:
+        (void)t->UpdateImage(it->pk, it->old_image, &comp);
+        break;
+      case UndoEntry::Op::kDelete:
+        (void)t->InsertImage(it->pk, it->old_image, &comp);
+        break;
+    }
+  }
+  std::map<TableId, std::vector<int64_t>> by_table;
+  for (const UndoEntry& u : txn->undo_) by_table[u.table_id].push_back(u.pk);
+  for (auto& [table_id, pks] : by_table) {
+    RowTable* t = engine_->GetTable(table_id);
+    if (t != nullptr) t->RetractVersions(txn->commit_vid_, pks);
+  }
+}
+
 Status TransactionManager::Commit(Transaction* txn) {
   if (txn->finished_) return Status::InvalidArgument("finished txn");
   txn->finished_ = true;
@@ -354,18 +420,27 @@ Status TransactionManager::Commit(Transaction* txn) {
     // Both happen under commit_mu_, keeping the published point monotone in
     // VID (≡ LSN) order.
     //
-    // Deliberate trade-off: publication happens at the commit *point*, not
-    // at durability — a snapshot taken now can observe this transaction
-    // before its group-commit fsync lands, so a crash in that window
-    // erases state a reader may have acted on. This matches the in-memory
-    // MVCC commit-point convention (and is strictly stronger than the
-    // pre-MVCC unlocked read, which exposed uncommitted data); gating
-    // visibility on the durable LSN would need a vid->lsn publication
-    // queue and tie read freshness to fsync batch latency (ROADMAP
-    // follow-up). Locks are still held to durability, so *conflicting
-    // writers* never build on a loseable commit.
+    // Visibility policy (see TransactionManager::Visibility):
+    //
+    // - kCommitPoint (default, the paper's freshness stance): publish now.
+    //   A snapshot taken after this store can observe the transaction
+    //   before its group-commit fsync lands; a crash in that window erases
+    //   state a reader may have acted on. Strictly stronger than the
+    //   pre-MVCC unlocked read (which exposed uncommitted data), and
+    //   conflicting *writers* are safe either way — locks are held to
+    //   durability.
+    // - kDurable: queue (vid, lsn) instead; the snapshot point advances in
+    //   PublishDurable() once the group-commit watermark covers the commit
+    //   record. Freshness now tracks fsync batch latency.
     StampCommitLocked(txn, trim_hint);
-    snapshot_vid_.store(txn->commit_vid_, std::memory_order_release);
+    if (visibility_.load(std::memory_order_relaxed) ==
+        Visibility::kCommitPoint) {
+      snapshot_vid_.store(txn->commit_vid_, std::memory_order_release);
+    } else {
+      std::lock_guard<std::mutex> pg(pub_mu_);
+      pub_queue_.emplace_back(txn->commit_vid_, commit_lsn);
+      pub_pending_.fetch_add(1, std::memory_order_release);
+    }
   }
   // Group commit: block until a leader's batch fsync covers the commit
   // record (and, in binlog mode, the logical record). Locks are released
@@ -375,15 +450,32 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (sync_status.ok() && binlog_lsn != 0) {
     sync_status = binlog_->SyncTo(binlog_lsn);
   }
-  ReleaseLocks(txn);
   if (!sync_status.ok()) {
     // The batch fsync failed: the commit is NOT durable and the log is
     // poisoned (its un-fsynced tail — this commit record included — is
-    // already trimmed). The commit point was published in-memory, but the
-    // store refuses further commits until re-opened, so recovery lands at
-    // the pre-batch watermark with nothing built on the lost tail.
+    // already trimmed). In kCommitPoint mode the commit point was already
+    // published in-memory, but the store refuses further commits until
+    // re-opened, so recovery lands at the pre-batch watermark with nothing
+    // built on the lost tail. In kDurable mode the queued publications the
+    // trim orphaned are dropped — the lost commits never become
+    // reader-visible at all — and the stamped row versions are retracted
+    // under the still-held locks: without the retract, a later commit
+    // publishing a higher VID (possible once the log reopens) would expose
+    // this commit's stamped versions even though its record is gone. The
+    // retract is gated on the *redo* watermark: when the redo fsync landed
+    // and only the binlog flush failed, the commit is durable-but-ambiguous
+    // — it stays queued and publishes once a later batch advances the
+    // watermark past it, which recovery agrees with.
+    if (visibility_.load(std::memory_order_relaxed) == Visibility::kDurable &&
+        txn->commit_lsn_ > redo_->durable_lsn()) {
+      RetractLostCommit(txn);
+    }
+    DropLostPublications();
+    ReleaseLocks(txn);
     return sync_status;
   }
+  ReleaseLocks(txn);
+  PublishDurable();
   commits_.fetch_add(1, std::memory_order_relaxed);
   // Opportunistic trim-hint refresh, off the critical path: a write-only
   // workload never opens read views, so CloseReadView alone would leave the

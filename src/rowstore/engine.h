@@ -2,6 +2,7 @@
 #define POLARDB_IMCI_ROWSTORE_ENGINE_H_
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -178,6 +179,23 @@ class TransactionManager {
   /// B+tree image — dirty reads included; kept as the legacy/ablation arm.
   enum class ReadMode : uint8_t { kSnapshot, kReadCommitted };
 
+  /// When the snapshot point advances past a commit (the PR-4 carried
+  /// visibility-vs-durability question):
+  ///
+  /// - kCommitPoint (default, the paper's freshness stance): published
+  ///   under commit_mu_ the moment the commit's versions are stamped. A
+  ///   reader can observe a commit whose group-commit fsync has not landed
+  ///   yet — a crash in that window erases state a reader acted on.
+  ///   Conflicting *writers* are safe either way: locks are held to
+  ///   durability.
+  /// - kDurable: the commit's (vid, lsn) enters a publication queue under
+  ///   commit_mu_; the snapshot point advances only when the group-commit
+  ///   durable watermark covers the commit record's LSN. Read freshness is
+  ///   tied to fsync batch latency, and a refused batch fsync drops the
+  ///   batch's queued publications — readers can never observe a commit the
+  ///   trimmed log no longer contains.
+  enum class Visibility : uint8_t { kCommitPoint, kDurable };
+
   TransactionManager(RowStoreEngine* engine, RedoWriter* redo,
                      LockManager* locks, BinlogWriter* binlog = nullptr);
 
@@ -222,6 +240,13 @@ class TransactionManager {
   void set_read_mode(ReadMode m) { read_mode_.store(m); }
   ReadMode read_mode() const { return read_mode_.load(); }
 
+  /// Switches when commits become visible to new snapshots (commit point vs
+  /// durable watermark). Flip only while no commit is in flight (startup /
+  /// between benchmark phases): a commit started in one mode must publish
+  /// in the same mode.
+  void set_visibility(Visibility v) { visibility_.store(v); }
+  Visibility visibility() const { return visibility_.load(); }
+
   /// Commit point visible to new snapshots (published after version
   /// stamping, so a snapshot <= this VID always resolves).
   Vid snapshot_vid() const {
@@ -241,6 +266,27 @@ class TransactionManager {
   RowTable::RedoShipFn MakeShip(Transaction* txn);
   void ReleaseLocks(Transaction* txn);
   void CloseReadView(Vid vid);
+  /// kDurable publication: advances snapshot_vid_ over every queued commit
+  /// whose record LSN the redo durable watermark now covers. Called after a
+  /// successful group-commit sync; safe to race (pub_mu_).
+  void PublishDurable();
+  /// kDurable failure path: a refused batch fsync trimmed the log's
+  /// un-fsynced tail, so queued publications above the durable watermark
+  /// name commits that no longer exist. Dropping them here is what keeps
+  /// them unpublishable forever — later appends reuse the trimmed LSN range,
+  /// and a stale queue entry would otherwise "become durable" when an
+  /// unrelated record lands on its LSN.
+  void DropLostPublications();
+  /// kDurable failure path, RW-side state: the refused batch fsync trimmed
+  /// this transaction's commit record, but StampCommitLocked already stamped
+  /// its row versions — a later commit publishing a higher VID (possible
+  /// after the log reopens) would make them visible, exposing a commit the
+  /// log no longer contains. Called under the still-held row locks, before
+  /// ReleaseLocks: restores the tree images from the undo list (no redo
+  /// shipping — the poisoned log refuses appends, and recovery rebuilds the
+  /// same pre-batch state anyway) and unlinks the stamped versions, so the
+  /// in-memory engine agrees with what recovery would rebuild.
+  void RetractLostCommit(Transaction* txn);
   /// Stamps the txn's versions with its commit VID and trims chains below
   /// `trim_hint` (a PruneWatermark() value sampled before commit_mu_ was
   /// acquired — conservative by construction). Called under commit_mu_.
@@ -268,6 +314,15 @@ class TransactionManager {
   /// so the commit ceiling is set by the group-commit batch rate, not by a
   /// serialized fsync per transaction.
   std::mutex commit_mu_;
+  std::atomic<Visibility> visibility_{Visibility::kCommitPoint};
+  /// kDurable mode: commits stamped but not yet covered by a durable batch
+  /// fsync, in VID (≡ LSN) order. Guarded by pub_mu_ (acquired under
+  /// commit_mu_ on the enqueue side only — publication takes pub_mu_ alone).
+  std::mutex pub_mu_;
+  std::deque<std::pair<Vid, Lsn>> pub_queue_;
+  /// Queue-size mirror so the default kCommitPoint commit path never takes
+  /// pub_mu_ (it stays exactly as fast as before the option existed).
+  std::atomic<size_t> pub_pending_{0};
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
 };

@@ -186,6 +186,45 @@ void VersionChains::Abort(Tid tid, const std::vector<int64_t>& pks) {
   }
 }
 
+size_t VersionChains::Retract(Vid vid, const std::vector<int64_t>& pks) {
+  size_t dropped = 0;
+  for (int64_t pk : pks) {
+    auto it = chains_.find(pk);
+    if (it == chains_.end()) continue;
+    ChainRef& chain = it->second;
+    size_t n = 0;
+    RowVersion* prev = nullptr;
+    RowVersion* v = chain.head.load(std::memory_order_relaxed);
+    while (v != nullptr) {
+      RowVersion* next = v->next_.load(std::memory_order_relaxed);
+      if (v->stamp_.load(std::memory_order_relaxed) == vid) {
+        // Unlink v; its own next pointer is left intact so a reader already
+        // standing on it continues over a valid (immutable) suffix. Readers
+        // can only be standing here via a chain walk that started before the
+        // unlink — no snapshot at `vid` was ever published (the retract
+        // precondition), so none will *select* this version.
+        if (prev != nullptr) {
+          prev->next_.store(next, std::memory_order_release);
+        } else {
+          chain.head.store(next, std::memory_order_release);
+        }
+        ++n;
+      } else {
+        prev = v;
+      }
+      v = next;
+    }
+    if (n != 0) {
+      versions_live_ -= n;
+      dropped_total_ += n;
+      dropped += n;
+      NoteLengthChange(&chain, chain.length - static_cast<uint32_t>(n));
+    }
+    if (chain.head.load(std::memory_order_relaxed) == nullptr) EraseChain(it);
+  }
+  return dropped;
+}
+
 size_t VersionChains::DropInflight(int64_t pk) {
   auto it = chains_.find(pk);
   if (it == chains_.end()) return 0;

@@ -179,6 +179,17 @@ class VersionChains {
   /// chain bases match the tree again.
   void Abort(Tid tid, const std::vector<int64_t>& pks);
 
+  /// Unlinks versions already *stamped* with commit VID `vid` on `pks` — the
+  /// kDurable lost-commit path: the batch fsync that would have made the
+  /// commit durable was refused and the log trimmed its record, so the
+  /// stamped versions name a commit that no longer exists. Abort() cannot
+  /// reach them (it matches the in-flight stamp, and StampCommitLocked has
+  /// already overwritten it with the VID). Same unlink discipline as Abort:
+  /// each node's own next pointer stays intact, so a concurrent latch-free
+  /// reader standing on it continues over a valid suffix. Returns versions
+  /// dropped.
+  size_t Retract(Vid vid, const std::vector<int64_t>& pks);
+
   /// Checkpoint pruning: drops all history below `watermark`, erases chains
   /// whose single survivor is the live tree image (or a committed delete of
   /// a key the tree no longer holds), then performs the bulk epoch drop —

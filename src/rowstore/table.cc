@@ -560,6 +560,11 @@ void RowTable::AbortVersions(Tid tid, const std::vector<int64_t>& pks) {
   versions_.Abort(tid, pks);
 }
 
+size_t RowTable::RetractVersions(Vid vid, const std::vector<int64_t>& pks) {
+  std::unique_lock<WriterPrioritySharedMutex> g(latch_);
+  return versions_.Retract(vid, pks);
+}
+
 size_t RowTable::PruneVersions(Vid watermark) {
   std::unique_lock<WriterPrioritySharedMutex> g(latch_);
   return versions_.Prune(watermark);

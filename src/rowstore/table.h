@@ -138,6 +138,12 @@ class RowTable {
   /// abort). Call after the undo images are physically restored so
   /// surviving chain bases match the tree again.
   void AbortVersions(Tid tid, const std::vector<int64_t>& pks);
+  /// Removes versions already stamped with commit VID `vid` on `pks` — the
+  /// kDurable lost-commit retraction (the commit record was trimmed by a
+  /// refused batch fsync before its VID was ever published). Call after the
+  /// undo images are physically restored, like AbortVersions. Returns
+  /// versions dropped.
+  size_t RetractVersions(Vid vid, const std::vector<int64_t>& pks);
   /// Checkpoint pruning: drops all history below `watermark` and erases
   /// chains whose single survivor is the live tree image (or a committed
   /// delete of a key the tree no longer holds). Returns versions dropped.

@@ -15,8 +15,11 @@
 //    replacement boots from the shared store, converges, and is re-admitted.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -177,6 +180,67 @@ TEST(ChaosGroupCommitTest, PoisonedDurableAppendsFailFastUntilReopen) {
   ASSERT_EQ(records.size(), 3u);  // the lost tail never resurfaces
   EXPECT_EQ(records[2], "c");
   EXPECT_GT(log->Append({"d"}, /*durable=*/true), durable);
+}
+
+// --- Snapshot visibility vs durability under fsync refusal -----------------
+// The PR-4 carried question, pinned in both directions. kCommitPoint is the
+// paper's freshness stance: the snapshot point advances at the commit point,
+// so a reader can observe a commit whose batch fsync then fails — that gap is
+// *documented* behavior, demonstrated here. kDurable closes it: the lost
+// commit must never become visible — not in the failure window, not after the
+// store reopens, and (the subtle half) not after LATER commits publish higher
+// VIDs. The last case is what TransactionManager::RetractLostCommit exists
+// for: the failed commit's versions were already stamped with its VID, and
+// without retraction the next successful publication would expose them even
+// though the trimmed log no longer contains the commit.
+TEST(DurableVisibilityTest, LostCommitVisibleAtCommitPointNeverInDurableMode) {
+  // Arm 1 — kCommitPoint: the refused batch is already reader-visible.
+  {
+    CommitRig rig;
+    ASSERT_TRUE(CommitOne(&rig, 1).ok());
+    fault::ScopedFault refuse("polarfs.fsync", MakePolicy(fault::Kind::kFail));
+    EXPECT_FALSE(CommitOne(&rig, 2).ok());
+    ReadView view = rig.txns.OpenReadView();
+    Row row;
+    EXPECT_TRUE(rig.txns.Get(view, 1, 2, &row).ok())
+        << "kCommitPoint publishes at the commit point (documented gap)";
+  }
+  // Arm 2 — kDurable: invisible in the window, across reopen, and past
+  // later commits.
+  {
+    CommitRig rig;
+    rig.txns.set_visibility(TransactionManager::Visibility::kDurable);
+    ASSERT_TRUE(CommitOne(&rig, 1).ok());
+    {
+      fault::ScopedFault refuse("polarfs.fsync",
+                                MakePolicy(fault::Kind::kFail));
+      EXPECT_FALSE(CommitOne(&rig, 2).ok());
+      ReadView view = rig.txns.OpenReadView();
+      Row row;
+      EXPECT_TRUE(rig.txns.Get(view, 1, 2, &row).IsNotFound())
+          << "lost commit leaked into the failure window";
+    }
+    ASSERT_TRUE(rig.fs.ReopenLogs().ok());
+    // A later commit publishes a higher VID. Without the retract, pk 2's
+    // stamped versions would ride along into visibility here.
+    ASSERT_TRUE(CommitOne(&rig, 3).ok());
+    ReadView view = rig.txns.OpenReadView();
+    Row row;
+    EXPECT_TRUE(rig.txns.Get(view, 1, 3, &row).ok());
+    EXPECT_TRUE(rig.txns.Get(view, 1, 2, &row).IsNotFound())
+        << "trimmed commit resurfaced after a later publication";
+    // The physical state agrees with the logical one: the tree image was
+    // restored under the still-held locks, so a full scan shows exactly the
+    // durable history.
+    std::vector<Row> rows;
+    ASSERT_TRUE(rig.txns.Scan(view, 1, [&](int64_t, const Row& r) {
+      rows.push_back(r);
+      return true;
+    }).ok());
+    EXPECT_EQ(testing_util::Canonicalize(rows),
+              testing_util::Canonicalize({{int64_t(1), int64_t(1)},
+                                          {int64_t(3), int64_t(3)}}));
+  }
 }
 
 // --- Replication pipeline under read faults --------------------------------
@@ -350,6 +414,130 @@ TEST_F(ChaosClusterTest, WedgedRoIsEvictedQueriesRerouteAndReplacementRejoins) {
   EXPECT_EQ(AsInt(strong[0][0]), committed_);
 }
 
+// Soak: repeated rounds of concurrent commits with a batch fsync refused
+// mid-round, on a kDurable cluster. The invariant after every round — before
+// AND after the log reopens — is that both readers (the RW's snapshot engine
+// and the RO's column engine, which consumes only the durable log prefix)
+// show exactly the durable commit history: every commit whose record LSN the
+// frozen watermark covers, nothing the trim erased. Inclusion is decided by
+// recorded commit LSN, not client-observed status, and rounds continue after
+// reopen so post-reopen appends land on the trimmed (reused) LSN range — the
+// case where a leaked publication or replica cursor would surface as a
+// phantom row.
+TEST_F(ChaosClusterTest, FsyncRefusalSoakNoReaderObservesTrimmedCommits) {
+  Build(1);
+  auto* txns = cluster_->rw()->txn_manager();
+  txns->set_visibility(TransactionManager::Visibility::kDurable);
+  RoNode* ro = cluster_->ro(0);
+  LogStore* log = cluster_->fs()->log("redo");
+
+  // Logical model: pk -> v. Base load is {i, i} for i in [0, 200).
+  std::map<int64_t, int64_t> model;
+  for (int64_t i = 0; i < committed_; ++i) model[i] = i;
+
+  struct Rec {
+    int64_t pk;
+    int64_t v;
+    Lsn lsn;
+  };
+  auto verify = [&](const char* when) {
+    SCOPED_TRACE(when);
+    std::vector<Row> expected;
+    for (const auto& [pk, v] : model) expected.push_back({pk, v});
+    std::vector<Row> rw_rows;
+    ReadView view = txns->OpenReadView();
+    ASSERT_TRUE(txns->Scan(view, 1, [&](int64_t, const Row& r) {
+      rw_rows.push_back(r);
+      return true;
+    }).ok());
+    EXPECT_EQ(testing_util::Canonicalize(rw_rows),
+              testing_util::Canonicalize(expected));
+    ASSERT_TRUE(ro->CatchUpNow().ok());
+    std::vector<Row> ro_rows;
+    ASSERT_TRUE(ro->ExecuteColumn(LScan(1, {0, 1}), &ro_rows).ok());
+    EXPECT_EQ(testing_util::Canonicalize(ro_rows),
+              testing_util::Canonicalize(expected));
+  };
+
+  int64_t next_pk = 5000;
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE(::testing::Message() << "round=" << round);
+    std::mutex mu;
+    std::vector<Rec> recs;
+    std::atomic<int> client_failures{0};
+    {
+      // The 4th batch fsync of the round is refused; the poison latch then
+      // fails every later commit in the round.
+      fault::Policy p;
+      p.kind = fault::Kind::kFail;
+      p.hit_at = 4;
+      p.max_fires = 1;
+      fault::ScopedFault refuse("polarfs.fsync", p);
+      std::vector<std::thread> workers;
+      // Thread 0: fresh inserts. Thread 1: updates over a fixed base range —
+      // a refused update must roll the row image back, not just hide it.
+      workers.emplace_back([&] {
+        for (int i = 0; i < 10; ++i) {
+          Transaction txn;
+          txns->Begin(&txn);
+          const int64_t pk = next_pk + i;
+          const int64_t v = round * 100 + i;
+          if (!txns->Insert(&txn, 1, {pk, v}).ok()) {
+            (void)txns->Rollback(&txn);
+            continue;
+          }
+          if (!txns->Commit(&txn).ok()) client_failures.fetch_add(1);
+          if (txn.commit_lsn() != 0) {
+            std::lock_guard<std::mutex> g(mu);
+            recs.push_back({pk, v, txn.commit_lsn()});
+          }
+        }
+      });
+      workers.emplace_back([&] {
+        for (int i = 0; i < 10; ++i) {
+          Transaction txn;
+          txns->Begin(&txn);
+          const int64_t pk = i % 5;
+          const int64_t v = round * 1000 + i;
+          if (!txns->Update(&txn, 1, pk, {pk, v}).ok()) {
+            (void)txns->Rollback(&txn);
+            continue;
+          }
+          if (!txns->Commit(&txn).ok()) client_failures.fetch_add(1);
+          if (txn.commit_lsn() != 0) {
+            std::lock_guard<std::mutex> g(mu);
+            recs.push_back({pk, v, txn.commit_lsn()});
+          }
+        }
+      });
+      for (auto& w : workers) w.join();
+    }
+    next_pk += 10;
+
+    // The refused batch froze the watermark; fold exactly the durable prefix
+    // into the model, in LSN (== serialization) order.
+    const Lsn durable = log->durable_lsn();
+    std::sort(recs.begin(), recs.end(),
+              [](const Rec& a, const Rec& b) { return a.lsn < b.lsn; });
+    size_t lost = 0;
+    for (const Rec& r : recs) {
+      if (r.lsn > durable) {
+        ++lost;
+        continue;
+      }
+      model[r.pk] = r.v;
+    }
+    // The refused batch carried at least one enqueued-but-trimmed commit,
+    // and its committers saw the failure.
+    EXPECT_GE(lost, 1u);
+    EXPECT_GE(static_cast<size_t>(client_failures.load()), lost);
+
+    verify("post-refusal, store still poisoned");
+    ASSERT_TRUE(cluster_->fs()->ReopenLogs().ok());
+    verify("post-reopen");
+  }
+}
+
 TEST_F(ChaosClusterTest, HungCoordinatorIsEvictedViaHeartbeat) {
   FleetHealthOptions health;
   health.enabled = true;
@@ -360,10 +548,13 @@ TEST_F(ChaosClusterTest, HungCoordinatorIsEvictedViaHeartbeat) {
   ASSERT_EQ(cluster_->ro(0)->name(), "ro1");
   // Not a failure the coordinator can see: every read stalls 300ms inside
   // the device. The pipeline never wedges — the heartbeat goes stale, which
-  // the monitor must treat exactly like a dead node.
+  // the monitor must treat exactly like a dead node. The churn matters: the
+  // poll loop only enters the device when there are durable records to
+  // fetch, so an idle log would never touch the tar pit.
   fault::ScopedFault tarpit(
       "logstore.read", MakePolicy(fault::Kind::kLatency, "ro1", UINT64_MAX,
                                   /*latency_us=*/300'000));
+  Churn(10);
   ASSERT_TRUE(WaitUntil([&] { return cluster_->evictions() >= 1; }));
   EXPECT_TRUE(cluster_->ro_nodes().empty());
   // Graceful degradation with an empty fleet: reads come from the RW.

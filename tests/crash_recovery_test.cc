@@ -19,12 +19,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "log/log_store.h"
 #include "tests/test_util.h"
@@ -191,7 +193,10 @@ TEST_P(CrashRecoveryTest, RecoveredStateEqualsDurableWatermarkPrefix) {
   fs.log("redo")->Read(0, cut, &prefix);
   ASSERT_EQ(prefix.size(), cut);
   if (!prefix.empty()) {
-    fs2.log("redo")->Append(std::move(prefix), /*durable=*/false);
+    // Durable: these records survived the crash by definition (they were at
+    // or below the fsync watermark), and the replication pipeline consumes
+    // only the durable prefix of its source log.
+    fs2.log("redo")->Append(std::move(prefix), /*durable=*/true);
   }
   ASSERT_EQ(fs2.log("redo")->written_lsn(), cut);
 
@@ -282,6 +287,182 @@ TEST_P(CrashRecoveryTest, RecoveredStateEqualsDurableWatermarkPrefix) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashRecoveryTest,
                          ::testing::Values(1, 2, 3));
 
+// --- Targeted kill at each instrumented I/O seam ---------------------------
+// The property above samples the crash point with a healthy process; here the
+// death is injected *inside* a specific storage seam via fault::Kind::kCrash —
+// the Nth traversal of the seam latches the crash flag and every instrumented
+// I/O fails from that instant, exactly like the process dying mid-call. The
+// durable watermark freezes wherever group commit had gotten; reboot into a
+// fresh store carrying that prefix must reproduce it exactly, for every seam
+// on the commit path. Inclusion in the model is decided by the commit
+// record's LSN against the frozen watermark, NOT by the client-observed
+// Commit() status: a commit whose record was already durable can still see
+// its SyncTo fail once the crash latches, and the client's error does not
+// un-happen the durable commit.
+class FaultPointCrashTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void TearDown() override { fault::Registry::Instance().Reset(); }
+};
+
+TEST_P(FaultPointCrashTest, RebootAfterSeamCrashRecoversDurablePrefix) {
+  const std::string seam = GetParam();
+  const uint64_t seed = testing_util::TestSeed(2000);
+  const int txns_per_thread = testing_util::TestIters(150);
+  SCOPED_TRACE(::testing::Message() << "seam=" << seam
+                                    << " IMCI_TEST_SEED=" << seed);
+
+  PolarFs fs;
+  Catalog catalog;
+  RwNode rw(&fs, &catalog);
+  ASSERT_TRUE(rw.CreateTable(KvSchema()).ok());
+  std::vector<Row> base;
+  for (int64_t pk = 0; pk < 100; pk += 2) {
+    base.push_back({pk, int64_t(0), std::string("base")});
+  }
+  ASSERT_TRUE(rw.BulkLoad(1, base).ok());
+  ASSERT_TRUE(rw.FinishLoad().ok());
+
+  struct Committed {
+    Vid vid;
+    Lsn lsn;
+    int64_t pk;
+    int64_t v;
+    std::string payload;
+  };
+  std::mutex mu;
+  std::vector<Committed> recorded;
+  std::atomic<uint64_t> failed_commits{0};
+  auto* txns = rw.txn_manager();
+  {
+    fault::Registry::Instance().Reseed(seed);
+    fault::Policy death;
+    death.kind = fault::Kind::kCrash;
+    death.hit_at = 30;  // deterministic: dies on the 30th traversal
+    fault::ScopedFault guard(seam, death);
+
+    // Insert-only workload on disjoint per-thread key ranges: every commit's
+    // logical effect is independent, so the model needs no cross-thread
+    // ordering — only the LSN cut.
+    constexpr int kThreads = 2;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        Rng rng(seed + t);
+        int post_crash_attempts = 0;
+        for (int i = 0; i < txns_per_thread; ++i) {
+          Transaction txn;
+          txns->Begin(&txn);
+          const int64_t pk = 1000 + t * 1000 + i;
+          const int64_t v = static_cast<int64_t>(rng.Next() % 100000);
+          std::string payload = rng.RandomString(0, 24);
+          if (!txns->Insert(&txn, 1, {pk, v, payload}).ok()) {
+            (void)txns->Rollback(&txn);
+          } else {
+            if (!txns->Commit(&txn).ok()) {
+              failed_commits.fetch_add(1);
+            }
+            if (txn.commit_lsn() != 0) {
+              std::lock_guard<std::mutex> g(mu);
+              recorded.push_back(
+                  {txn.commit_vid(), txn.commit_lsn(), pk, v, payload});
+            }
+          }
+          // The dead "process" can't make progress: a few post-crash
+          // attempts prove commits now fail, then stop burning time.
+          if (fault::Registry::Instance().crashed() &&
+              ++post_crash_attempts > 3) {
+            break;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    // The seam must actually have killed the process mid-run, with commits
+    // refused afterwards.
+    ASSERT_TRUE(fault::Registry::Instance().crashed());
+    EXPECT_GT(failed_commits.load(), 0u);
+  }  // "reboot": the crash latch clears with the scope
+
+  // The watermark froze when the crash latched (the poisoned log refuses
+  // fsync); everything at or below it survives into the fresh store.
+  const Lsn cut = fs.log("redo")->durable_lsn();
+  PolarFs fs2;
+  for (PageId id : fs.ListPages()) {
+    std::string image;
+    ASSERT_TRUE(fs.ReadPage(id, &image).ok());
+    ASSERT_TRUE(fs2.WritePage(id, std::move(image)).ok());
+  }
+  for (const std::string& name : fs.ListFiles("")) {
+    if (name.rfind("log/", 0) == 0) continue;
+    std::string data;
+    ASSERT_TRUE(fs.ReadFile(name, &data).ok());
+    ASSERT_TRUE(fs2.WriteFile(name, std::move(data)).ok());
+  }
+  std::vector<std::string> prefix;
+  fs.log("redo")->Read(0, cut, &prefix);
+  ASSERT_EQ(prefix.size(), cut);
+  if (!prefix.empty()) {
+    fs2.log("redo")->Append(std::move(prefix), /*durable=*/true);
+  }
+
+  Catalog catalog2;
+  catalog2.Register(KvSchema());
+  RoNodeOptions ro_opts;
+  RoNode node("rebooted", &fs2, &catalog2, ro_opts);
+  ASSERT_TRUE(node.Boot().ok());
+  ASSERT_TRUE(node.CatchUpNow().ok());
+
+  std::map<int64_t, std::pair<int64_t, std::string>> model;
+  for (const Row& r : base) {
+    model[AsInt(r[0])] = {AsInt(r[1]), AsString(r[2])};
+  }
+  std::sort(recorded.begin(), recorded.end(),
+            [](const Committed& a, const Committed& b) { return a.vid < b.vid; });
+  Vid last_vid = 0;
+  size_t included = 0;
+  for (const Committed& c : recorded) {
+    if (c.lsn > cut) continue;  // enqueued but never durable: died with the seam
+    last_vid = std::max(last_vid, c.vid);
+    ++included;
+    model[c.pk] = {c.v, c.payload};
+  }
+  SCOPED_TRACE(::testing::Message() << "cut=" << cut << " recorded="
+                                    << recorded.size() << " included="
+                                    << included);
+  EXPECT_GT(included, 0u);  // hit_at=30 lets a real prefix commit first
+  EXPECT_EQ(node.applied_vid(), last_vid);
+
+  std::vector<Row> expected;
+  for (const auto& [pk, vp] : model) {
+    expected.push_back({pk, vp.first, vp.second});
+  }
+  std::vector<Row> got;
+  ASSERT_TRUE(node.ExecuteColumn(LScan(1, {0, 1, 2}), &got).ok());
+  EXPECT_EQ(testing_util::Canonicalize(got),
+            testing_util::Canonicalize(expected));
+
+  // Row replica after the boot-time undo pass (in-flight page effects of
+  // commits that died with the seam get rolled back).
+  (void)node.RecoverRowReplica();
+  RowTable* replica = node.engine()->GetTable(1);
+  ASSERT_NE(replica, nullptr);
+  std::vector<Row> raw;
+  ASSERT_TRUE(replica->Scan([&](int64_t, const Row& r) {
+    raw.push_back(r);
+    return true;
+  }).ok());
+  EXPECT_EQ(testing_util::Canonicalize(raw),
+            testing_util::Canonicalize(expected));
+}
+
+// Every guaranteed commit-path seam: the record enqueue (logstore.append),
+// the backing file append (polarfs.append_file), and the group-commit fsync
+// (polarfs.fsync).
+INSTANTIATE_TEST_SUITE_P(Seams, FaultPointCrashTest,
+                         ::testing::Values("logstore.append",
+                                           "polarfs.append_file",
+                                           "polarfs.fsync"));
+
 // --- Mid-transaction checkpoint --------------------------------------------
 // A checkpoint taken while a transaction is in flight flushes replica pages
 // that already contain the transaction's *undecided* page effects (Phase#1
@@ -330,6 +511,11 @@ TEST(MidTxnCheckpointTest, BootedNodeGatesUndecidedCheckpointEffects) {
   ASSERT_TRUE(
       txns->Insert(&t, 1, {int64_t(100), int64_t(7), std::string("ghost")})
           .ok());
+  // The in-flight DMLs are shipped commit-ahead but sit above the durable
+  // watermark until some batch fsync covers them — and the pipeline consumes
+  // only the durable prefix. Fsync explicitly so the leader buffers them and
+  // the checkpoint below carries the in-flight section this test exercises.
+  ASSERT_TRUE(fs.log("redo")->Sync().ok());
 
   ASSERT_TRUE(leader.CatchUpNow().ok());
   ASSERT_TRUE(leader.pipeline()->TakeCheckpoint(1).ok());
@@ -375,7 +561,7 @@ TEST(MidTxnCheckpointTest, BootedNodeGatesUndecidedCheckpointEffects) {
   std::vector<std::string> prefix;
   fs.log("redo")->Read(0, cut, &prefix);
   ASSERT_EQ(prefix.size(), cut);
-  fs2.log("redo")->Append(std::move(prefix), /*durable=*/false);
+  fs2.log("redo")->Append(std::move(prefix), /*durable=*/true);
 
   Catalog catalog2;
   catalog2.Register(KvSchema());
