@@ -5,6 +5,7 @@
 // step-up. The second node boots from the leader's checkpoint and catches up
 // faster — the paper's key shape.
 #include "bench/bench_util.h"
+#include "tests/test_util.h"
 
 using namespace imci;
 using namespace imci::bench;
@@ -13,7 +14,18 @@ int main(int argc, char** argv) {
   const bool smoke = Flag(argc, argv, "smoke", 0) != 0;
   const double sf = Flag(argc, argv, "sf", smoke ? 0.005 : 0.01);
   const double horizon = Flag(argc, argv, "secs", smoke ? 4.0 : 12.0);
-  auto cluster = MakeTpchCluster(sf, 1);
+  ClusterOptions opts;
+  // Fragment coordinator armed aggressively: the AP load distributes across
+  // the fleet as soon as nodes join, so the qps step-up measures scale-out
+  // of *queries*, not just session balancing; the scale-out-query datapoint
+  // at the end sweeps participants explicitly.
+  // rows_per_fragment is deliberately tiny: Q6's selective filter shrinks
+  // its estimated scan volume well below the table's row count, and this
+  // bench wants the fan-out exercised at smoke scale, not sized for profit.
+  opts.coordinator.min_rows_touched = 0;
+  opts.coordinator.rows_per_fragment = 500.0;
+  opts.coordinator.fragment_dop = 1;
+  auto cluster = MakeTpchCluster(sf, 1, opts);
   if (!cluster) return 1;
   (void)cluster->ro(0)->CatchUpNow();
 
@@ -118,6 +130,55 @@ int main(int argc, char** argv) {
   report.Metric("no2_added_s", no2_added);
   report.Metric("no2_ready_s", no2_ready);
   report.Metric("no2_catchup_s", no2_ready - no2_added);
+
+  // --- Scale-out-query datapoint ----------------------------------------
+  // With the full fleet converged, one Q6 at a single RO (serial reference)
+  // vs fanned out over all three through the fragment coordinator: the
+  // per-query face of elasticity — adding nodes speeds up *a* query, not
+  // just query *throughput*. Equivalence is asserted; the speedup is
+  // reported (the fig9 RO sweep owns the gated version).
+  for (RoNode* node : cluster->ro_nodes()) {
+    (void)node->CatchUpNow();
+    node->RefreshStats();
+  }
+  QueryCoordinator* coord = cluster->coordinator();
+  auto ref_exec = [&](const LogicalRef& p, std::vector<Row>* o) {
+    return cluster->ro(0)->ExecuteColumn(p, o, 1);
+  };
+  std::vector<Row> ref_out;
+  Timer ref_t;
+  if (!tpch::RunQuery(6, *cluster->catalog(), ref_exec, &ref_out).ok()) {
+    return 1;
+  }
+  const double q1ro_ms = ref_t.ElapsedMicros() / 1000.0;
+  coord->set_max_participants(3);
+  bool distributed = false;
+  auto dist_exec = [&](const LogicalRef& p, std::vector<Row>* o) {
+    bool attempted = false;
+    Status s = coord->Execute(p, 0, o, &attempted);
+    distributed = attempted;
+    if (attempted) return s;
+    return cluster->ro(0)->ExecuteColumn(p, o, 1);
+  };
+  std::vector<Row> dist_out;
+  Timer dist_t;
+  if (!tpch::RunQuery(6, *cluster->catalog(), dist_exec, &dist_out).ok()) {
+    return 1;
+  }
+  const double q3ro_ms = dist_t.ElapsedMicros() / 1000.0;
+  const bool same = testing_util::Canonicalize(dist_out) ==
+                    testing_util::Canonicalize(ref_out);
+  std::printf("# scale-out query: Q6 1-RO %.2fms, 3-RO %.2fms (x%.2f, "
+              "%s, %s)\n",
+              q1ro_ms, q3ro_ms, q1ro_ms / std::max(q3ro_ms, 1e-3),
+              distributed ? "distributed" : "fell back",
+              same ? "equivalent" : "NOT EQUIVALENT");
+  report.Metric("scaleout_query_1ro_ms", q1ro_ms);
+  report.Metric("scaleout_query_3ro_ms", q3ro_ms);
+  report.Metric("scaleout_query_speedup",
+                q1ro_ms / std::max(q3ro_ms, 1e-3));
+  report.Metric("scaleout_query_distributed", distributed ? 1 : 0);
+  report.Metric("scaleout_query_equivalent", same ? 1 : 0);
   report.Write();
-  return 0;
+  return same ? 0 : 1;
 }

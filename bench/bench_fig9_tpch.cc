@@ -26,6 +26,13 @@ int main(int argc, char** argv) {
   // headline arm was asked for less, so the pool must hold 4 workers.
   opts.ro.exec_threads = std::max(parallelism, 4);
   opts.ro.default_parallelism = parallelism;
+  // RO-sweep arm: cut fragments aggressively enough that the big scans fan
+  // out even at smoke scale, and run each fragment serially on its node —
+  // the sweep isolates *inter-node* scaling (the intra-node story is the
+  // cores sweep above).
+  opts.coordinator.min_rows_touched = 0;
+  opts.coordinator.rows_per_fragment = 15000.0;
+  opts.coordinator.fragment_dop = 1;
   auto cluster = MakeTpchCluster(sf, 1, opts);
   if (!cluster) {
     std::printf("cluster setup failed\n");
@@ -63,11 +70,14 @@ int main(int argc, char** argv) {
       (void)tpch::RunQuery(q, *cluster->catalog(), warm, &out);
     }
     double times[3] = {0, 0, 0};
+    int imci_dop_used = 0;  // grant actually issued to the IMCI arm
     for (int e = 0; e < 3; ++e) {
       const EngineCfg& cfg = engines[e];
       auto exec = [&](const LogicalRef& plan, std::vector<Row>* out) {
         if (cfg.row_engine) return ro->ExecuteRow(plan, out);
-        if (cfg.pruning) return ro->ExecuteColumn(plan, out, parallelism);
+        if (cfg.pruning) {
+          return ro->ExecuteColumn(plan, out, parallelism, &imci_dop_used);
+        }
         // ClickHouse stand-in: same vectorized engine, no zone-map pruning.
         PhysOpRef root;
         IMCI_RETURN_NOT_OK(LowerToColumnPlan(plan, ro->imci(), &root));
@@ -96,6 +106,7 @@ int main(int argc, char** argv) {
         .Set("imci_ms", times[0])
         .Set("chsim_ms", times[1])
         .Set("row_ms", times[2])
+        .Set("imci_dop_used", imci_dop_used)
         .Set("speedup_row_over_imci", times[2] / std::max(times[0], 1e-3));
     std::printf("Q%-3d %14.2f %16.2f %14.2f %9.1fx\n", q, times[0], times[1],
                 times[2], times[2] / std::max(times[0], 1e-3));
@@ -176,9 +187,135 @@ int main(int argc, char** argv) {
   report.Metric("sweep_speedup_4w", speedup4);
   report.Metric("sweep_equivalent", equivalent ? 1 : 0);
   report.Metric("hardware_cores", hw_cores);
+  report.Metric("tasks_stolen",
+                static_cast<double>(ro->exec_pool()->tasks_stolen()));
+  report.Metric("queries_throttled",
+                static_cast<double>(ro->query_tokens()->queries_throttled()));
+
+  // --- RO sweep: distributed fragment coordinator (1 -> 2 -> 3 ROs) ------
+  // Grows the fleet to three nodes and re-runs the suite through the
+  // fragment coordinator at 2 and 3 participants, against the single-RO
+  // serial reference. Correctness gate (always on): every coordinator
+  // answer equals the reference. Speedup gate (release runs on >= 4-core
+  // hosts, like the cores sweep): the queries that genuinely distribute
+  // must finish >= 1.6x faster at 3 ROs than single-node serial.
+  for (int i = 0; i < 2; ++i) {
+    RoNode* added = nullptr;
+    if (!cluster->AddRoNode(&added).ok()) {
+      std::printf("RO scale-out failed\n");
+      return 1;
+    }
+  }
+  for (RoNode* node : cluster->ro_nodes()) {
+    (void)node->CatchUpNow();
+    node->RefreshStats();
+  }
+  QueryCoordinator* coord = cluster->coordinator();
+  double ro_total_ms[3] = {0, 0, 0};  // ref / 2 ROs / 3 ROs, dist'd queries
+  bool dist_equivalent = true;
+  int distributed_queries = 0;
+  std::printf("# RO sweep (%zu nodes)\n", cluster->ro_nodes().size());
+  for (int q = 1; q <= 22; ++q) {
+    auto ref_exec = [&](const LogicalRef& plan, std::vector<Row>* out) {
+      return ro->ExecuteColumn(plan, out, 1);
+    };
+    std::vector<Row> ref_out;
+    Timer ref_t;
+    if (!tpch::RunQuery(q, *cluster->catalog(), ref_exec, &ref_out).ok()) {
+      std::printf("RO sweep Q%d reference failed\n", q);
+      return 1;
+    }
+    const double ref_ms = ref_t.ElapsedMicros() / 1000.0;
+    const auto reference = testing_util::Canonicalize(ref_out);
+    double arm_ms[2] = {0, 0};
+    bool arm_distributed[2] = {false, false};
+    DistQueryStats frag_stats;  // the 3-RO arm's top-level query
+    for (int ki = 0; ki < 2; ++ki) {
+      const int ros = ki + 2;
+      coord->set_max_participants(ros);
+      bool top_attempted = false;
+      DistQueryStats top_stats;
+      auto dist_exec = [&](const LogicalRef& plan, std::vector<Row>* out) {
+        bool attempted = false;
+        DistQueryStats stats;
+        Status s = coord->Execute(plan, 0, out, &attempted, &stats);
+        // RunQuery calls this for scalar subqueries too; the top-level
+        // query is always the last call, so these capture its outcome.
+        top_attempted = attempted;
+        if (attempted) {
+          top_stats = std::move(stats);
+          return s;
+        }
+        return ro->ExecuteColumn(plan, out, 1);
+      };
+      std::vector<Row> out;
+      Timer t;
+      if (!tpch::RunQuery(q, *cluster->catalog(), dist_exec, &out).ok()) {
+        std::printf("RO sweep Q%d failed at %d ROs\n", q, ros);
+        return 1;
+      }
+      arm_ms[ki] = t.ElapsedMicros() / 1000.0;
+      arm_distributed[ki] = top_attempted;
+      if (ros == 3) frag_stats = std::move(top_stats);
+      if (testing_util::Canonicalize(out) != reference) {
+        std::printf("RO sweep Q%d NOT EQUIVALENT at %d ROs\n", q, ros);
+        dist_equivalent = false;
+      }
+    }
+    report.Row()
+        .Set("query", q)
+        .Set("ro_ref_ms", ref_ms)
+        .Set("ro2_ms", arm_ms[0])
+        .Set("ro3_ms", arm_ms[1])
+        .Set("ro3_distributed", arm_distributed[1] ? 1 : 0);
+    if (arm_distributed[1]) {
+      // Speedup accounting covers only queries the coordinator accepted at
+      // full fan-out — fallback runs measure nothing but dispatch overhead.
+      ++distributed_queries;
+      ro_total_ms[0] += ref_ms;
+      ro_total_ms[1] += arm_ms[0];
+      ro_total_ms[2] += arm_ms[1];
+      for (size_t fi = 0; fi < frag_stats.timings.size(); ++fi) {
+        const auto& ft = frag_stats.timings[fi];
+        report.Row()
+            .Set("query", q)
+            .Set("fragment", static_cast<double>(fi))
+            .Set("frag_wait_ms", ft.wait_us / 1000.0)
+            .Set("frag_exec_ms", ft.exec_us / 1000.0)
+            .Set("frag_rows", static_cast<double>(ft.rows))
+            .Set("frag_attempts", ft.attempts);
+      }
+    }
+  }
+  const double dist_speedup2 =
+      ro_total_ms[0] / std::max(ro_total_ms[1], 1e-3);
+  const double dist_speedup3 =
+      ro_total_ms[0] / std::max(ro_total_ms[2], 1e-3);
+  std::printf("# RO sweep totals (%d distributed queries): 1 RO %.1fms, "
+              "2 ROs %.1fms (x%.2f), 3 ROs %.1fms (x%.2f) | retries %llu | "
+              "stragglers %llu | equivalence %s\n",
+              distributed_queries, ro_total_ms[0], ro_total_ms[1],
+              dist_speedup2, ro_total_ms[2], dist_speedup3,
+              static_cast<unsigned long long>(coord->retries()),
+              static_cast<unsigned long long>(coord->stragglers()),
+              dist_equivalent ? "OK" : "FAILED");
+  report.Metric("ro_sweep_distributed_queries", distributed_queries);
+  report.Metric("ro_sweep_1ro_ms", ro_total_ms[0]);
+  report.Metric("ro_sweep_2ro_ms", ro_total_ms[1]);
+  report.Metric("ro_sweep_3ro_ms", ro_total_ms[2]);
+  report.Metric("ro_sweep_speedup_2ro", dist_speedup2);
+  report.Metric("ro_sweep_speedup_3ro", dist_speedup3);
+  report.Metric("ro_sweep_equivalent", dist_equivalent ? 1 : 0);
+  report.Metric("dist_retries", static_cast<double>(coord->retries()));
+  report.Metric("dist_stragglers", static_cast<double>(coord->stragglers()));
+  report.Metric("dist_fallbacks", static_cast<double>(coord->fallbacks()));
   report.Write();
   if (!equivalent) {
     std::printf("FAILED: parallel results diverge from dop=1\n");
+    return 1;
+  }
+  if (!dist_equivalent) {
+    std::printf("FAILED: distributed results diverge from single-RO\n");
     return 1;
   }
   const bool enforce_speedup = !smoke && hw_cores >= 4;
@@ -188,8 +325,14 @@ int main(int argc, char** argv) {
                 speedup4, hw_cores);
     return 1;
   }
+  if (enforce_speedup && distributed_queries >= 3 && dist_speedup3 < 1.6) {
+    std::printf("FAILED: 3-RO speedup x%.2f < x1.6 over single-RO "
+                "(%d distributed queries, %u cores)\n",
+                dist_speedup3, distributed_queries, hw_cores);
+    return 1;
+  }
   if (!enforce_speedup) {
-    std::printf("# speedup gate not enforced (%s)\n",
+    std::printf("# speedup gates not enforced (%s)\n",
                 smoke ? "smoke run" : "fewer than 4 hardware cores");
   }
   return 0;

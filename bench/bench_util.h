@@ -97,6 +97,27 @@ inline double DriveOltp(int threads, double seconds,
   return static_cast<double>(ops.load()) / timer.ElapsedSeconds();
 }
 
+/// Sanitizer the binary was built with ("none" for plain builds). Reported
+/// in every BENCH_*.json so perf datapoints from instrumented builds are
+/// never mistaken for release numbers.
+inline const char* ActiveSanitizer() {
+#if defined(__SANITIZE_THREAD__)
+  return "tsan";
+#elif defined(__SANITIZE_ADDRESS__)
+  return "asan";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return "tsan";
+#elif __has_feature(address_sanitizer)
+  return "asan";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
 inline double GeoMean(const std::vector<double>& xs) {
   double acc = 0;
   for (double x : xs) acc += std::log(std::max(x, 1e-9));
@@ -117,7 +138,14 @@ inline double GeoMean(const std::vector<double>& xs) {
 ///   report.Write();
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  /// Every report is stamped with the host's core count and the build's
+  /// sanitizer, so downstream consumers can tell which speedup gates were
+  /// meaningful on the machine that produced the numbers.
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    Label("host_cores",
+          std::to_string(std::thread::hardware_concurrency()));
+    Label("sanitizer", ActiveSanitizer());
+  }
 
   void Label(const std::string& key, const std::string& value) {
     labels_.emplace_back(key, value);

@@ -43,6 +43,23 @@ RoNode* Proxy::AcquireRo() {
 
 Status Proxy::ExecuteQuery(const LogicalRef& plan, std::vector<Row>* out,
                            Consistency consistency, EngineChoice* chosen) {
+  if (coordinator_ != nullptr) {
+    // Distributed-first: fan the query out across the healthy RO fleet at
+    // one common snapshot. Strong reads raise the snapshot floor to the
+    // RW's committed VID at submission — every transaction the submitter
+    // could have observed is below it, which is the VID-space equivalent of
+    // the wait-on-written-LSN discipline on the single-RO path. Anything
+    // the coordinator declines or abandons falls through unchanged.
+    const Vid floor = consistency == Consistency::kStrong
+                          ? rw_->txn_manager()->snapshot_vid()
+                          : 0;
+    bool attempted = false;
+    Status s = coordinator_->Execute(plan, floor, out, &attempted);
+    if (attempted) {
+      if (chosen) *chosen = EngineChoice::kColumnEngine;
+      return s;
+    }
+  }
   for (;;) {
     RoNode* ro = AcquireRo();
     if (ro == nullptr) {
@@ -98,7 +115,23 @@ Cluster::Cluster(ClusterOptions options)
       fs_(options.fs),
       rw_(std::make_unique<RwNode>(&fs_, &catalog_,
                                    options.rw_pool_capacity)),
-      proxy_(rw_.get(), &ro_nodes_, &topo_mu_) {}
+      proxy_(rw_.get(), &ro_nodes_, &topo_mu_) {
+  // Channel factory: wraps every currently-healthy RO in a session-claimed
+  // in-process channel, under the topology lock — the same claim discipline
+  // as Proxy::AcquireRo, so eviction drains (never destroys) a participant
+  // mid-fragment.
+  coordinator_ = std::make_unique<QueryCoordinator>(
+      &catalog_, options_.coordinator, [this] {
+        std::vector<std::unique_ptr<FragmentChannel>> chans;
+        std::lock_guard<std::mutex> g(topo_mu_);
+        for (RoNode* ro : ro_nodes_) {
+          if (!ro->healthy()) continue;
+          chans.push_back(std::make_unique<InProcessFragmentChannel>(ro));
+        }
+        return chans;
+      });
+  proxy_.set_coordinator(coordinator_.get());
+}
 
 Cluster::~Cluster() {
   StopHealthMonitor();

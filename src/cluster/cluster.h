@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/coordinator.h"
 #include "cluster/ro_node.h"
 #include "cluster/rw_node.h"
 
@@ -47,6 +48,11 @@ class Proxy {
     return rw_fallbacks_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches the multi-RO fragment coordinator. Once set, eligible analytic
+  /// queries fan out across the fleet first; anything the coordinator
+  /// declines (or abandons) falls through to the single-RO path below.
+  void set_coordinator(QueryCoordinator* c) { coordinator_ = c; }
+
  private:
   /// PickRo + EnterSession in one critical section: a claimed session keeps
   /// the node alive until LeaveSession (eviction drains sessions first).
@@ -55,6 +61,7 @@ class Proxy {
   RwNode* rw_;
   std::vector<RoNode*>* ros_;
   std::mutex* topo_mu_;
+  QueryCoordinator* coordinator_ = nullptr;
   std::atomic<uint64_t> rw_fallbacks_{0};
 };
 
@@ -86,6 +93,7 @@ struct ClusterOptions {
   size_t rw_pool_capacity = 0;
   int initial_ro_nodes = 1;
   FleetHealthOptions health;
+  CoordinatorOptions coordinator;
 };
 
 /// A PolarDB-IMCI cluster in one process: shared storage + one RW node +
@@ -168,6 +176,7 @@ class Cluster {
 
   RwNode* rw() { return rw_.get(); }
   Proxy* proxy() { return &proxy_; }
+  QueryCoordinator* coordinator() { return coordinator_.get(); }
   PolarFs* fs() { return &fs_; }
   Catalog* catalog() { return &catalog_; }
   std::vector<RoNode*> ro_nodes();
@@ -214,6 +223,7 @@ class Cluster {
   std::vector<std::unique_ptr<RoNode>> ro_owned_;
   std::vector<RoNode*> ro_nodes_;
   Proxy proxy_;
+  std::unique_ptr<QueryCoordinator> coordinator_;
   uint64_t next_ckpt_id_ = 1;
   int next_ro_id_ = 1;
 

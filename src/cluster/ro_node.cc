@@ -163,7 +163,7 @@ Status RoNode::CatchUpNow() {
 }
 
 Status RoNode::ExecuteColumn(const LogicalRef& plan, std::vector<Row>* out,
-                             int parallelism) {
+                             int parallelism, int* dop_used) {
   // Degree of parallelism: an explicit caller request wins (bench sweeps,
   // tests); otherwise the optimizer sizes the fan-out to the estimated scan
   // volume. Either way the request is then clamped to this query's token
@@ -174,6 +174,7 @@ Status RoNode::ExecuteColumn(const LogicalRef& plan, std::vector<Row>* out,
           ? parallelism
           : ChooseDop(plan, stats_, options_.default_parallelism);
   QueryTokenGrant grant(&query_tokens_, desired);
+  if (dop_used != nullptr) *dop_used = grant.tokens();
   ExecContext ctx;
   ctx.pool = &exec_pool_;
   ctx.parallelism = grant.tokens();

@@ -51,9 +51,11 @@ class RoNode {
 
   // --- Query execution ----------------------------------------------------
 
-  /// Runs on the column engine at the current applied read view.
+  /// Runs on the column engine at the current applied read view. When
+  /// `dop_used` is non-null it receives the parallelism actually granted
+  /// after token clamping (surfaced by the bench scheduler counters).
   Status ExecuteColumn(const LogicalRef& plan, std::vector<Row>* out,
-                       int parallelism = 0);
+                       int parallelism = 0, int* dop_used = nullptr);
   /// Runs on the row engine against the row-store replica, at a snapshot
   /// pinned to the node's applied commit point — exactly like
   /// RwNode::ExecuteSnapshot: Phase#1 installs replayed page changes as
@@ -119,6 +121,7 @@ class RoNode {
   void EnterSession() { active_sessions_.fetch_add(1); }
   void LeaveSession() { active_sessions_.fetch_sub(1); }
 
+  const RoNodeOptions& options() const { return options_; }
   ReplicationPipeline* pipeline() { return &pipeline_; }
   ImciStore* imci() { return &imci_; }
   RowStoreEngine* engine() { return &engine_; }

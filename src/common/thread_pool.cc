@@ -128,27 +128,42 @@ void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn) {
     return;
   }
   // Shared-counter dispatch: each runner (pool workers plus the caller)
-  // drains indices until the counter runs dry. The caller participating is
-  // what makes nested ParallelFor safe and keeps the pool's workers free
-  // for other queries when n is small.
-  auto next = std::make_shared<std::atomic<int>>(0);
-  auto runner = [next, n, &fn] {
-    for (int i = next->fetch_add(1, std::memory_order_relaxed); i < n;
-         i = next->fetch_add(1, std::memory_order_relaxed)) {
-      fn(i);
+  // drains indices until the counter runs dry. Completion is tracked per
+  // *index*, not per helper task: the caller's wait is satisfied the moment
+  // every fn(i) has finished, even when some queued helpers never got a
+  // worker (they run later as no-ops against the heap-held state). Waiting
+  // on helper tasks instead would deadlock nested ParallelFor — every
+  // worker can be blocked in an outer index's inner Wait(), leaving nobody
+  // to schedule the inner helpers it is waiting for.
+  struct State {
+    std::atomic<int> next{0};
+    int n = 0;
+    std::function<void(int)> fn;
+    std::mutex mu;
+    std::condition_variable cv;
+    int completed = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->n = n;
+  st->fn = fn;
+  auto runner = [st] {
+    int done = 0;
+    for (int i = st->next.fetch_add(1, std::memory_order_relaxed); i < st->n;
+         i = st->next.fetch_add(1, std::memory_order_relaxed)) {
+      st->fn(i);
+      ++done;
+    }
+    if (done > 0) {
+      std::lock_guard<std::mutex> g(st->mu);
+      st->completed += done;
+      if (st->completed == st->n) st->cv.notify_all();
     }
   };
   const int helpers = std::min(n - 1, pool->num_threads());
-  TaskGroup group;
-  group.Add(helpers);
-  for (int h = 0; h < helpers; ++h) {
-    pool->Submit([&group, runner] {
-      runner();
-      group.Done();
-    });
-  }
+  for (int h = 0; h < helpers; ++h) pool->Submit(runner);
   runner();
-  group.Wait();
+  std::unique_lock<std::mutex> l(st->mu);
+  st->cv.wait(l, [&] { return st->completed == st->n; });
 }
 
 }  // namespace imci

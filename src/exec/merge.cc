@@ -1,0 +1,54 @@
+#include "exec/merge.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace imci {
+
+int CompareRowsTotal(const Row& a, const Row& b,
+                     const std::vector<SortKey>& keys) {
+  for (const SortKey& k : keys) {
+    int c = CompareValues(a[k.col], b[k.col]);
+    if (c != 0) return k.desc ? -c : c;
+  }
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = CompareValues(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+std::vector<Row> KWayMergeSorted(std::vector<std::vector<Row>> runs,
+                                 const std::vector<SortKey>& keys,
+                                 int64_t limit) {
+  struct Head {
+    size_t run;
+    size_t pos;
+  };
+  auto greater = [&](const Head& x, const Head& y) {
+    int c = CompareRowsTotal(runs[x.run][x.pos], runs[y.run][y.pos], keys);
+    if (c != 0) return c > 0;
+    return x.run > y.run;  // stable across runs for fully identical rows
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(greater);
+  size_t total = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    total += runs[i].size();
+    if (!runs[i].empty()) heap.push({i, 0});
+  }
+  std::vector<Row> out;
+  const size_t want =
+      limit >= 0 ? std::min<size_t>(total, static_cast<size_t>(limit)) : total;
+  out.reserve(want);
+  while (!heap.empty() && out.size() < want) {
+    Head h = heap.top();
+    heap.pop();
+    out.push_back(std::move(runs[h.run][h.pos]));
+    if (h.pos + 1 < runs[h.run].size()) heap.push({h.run, h.pos + 1});
+  }
+  return out;
+}
+
+}  // namespace imci

@@ -1,0 +1,31 @@
+#ifndef POLARDB_IMCI_EXEC_MERGE_H_
+#define POLARDB_IMCI_EXEC_MERGE_H_
+
+#include <vector>
+
+#include "common/row.h"
+#include "exec/operators.h"
+
+namespace imci {
+
+/// Coordinator-side merge helpers for distributed fragments. Sorted fragment
+/// outputs are combined with a k-way merge under the same total order SortOp
+/// uses, so the distributed result is bit-identical to a single-node sort —
+/// including which of several tied rows survive a LIMIT.
+
+/// Total order over rows: sort keys first (respecting per-key direction),
+/// then every column left to right as a tie-break. Deterministic for any
+/// input permutation, which is what makes distributed sort+limit exact.
+/// Returns <0, 0, >0.
+int CompareRowsTotal(const Row& a, const Row& b,
+                     const std::vector<SortKey>& keys);
+
+/// Merges `runs` (each already sorted by CompareRowsTotal order) into one
+/// sorted sequence, stopping after `limit` rows (limit < 0: no limit).
+std::vector<Row> KWayMergeSorted(std::vector<std::vector<Row>> runs,
+                                 const std::vector<SortKey>& keys,
+                                 int64_t limit);
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_EXEC_MERGE_H_

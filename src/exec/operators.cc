@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/coding.h"
+#include "exec/merge.h"
 
 namespace imci {
 
@@ -36,13 +37,15 @@ void CompactBatch(Batch* batch, const std::vector<uint8_t>& mask) {
 }
 
 ColumnScanOp::ColumnScanOp(ColumnIndex* index, std::vector<int> cols,
-                           ExprRef filter)
-    : index_(index), cols_(std::move(cols)), filter_(std::move(filter)) {
+                           ExprRef filter, ScanPartition part)
+    : index_(index), cols_(std::move(cols)), filter_(std::move(filter)),
+      part_(part) {
   packs_.reserve(cols_.size());
   for (int c : cols_) {
     packs_.push_back(index_->PackForColumn(c));
     out_types_.push_back(index_->schema().column(c).type);
   }
+  if (part_.col >= 0) part_pack_ = index_->PackForColumn(part_.col);
 }
 
 bool ColumnScanOp::GroupPrunable(const RowGroup& g) const {
@@ -62,6 +65,15 @@ bool ColumnScanOp::GroupPrunable(const RowGroup& g) const {
   return false;
 }
 
+bool ColumnScanOp::PartitionSkipsGroup(const RowGroup& g) const {
+  if (part_pack_ < 0) return false;
+  const PackMeta& meta = g.meta(part_pack_);
+  if (!meta.has_value) return false;
+  if (part_.has_lo && meta.max_i < part_.lo) return true;
+  if (part_.has_hi && meta.min_i > part_.hi) return true;
+  return false;
+}
+
 Status ColumnScanOp::ScanGroup(const RowGroup& g, uint32_t used, Vid read_vid,
                                RowSet* out) const {
   Batch batch = Batch::Make(out_types_);
@@ -78,6 +90,14 @@ Status ColumnScanOp::ScanGroup(const RowGroup& g, uint32_t used, Vid read_vid,
   };
   for (uint32_t off = 0; off < used; ++off) {
     if (!g.Visible(off, read_vid)) continue;
+    if (part_pack_ >= 0) {
+      // Fragment partition check: a NULL partition key belongs to no range
+      // (the partition column is a PK in practice, so this cannot drop rows).
+      if (g.is_null(part_pack_, off)) continue;
+      const int64_t pv = g.int_data(part_pack_)[off];
+      if (part_.has_lo && pv < part_.lo) continue;
+      if (part_.has_hi && pv > part_.hi) continue;
+    }
     for (size_t c = 0; c < packs_.size(); ++c) {
       const int p = packs_[c];
       ColumnVector& dst = batch.cols[c];
@@ -98,6 +118,9 @@ Status ColumnScanOp::ScanGroup(const RowGroup& g, uint32_t used, Vid read_vid,
 
 Status ColumnScanOp::Execute(ExecContext* ctx, RowSet* out) {
   out->types = out_types_;
+  if (part_.col >= 0 && part_pack_ < 0) {
+    return Status::NotSupported("partition column has no pack");
+  }
   const size_t ngroups = index_->num_groups();
   const Vid read_vid = ctx->read_vid;
   const int workers = std::max(1, ctx->parallelism);
@@ -123,6 +146,9 @@ Status ColumnScanOp::Execute(ExecContext* ctx, RowSet* out) {
         if (!g || g->retired()) continue;
         const uint32_t used = index_->GroupUsed(gid);
         if (used == 0) continue;
+        // Partition skip is correctness-driven, not gated on the pruning
+        // ablation toggle, and not counted in the pruning metrics.
+        if (PartitionSkipsGroup(*g)) continue;
         if (ctx->pruning_enabled && GroupPrunable(*g)) {
           groups_pruned_.fetch_add(1, std::memory_order_relaxed);
           continue;
@@ -480,6 +506,7 @@ HashAggOp::HashAggOp(PhysOpRef child, std::vector<int> group_cols,
       case AggKind::kCount:
       case AggKind::kCountStar:
       case AggKind::kCountDistinct:
+      case AggKind::kSumInt:
         out_types_.push_back(DataType::kInt64);
         break;
       case AggKind::kMin:
@@ -570,6 +597,9 @@ Status HashAggOp::Execute(ExecContext* ctx, RowSet* out) {
               break;
             case AggKind::kCount:
               st.counts[a]++;
+              break;
+            case AggKind::kSumInt:
+              st.counts[a] += v.ints[ri];
               break;
             case AggKind::kMin: {
               Value x = v.GetValue(ri);
@@ -689,6 +719,7 @@ Status HashAggOp::Execute(ExecContext* ctx, RowSet* out) {
           break;
         case AggKind::kCount:
         case AggKind::kCountStar:
+        case AggKind::kSumInt:
           outb.cols[c].AppendInt(st.counts[a]);
           break;
         case AggKind::kCountDistinct:
@@ -721,18 +752,17 @@ Status SortOp::Execute(ExecContext* ctx, RowSet* out) {
   RowSet in;
   IMCI_RETURN_NOT_OK(child_->Execute(ctx, &in));
   std::vector<Row> rows = ToRows(in);
+  // Total order (keys then full-row tie-break): ties are broken the same way
+  // on every node and in the coordinator's k-way merge, so tied rows
+  // straddling a LIMIT boundary resolve identically everywhere.
   auto cmp = [&](const Row& a, const Row& b) {
-    for (const SortKey& k : keys_) {
-      int c = CompareValues(a[k.col], b[k.col]);
-      if (c != 0) return k.desc ? c > 0 : c < 0;
-    }
-    return false;
+    return CompareRowsTotal(a, b, keys_) < 0;
   };
   if (limit_ >= 0 && static_cast<size_t>(limit_) < rows.size()) {
     std::partial_sort(rows.begin(), rows.begin() + limit_, rows.end(), cmp);
     rows.resize(limit_);
   } else {
-    std::stable_sort(rows.begin(), rows.end(), cmp);
+    std::sort(rows.begin(), rows.end(), cmp);
   }
   out->types = out_types_;
   Batch b = Batch::Make(out_types_);

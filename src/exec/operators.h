@@ -51,6 +51,20 @@ void CompactBatch(Batch* batch, const std::vector<uint8_t>& mask);
 
 // --- Scans -------------------------------------------------------------
 
+/// Value-range restriction for distributed fragment scans: the scan emits
+/// only rows whose `col` (schema ordinal, normally the PK) lies within
+/// [lo, hi], with either bound optionally open. Ranges are over PK *values*,
+/// not RIDs or row-group indexes — Phase#2 parallel apply and per-node
+/// compaction make physical layout node-dependent, so value ranges are the
+/// only partitioning that is disjoint-and-complete across replicas. This is
+/// a correctness restriction, independent of the pruning toggle; Pack
+/// min/max metadata still skips whole groups outside the range.
+struct ScanPartition {
+  int col = -1;  // -1: unpartitioned
+  bool has_lo = false, has_hi = false;
+  int64_t lo = 0, hi = 0;
+};
+
 /// Vectorized scan over a column index (§6.3 TableScan): group-granular
 /// morsels fetched concurrently in a non-interleaved manner, Pack min/max
 /// pruning (§4.1 Pack Meta), visibility filtering at the pinned read view,
@@ -59,7 +73,8 @@ void CompactBatch(Batch* batch, const std::vector<uint8_t>& mask);
 class ColumnScanOp : public PhysOp {
  public:
   /// `filter` refers to *output* ordinals (positions in `cols`).
-  ColumnScanOp(ColumnIndex* index, std::vector<int> cols, ExprRef filter);
+  ColumnScanOp(ColumnIndex* index, std::vector<int> cols, ExprRef filter,
+               ScanPartition part = ScanPartition());
 
   Status Execute(ExecContext* ctx, RowSet* out) override;
 
@@ -70,6 +85,7 @@ class ColumnScanOp : public PhysOp {
 
  private:
   bool GroupPrunable(const RowGroup& g) const;
+  bool PartitionSkipsGroup(const RowGroup& g) const;
   Status ScanGroup(const RowGroup& g, uint32_t used, Vid read_vid,
                    RowSet* out) const;
 
@@ -77,6 +93,8 @@ class ColumnScanOp : public PhysOp {
   std::vector<int> cols_;   // schema ordinals
   std::vector<int> packs_;  // pack ordinals, parallel to cols_
   ExprRef filter_;
+  ScanPartition part_;
+  int part_pack_ = -1;
   bool pruning_ = true;
   mutable std::atomic<uint64_t> groups_pruned_{0};
   mutable std::atomic<uint64_t> groups_scanned_{0};
@@ -151,7 +169,12 @@ class HashJoinOp : public PhysOp {
   JoinType type_;
 };
 
-enum class AggKind { kSum, kCount, kCountStar, kAvg, kMin, kMax, kCountDistinct };
+/// kSumInt is internal to distributed execution: the coordinator's final
+/// aggregation folds partial COUNTs with an int64-typed sum, so merged
+/// counts stay integers (a double SUM would change the result type).
+enum class AggKind {
+  kSum, kCount, kCountStar, kAvg, kMin, kMax, kCountDistinct, kSumInt,
+};
 
 struct AggSpec {
   AggKind kind;

@@ -1,0 +1,241 @@
+#include "exec/serde.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace imci {
+
+namespace {
+
+// Value wire tags. Append-only: a new alternative gets a new tag.
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+// Decode guards: a corrupt length prefix must not drive a multi-gigabyte
+// allocation before the bounds check catches it. Collections are capped by
+// what the remaining buffer could possibly hold.
+constexpr size_t kMaxExprDepth = 256;
+
+}  // namespace
+
+Status ByteReader::U8(uint8_t* out) {
+  if (remaining() < 1) return Status::Corruption("serde: truncated u8");
+  *out = static_cast<uint8_t>(*p_++);
+  return Status::OK();
+}
+
+Status ByteReader::U32(uint32_t* out) {
+  if (remaining() < 4) return Status::Corruption("serde: truncated u32");
+  *out = GetFixed32(p_);
+  p_ += 4;
+  return Status::OK();
+}
+
+Status ByteReader::U64(uint64_t* out) {
+  if (remaining() < 8) return Status::Corruption("serde: truncated u64");
+  *out = GetFixed64(p_);
+  p_ += 8;
+  return Status::OK();
+}
+
+Status ByteReader::I32(int32_t* out) {
+  uint32_t u;
+  IMCI_RETURN_NOT_OK(U32(&u));
+  *out = static_cast<int32_t>(u);
+  return Status::OK();
+}
+
+Status ByteReader::I64(int64_t* out) {
+  uint64_t u;
+  IMCI_RETURN_NOT_OK(U64(&u));
+  *out = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status ByteReader::F64(double* out) {
+  uint64_t bits;
+  IMCI_RETURN_NOT_OK(U64(&bits));
+  std::memcpy(out, &bits, 8);
+  return Status::OK();
+}
+
+Status ByteReader::Str(std::string* out) {
+  uint32_t len;
+  IMCI_RETURN_NOT_OK(U32(&len));
+  if (remaining() < len) return Status::Corruption("serde: truncated string");
+  out->assign(p_, len);
+  p_ += len;
+  return Status::OK();
+}
+
+// --- Values and rows ---------------------------------------------------
+
+void PutValue(std::string* dst, const Value& v) {
+  if (IsNull(v)) {
+    dst->push_back(static_cast<char>(kTagNull));
+  } else if (std::holds_alternative<int64_t>(v)) {
+    dst->push_back(static_cast<char>(kTagInt));
+    PutFixed64(dst, static_cast<uint64_t>(AsInt(v)));
+  } else if (std::holds_alternative<double>(v)) {
+    // Bit-pattern encoding: doubles round-trip exactly, so distributed
+    // results stay bit-identical to local execution.
+    dst->push_back(static_cast<char>(kTagDouble));
+    uint64_t bits;
+    double d = AsDouble(v);
+    std::memcpy(&bits, &d, 8);
+    PutFixed64(dst, bits);
+  } else {
+    dst->push_back(static_cast<char>(kTagString));
+    const std::string& s = AsString(v);
+    PutFixed32(dst, static_cast<uint32_t>(s.size()));
+    dst->append(s);
+  }
+}
+
+Status GetValue(ByteReader* r, Value* out) {
+  uint8_t tag;
+  IMCI_RETURN_NOT_OK(r->U8(&tag));
+  switch (tag) {
+    case kTagNull:
+      *out = Value{};
+      return Status::OK();
+    case kTagInt: {
+      int64_t i;
+      IMCI_RETURN_NOT_OK(r->I64(&i));
+      *out = i;
+      return Status::OK();
+    }
+    case kTagDouble: {
+      double d;
+      IMCI_RETURN_NOT_OK(r->F64(&d));
+      *out = d;
+      return Status::OK();
+    }
+    case kTagString: {
+      std::string s;
+      IMCI_RETURN_NOT_OK(r->Str(&s));
+      *out = std::move(s);
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("serde: bad value tag");
+  }
+}
+
+void PutRow(std::string* dst, const Row& row) {
+  PutFixed32(dst, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) PutValue(dst, v);
+}
+
+Status GetRow(ByteReader* r, Row* out) {
+  uint32_t n;
+  IMCI_RETURN_NOT_OK(r->U32(&n));
+  if (n > r->remaining()) return Status::Corruption("serde: row width");
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    IMCI_RETURN_NOT_OK(GetValue(r, &v));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+void PutRows(std::string* dst, const std::vector<Row>& rows) {
+  PutFixed32(dst, static_cast<uint32_t>(rows.size()));
+  for (const Row& row : rows) PutRow(dst, row);
+}
+
+Status GetRows(ByteReader* r, std::vector<Row>* out) {
+  uint32_t n;
+  IMCI_RETURN_NOT_OK(r->U32(&n));
+  if (n > r->remaining()) return Status::Corruption("serde: row count");
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Row row;
+    IMCI_RETURN_NOT_OK(GetRow(r, &row));
+    out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+// --- Expressions -------------------------------------------------------
+
+namespace {
+
+Status GetExprRec(ByteReader* r, size_t depth, ExprRef* out);
+
+void PutExprRec(std::string* dst, const ExprRef& e) {
+  dst->push_back(static_cast<char>(e->kind));
+  dst->push_back(static_cast<char>(e->out_type));
+  PutFixed32(dst, static_cast<uint32_t>(e->col));
+  PutValue(dst, e->constant);
+  PutFixed32(dst, static_cast<uint32_t>(e->pattern.size()));
+  dst->append(e->pattern);
+  PutFixed32(dst, static_cast<uint32_t>(e->in_set.size()));
+  for (const Value& v : e->in_set) PutValue(dst, v);
+  PutFixed32(dst, static_cast<uint32_t>(e->substr_start));
+  PutFixed32(dst, static_cast<uint32_t>(e->substr_len));
+  PutFixed32(dst, static_cast<uint32_t>(e->args.size()));
+  for (const ExprRef& a : e->args) PutExprRec(dst, a);
+}
+
+Status GetExprRec(ByteReader* r, size_t depth, ExprRef* out) {
+  if (depth > kMaxExprDepth) return Status::Corruption("serde: expr depth");
+  uint8_t kind, type;
+  IMCI_RETURN_NOT_OK(r->U8(&kind));
+  IMCI_RETURN_NOT_OK(r->U8(&type));
+  if (kind > static_cast<uint8_t>(ExprKind::kIsNull)) {
+    return Status::Corruption("serde: bad expr kind");
+  }
+  if (type > static_cast<uint8_t>(DataType::kDate)) {
+    return Status::Corruption("serde: bad expr type");
+  }
+  auto e = std::make_shared<Expr>();
+  e->kind = static_cast<ExprKind>(kind);
+  e->out_type = static_cast<DataType>(type);
+  int32_t col;
+  IMCI_RETURN_NOT_OK(r->I32(&col));
+  e->col = col;
+  IMCI_RETURN_NOT_OK(GetValue(r, &e->constant));
+  IMCI_RETURN_NOT_OK(r->Str(&e->pattern));
+  uint32_t nset;
+  IMCI_RETURN_NOT_OK(r->U32(&nset));
+  if (nset > r->remaining()) return Status::Corruption("serde: in_set size");
+  e->in_set.reserve(nset);
+  for (uint32_t i = 0; i < nset; ++i) {
+    Value v;
+    IMCI_RETURN_NOT_OK(GetValue(r, &v));
+    e->in_set.push_back(std::move(v));
+  }
+  int32_t ss, sl;
+  IMCI_RETURN_NOT_OK(r->I32(&ss));
+  IMCI_RETURN_NOT_OK(r->I32(&sl));
+  e->substr_start = ss;
+  e->substr_len = sl;
+  uint32_t nargs;
+  IMCI_RETURN_NOT_OK(r->U32(&nargs));
+  if (nargs > r->remaining()) return Status::Corruption("serde: args size");
+  e->args.reserve(nargs);
+  for (uint32_t i = 0; i < nargs; ++i) {
+    ExprRef a;
+    IMCI_RETURN_NOT_OK(GetExprRec(r, depth + 1, &a));
+    e->args.push_back(std::move(a));
+  }
+  *out = std::move(e);
+  return Status::OK();
+}
+
+}  // namespace
+
+void PutExpr(std::string* dst, const ExprRef& e) { PutExprRec(dst, e); }
+
+Status GetExpr(ByteReader* r, ExprRef* out) {
+  return GetExprRec(r, 0, out);
+}
+
+}  // namespace imci

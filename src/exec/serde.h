@@ -1,0 +1,63 @@
+#ifndef POLARDB_IMCI_EXEC_SERDE_H_
+#define POLARDB_IMCI_EXEC_SERDE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "exec/expr.h"
+
+namespace imci {
+
+/// Byte-oriented serialization for the distributed fragment protocol. The
+/// wire format is self-describing (type-tagged values) and little-endian
+/// fixed-width, so the in-process FragmentChannel and a future TCP transport
+/// share one codec. Decoding is bounds-checked end to end: a short or
+/// malformed buffer surfaces as Status::Corruption, never UB.
+
+/// Bounds-checked sequential reader over an immutable byte buffer.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  bool done() const { return p_ == end_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  Status U8(uint8_t* out);
+  Status U32(uint32_t* out);
+  Status U64(uint64_t* out);
+  Status I32(int32_t* out);
+  Status I64(int64_t* out);
+  Status F64(double* out);
+  Status Str(std::string* out);
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+// --- Values and rows ---------------------------------------------------
+
+void PutValue(std::string* dst, const Value& v);
+Status GetValue(ByteReader* r, Value* out);
+
+/// Rows are encoded with an explicit column count per row, so a decoder can
+/// validate widths without out-of-band schema knowledge. Doubles round-trip
+/// by bit pattern (exact), which the distributed equivalence gates rely on.
+void PutRow(std::string* dst, const Row& row);
+Status GetRow(ByteReader* r, Row* out);
+
+void PutRows(std::string* dst, const std::vector<Row>& rows);
+Status GetRows(ByteReader* r, std::vector<Row>* out);
+
+// --- Expressions -------------------------------------------------------
+
+/// Recursive type-tagged expression tree codec (covers every ExprKind).
+void PutExpr(std::string* dst, const ExprRef& e);
+Status GetExpr(ByteReader* r, ExprRef* out);
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_EXEC_SERDE_H_

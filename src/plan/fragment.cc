@@ -1,0 +1,538 @@
+#include "plan/fragment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/coding.h"
+
+namespace imci {
+
+namespace {
+
+constexpr size_t kMaxPlanDepth = 512;
+
+DataType AggOutType(const AggSpec& a) {
+  switch (a.kind) {
+    case AggKind::kCount:
+    case AggKind::kCountStar:
+    case AggKind::kCountDistinct:
+    case AggKind::kSumInt:
+      return DataType::kInt64;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return a.arg->out_type;
+    default:
+      return DataType::kDouble;
+  }
+}
+
+bool IsSpineKind(LogicalKind k) {
+  return k == LogicalKind::kProject || k == LogicalKind::kFilter ||
+         k == LogicalKind::kSort || k == LogicalKind::kLimit;
+}
+
+/// Rebuilds the coordinator-side spine (root-first `upper`) on top of `base`
+/// with fresh nodes, leaving the original plan untouched.
+LogicalRef RebuildSpine(const std::vector<LogicalRef>& upper, LogicalRef base) {
+  for (size_t i = upper.size(); i > 0; --i) {
+    auto n = std::make_shared<LogicalNode>(*upper[i - 1]);
+    n->children = {std::move(base)};
+    base = std::move(n);
+  }
+  return base;
+}
+
+/// Collects scan occurrences that may carry the fragment partition: the path
+/// from the fragment root must cross only filters, projections, join probe
+/// sides, and inner-join build sides. Partitioning the build side of a
+/// left/semi/anti join, or anything below an aggregate or sort, would break
+/// the disjoint-and-complete decomposition. Traversal order is
+/// deterministic, so an occurrence index chosen on the template resolves to
+/// the same occurrence on every clone.
+void CollectPartitionCandidates(const LogicalRef& n, bool safe,
+                                std::vector<LogicalNode*>* out) {
+  switch (n->kind) {
+    case LogicalKind::kScan:
+      if (safe) out->push_back(n.get());
+      return;
+    case LogicalKind::kFilter:
+    case LogicalKind::kProject:
+      CollectPartitionCandidates(n->children[0], safe, out);
+      return;
+    case LogicalKind::kJoin:
+      CollectPartitionCandidates(n->children[0], safe, out);
+      CollectPartitionCandidates(n->children[1],
+                                 safe && n->join_type == JoinType::kInner,
+                                 out);
+      return;
+    default:
+      // kAgg/kSort/kLimit/kValues: nothing beneath can be partitioned
+      // (those subtrees replicate wholesale on every fragment).
+      return;
+  }
+}
+
+}  // namespace
+
+LogicalRef ClonePlan(const LogicalRef& plan) {
+  if (!plan) return nullptr;
+  auto n = std::make_shared<LogicalNode>(*plan);
+  for (LogicalRef& c : n->children) c = ClonePlan(c);
+  return n;
+}
+
+Status InferOutputTypes(const LogicalRef& plan, const Catalog& catalog,
+                        std::vector<DataType>* out) {
+  out->clear();
+  switch (plan->kind) {
+    case LogicalKind::kScan: {
+      auto schema = catalog.Get(plan->table_id);
+      if (!schema) return Status::NotFound("schema for scan");
+      for (int c : plan->cols) {
+        if (c < 0 || c >= schema->num_columns()) {
+          return Status::InvalidArgument("scan column out of range");
+        }
+        out->push_back(schema->column(c).type);
+      }
+      return Status::OK();
+    }
+    case LogicalKind::kFilter:
+    case LogicalKind::kSort:
+    case LogicalKind::kLimit:
+      return InferOutputTypes(plan->children[0], catalog, out);
+    case LogicalKind::kProject:
+      for (const ExprRef& e : plan->exprs) out->push_back(e->out_type);
+      return Status::OK();
+    case LogicalKind::kJoin: {
+      IMCI_RETURN_NOT_OK(InferOutputTypes(plan->children[0], catalog, out));
+      if (plan->join_type == JoinType::kInner ||
+          plan->join_type == JoinType::kLeft) {
+        std::vector<DataType> build;
+        IMCI_RETURN_NOT_OK(
+            InferOutputTypes(plan->children[1], catalog, &build));
+        out->insert(out->end(), build.begin(), build.end());
+      }
+      return Status::OK();
+    }
+    case LogicalKind::kAgg: {
+      std::vector<DataType> child;
+      IMCI_RETURN_NOT_OK(InferOutputTypes(plan->children[0], catalog, &child));
+      for (int g : plan->group_cols) {
+        if (g < 0 || g >= static_cast<int>(child.size())) {
+          return Status::InvalidArgument("group column out of range");
+        }
+        out->push_back(child[g]);
+      }
+      for (const AggSpec& a : plan->aggs) out->push_back(AggOutType(a));
+      return Status::OK();
+    }
+    case LogicalKind::kValues:
+      *out = plan->value_types;
+      return Status::OK();
+  }
+  return Status::NotSupported("logical kind");
+}
+
+int ChooseFanout(const LogicalRef& plan, const StatsCollector& stats,
+                 int max_nodes, double rows_per_fragment) {
+  if (max_nodes <= 1) return 1;
+  if (rows_per_fragment < 1.0) rows_per_fragment = 1.0;
+  const PlanCost cost = EstimatePlan(plan, stats);
+  const double frags = cost.rows_touched / rows_per_fragment;
+  if (frags <= 1.0) return 1;
+  const double capped = std::min(static_cast<double>(max_nodes), frags);
+  return static_cast<int>(std::ceil(capped));
+}
+
+Status CutFragments(const LogicalRef& plan, const Catalog& catalog,
+                    const StatsCollector& stats, int nfrags,
+                    FragmentSet* out) {
+  if (!plan) return Status::InvalidArgument("null plan");
+  if (nfrags < 2) return Status::NotSupported("fan-out below 2");
+
+  // Walk the single-child spine from the root. The cut happens at the first
+  // aggregate (partial-agg fold), else at the deepest sort (per-fragment
+  // sort+limit, coordinator k-way merge), else the whole plan partitions
+  // row-disjoint and the coordinator concatenates.
+  std::vector<LogicalRef> spine;
+  LogicalRef cur = plan;
+  LogicalRef agg;
+  int last_sort = -1;
+  for (;;) {
+    if (cur->kind == LogicalKind::kAgg) {
+      agg = cur;
+      break;
+    }
+    if (!IsSpineKind(cur->kind)) break;
+    if (cur->kind == LogicalKind::kSort) {
+      last_sort = static_cast<int>(spine.size());
+    }
+    spine.push_back(cur);
+    cur = cur->children[0];
+  }
+
+  FragmentSet fs;
+  LogicalRef tmpl;  // fragment plan template (cloned per range)
+  if (agg) {
+    // Two-phase aggregate decomposition. COUNT folds through an int64 sum
+    // (kSumInt) so the merged count keeps its type; AVG decomposes into
+    // SUM+COUNT partials recombined with a division projection (NULL on
+    // zero count, matching the single-node kAvg).
+    std::vector<DataType> child_types;
+    IMCI_RETURN_NOT_OK(
+        InferOutputTypes(agg->children[0], catalog, &child_types));
+    const int G = static_cast<int>(agg->group_cols.size());
+    std::vector<AggSpec> partial, finals;
+    struct Slot {
+      bool is_avg;
+      int pos;      // final-agg output position (sum for avg)
+      int cnt_pos;  // avg only
+    };
+    std::vector<Slot> slots;
+    bool any_avg = false;
+    for (const AggSpec& a : agg->aggs) {
+      const int p = G + static_cast<int>(partial.size());
+      switch (a.kind) {
+        case AggKind::kSum:
+          partial.push_back({AggKind::kSum, a.arg});
+          slots.push_back({false, p, -1});
+          finals.push_back({AggKind::kSum, Col(p, DataType::kDouble)});
+          break;
+        case AggKind::kAvg:
+          any_avg = true;
+          partial.push_back({AggKind::kSum, a.arg});
+          partial.push_back({AggKind::kCount, a.arg});
+          slots.push_back({true, p, p + 1});
+          finals.push_back({AggKind::kSum, Col(p, DataType::kDouble)});
+          finals.push_back({AggKind::kSumInt, Col(p + 1, DataType::kInt64)});
+          break;
+        case AggKind::kCount:
+          partial.push_back({AggKind::kCount, a.arg});
+          slots.push_back({false, p, -1});
+          finals.push_back({AggKind::kSumInt, Col(p, DataType::kInt64)});
+          break;
+        case AggKind::kCountStar:
+          partial.push_back({AggKind::kCountStar, nullptr});
+          slots.push_back({false, p, -1});
+          finals.push_back({AggKind::kSumInt, Col(p, DataType::kInt64)});
+          break;
+        case AggKind::kMin:
+          partial.push_back({AggKind::kMin, a.arg});
+          slots.push_back({false, p, -1});
+          finals.push_back({AggKind::kMin, Col(p, a.arg->out_type)});
+          break;
+        case AggKind::kMax:
+          partial.push_back({AggKind::kMax, a.arg});
+          slots.push_back({false, p, -1});
+          finals.push_back({AggKind::kMax, Col(p, a.arg->out_type)});
+          break;
+        default:
+          // COUNT(DISTINCT) partials don't fold without shipping the
+          // distinct sets; the query stays single-node.
+          return Status::NotSupported("non-distributable aggregate");
+      }
+    }
+    tmpl = LAgg(agg->children[0], agg->group_cols, partial);
+    fs.merge = FragmentMerge::kAgg;
+    for (int g : agg->group_cols) fs.fragment_types.push_back(child_types[g]);
+    for (const AggSpec& p : partial) fs.fragment_types.push_back(AggOutType(p));
+    fs.values_node = LValues(fs.fragment_types, {});
+    std::vector<int> final_groups(G);
+    std::iota(final_groups.begin(), final_groups.end(), 0);
+    LogicalRef fin = LAgg(fs.values_node, final_groups, finals);
+    if (any_avg) {
+      std::vector<ExprRef> proj;
+      for (int g = 0; g < G; ++g) {
+        proj.push_back(Col(g, child_types[agg->group_cols[g]]));
+      }
+      for (size_t i = 0; i < slots.size(); ++i) {
+        const Slot& s = slots[i];
+        if (s.is_avg) {
+          proj.push_back(Col(s.pos, DataType::kDouble));
+          proj.back() = Div(proj.back(), Col(s.cnt_pos, DataType::kInt64));
+        } else {
+          proj.push_back(Col(s.pos, AggOutType(finals[s.pos - G])));
+        }
+      }
+      fin = LProject(fin, std::move(proj));
+    }
+    fs.final_plan = RebuildSpine(spine, std::move(fin));
+  } else if (last_sort >= 0) {
+    // Sort cut: fragments sort (and limit) their partition, the coordinator
+    // k-way merges under the same total order. A LIMIT between the sort and
+    // the inputs would truncate fragments arbitrarily — not decomposable.
+    for (size_t i = static_cast<size_t>(last_sort) + 1; i < spine.size();
+         ++i) {
+      if (spine[i]->kind == LogicalKind::kLimit) {
+        return Status::NotSupported("limit below sort");
+      }
+    }
+    LogicalRef S = spine[last_sort];
+    tmpl = S;
+    fs.merge = FragmentMerge::kSortMerge;
+    fs.merge_keys = S->sort_keys;
+    fs.merge_limit = S->limit;
+    IMCI_RETURN_NOT_OK(InferOutputTypes(S, catalog, &fs.fragment_types));
+    fs.values_node = LValues(fs.fragment_types, {});
+    fs.final_plan = RebuildSpine(
+        {spine.begin(), spine.begin() + last_sort}, fs.values_node);
+  } else {
+    // Concat cut: fragment outputs are disjoint row sets. A bare LIMIT has
+    // no deterministic decomposition (any N rows are a valid answer, but not
+    // a bit-identical one).
+    for (const LogicalRef& n : spine) {
+      if (n->kind == LogicalKind::kLimit) {
+        return Status::NotSupported("bare limit");
+      }
+    }
+    tmpl = plan;
+    fs.merge = FragmentMerge::kConcat;
+    IMCI_RETURN_NOT_OK(InferOutputTypes(plan, catalog, &fs.fragment_types));
+    fs.values_node = LValues(fs.fragment_types, {});
+    fs.final_plan = fs.values_node;
+  }
+
+  // Partition-site selection: among safely partitionable scan occurrences,
+  // take the one with the most rows (the fan-out win tracks the largest
+  // relation; smaller inputs replicate at tolerable cost).
+  const LogicalRef& search_root =
+      fs.merge == FragmentMerge::kConcat ? tmpl : tmpl->children[0];
+  std::vector<LogicalNode*> cands;
+  CollectPartitionCandidates(search_root, true, &cands);
+  int best = -1;
+  uint64_t best_rows = 0;
+  int best_pk = -1;
+  const TableStats* best_ts = nullptr;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    auto schema = catalog.Get(cands[i]->table_id);
+    if (!schema) continue;
+    const int pk = schema->pk_col();
+    if (!IsIntegerType(schema->column(pk).type)) continue;
+    const TableStats* ts = stats.Get(cands[i]->table_id);
+    if (ts == nullptr || ts->row_count == 0) continue;
+    if (pk >= static_cast<int>(ts->cols.size()) || !ts->cols[pk].has_range) {
+      continue;
+    }
+    if (best < 0 || ts->row_count > best_rows) {
+      best = static_cast<int>(i);
+      best_rows = ts->row_count;
+      best_pk = pk;
+      best_ts = ts;
+    }
+  }
+  if (best < 0) return Status::NotSupported("no partitionable scan");
+
+  // Cut interior boundaries over the sampled PK range. The first and last
+  // ranges are open-ended, so rows outside the (sampled, possibly stale)
+  // min/max still land in exactly one fragment.
+  const TableStats::ColStats& cs = best_ts->cols[best_pk];
+  std::vector<int64_t> cuts;
+  const double span = static_cast<double>(cs.max) -
+                      static_cast<double>(cs.min) + 1.0;
+  for (int i = 1; i < nfrags; ++i) {
+    const int64_t b =
+        cs.min + static_cast<int64_t>(span * i / nfrags);
+    if (b > (cuts.empty() ? cs.min : cuts.back())) cuts.push_back(b);
+  }
+  if (cuts.empty()) return Status::NotSupported("degenerate PK range");
+
+  const int F = static_cast<int>(cuts.size()) + 1;
+  for (int i = 0; i < F; ++i) {
+    LogicalRef frag = ClonePlan(tmpl);
+    std::vector<LogicalNode*> fcands;
+    CollectPartitionCandidates(
+        fs.merge == FragmentMerge::kConcat ? frag : frag->children[0], true,
+        &fcands);
+    LogicalNode* scan = fcands[best];
+    scan->part_col = best_pk;
+    if (i > 0) {
+      scan->part_has_lo = true;
+      scan->part_lo = cuts[i - 1];
+    }
+    if (i < static_cast<int>(cuts.size())) {
+      scan->part_has_hi = true;
+      scan->part_hi = cuts[i] - 1;
+    }
+    fs.fragments.push_back(std::move(frag));
+  }
+  fs.part_table = cands[best]->table_id;
+  fs.part_col = best_pk;
+  *out = std::move(fs);
+  return Status::OK();
+}
+
+// --- Plan wire format ---------------------------------------------------
+
+namespace {
+
+void PutPlanRec(std::string* dst, const LogicalRef& n) {
+  dst->push_back(static_cast<char>(n->kind));
+  PutFixed32(dst, n->table_id);
+  PutFixed32(dst, static_cast<uint32_t>(n->cols.size()));
+  for (int c : n->cols) PutFixed32(dst, static_cast<uint32_t>(c));
+  dst->push_back(n->filter ? 1 : 0);
+  if (n->filter) PutExpr(dst, n->filter);
+  PutFixed32(dst, static_cast<uint32_t>(n->part_col));
+  dst->push_back(static_cast<char>((n->part_has_lo ? 1 : 0) |
+                                   (n->part_has_hi ? 2 : 0)));
+  PutFixed64(dst, static_cast<uint64_t>(n->part_lo));
+  PutFixed64(dst, static_cast<uint64_t>(n->part_hi));
+  PutFixed32(dst, static_cast<uint32_t>(n->exprs.size()));
+  for (const ExprRef& e : n->exprs) PutExpr(dst, e);
+  PutFixed32(dst, static_cast<uint32_t>(n->left_keys.size()));
+  for (int k : n->left_keys) PutFixed32(dst, static_cast<uint32_t>(k));
+  PutFixed32(dst, static_cast<uint32_t>(n->right_keys.size()));
+  for (int k : n->right_keys) PutFixed32(dst, static_cast<uint32_t>(k));
+  dst->push_back(static_cast<char>(n->join_type));
+  PutFixed32(dst, static_cast<uint32_t>(n->group_cols.size()));
+  for (int g : n->group_cols) PutFixed32(dst, static_cast<uint32_t>(g));
+  PutFixed32(dst, static_cast<uint32_t>(n->aggs.size()));
+  for (const AggSpec& a : n->aggs) {
+    dst->push_back(static_cast<char>(a.kind));
+    dst->push_back(a.arg ? 1 : 0);
+    if (a.arg) PutExpr(dst, a.arg);
+  }
+  PutFixed32(dst, static_cast<uint32_t>(n->sort_keys.size()));
+  for (const SortKey& k : n->sort_keys) {
+    PutFixed32(dst, static_cast<uint32_t>(k.col));
+    dst->push_back(k.desc ? 1 : 0);
+  }
+  PutFixed64(dst, static_cast<uint64_t>(n->limit));
+  PutFixed32(dst, static_cast<uint32_t>(n->value_types.size()));
+  for (DataType t : n->value_types) dst->push_back(static_cast<char>(t));
+  PutRows(dst, n->literal_rows);
+  PutFixed32(dst, static_cast<uint32_t>(n->children.size()));
+  for (const LogicalRef& c : n->children) PutPlanRec(dst, c);
+}
+
+Status GetPlanRec(ByteReader* r, size_t depth, LogicalRef* out) {
+  if (depth > kMaxPlanDepth) return Status::Corruption("plan depth");
+  uint8_t kind;
+  IMCI_RETURN_NOT_OK(r->U8(&kind));
+  if (kind > static_cast<uint8_t>(LogicalKind::kValues)) {
+    return Status::Corruption("bad plan kind");
+  }
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = static_cast<LogicalKind>(kind);
+  IMCI_RETURN_NOT_OK(r->U32(&n->table_id));
+  uint32_t ncols;
+  IMCI_RETURN_NOT_OK(r->U32(&ncols));
+  if (ncols > r->remaining()) return Status::Corruption("plan cols");
+  n->cols.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    int32_t c;
+    IMCI_RETURN_NOT_OK(r->I32(&c));
+    n->cols.push_back(c);
+  }
+  uint8_t has_filter;
+  IMCI_RETURN_NOT_OK(r->U8(&has_filter));
+  if (has_filter) IMCI_RETURN_NOT_OK(GetExpr(r, &n->filter));
+  int32_t part_col;
+  IMCI_RETURN_NOT_OK(r->I32(&part_col));
+  n->part_col = part_col;
+  uint8_t part_flags;
+  IMCI_RETURN_NOT_OK(r->U8(&part_flags));
+  n->part_has_lo = (part_flags & 1) != 0;
+  n->part_has_hi = (part_flags & 2) != 0;
+  IMCI_RETURN_NOT_OK(r->I64(&n->part_lo));
+  IMCI_RETURN_NOT_OK(r->I64(&n->part_hi));
+  uint32_t nexprs;
+  IMCI_RETURN_NOT_OK(r->U32(&nexprs));
+  if (nexprs > r->remaining()) return Status::Corruption("plan exprs");
+  n->exprs.reserve(nexprs);
+  for (uint32_t i = 0; i < nexprs; ++i) {
+    ExprRef e;
+    IMCI_RETURN_NOT_OK(GetExpr(r, &e));
+    n->exprs.push_back(std::move(e));
+  }
+  for (std::vector<int>* keys : {&n->left_keys, &n->right_keys}) {
+    uint32_t nk;
+    IMCI_RETURN_NOT_OK(r->U32(&nk));
+    if (nk > r->remaining()) return Status::Corruption("plan keys");
+    keys->reserve(nk);
+    for (uint32_t i = 0; i < nk; ++i) {
+      int32_t k;
+      IMCI_RETURN_NOT_OK(r->I32(&k));
+      keys->push_back(k);
+    }
+  }
+  uint8_t jt;
+  IMCI_RETURN_NOT_OK(r->U8(&jt));
+  if (jt > static_cast<uint8_t>(JoinType::kAnti)) {
+    return Status::Corruption("bad join type");
+  }
+  n->join_type = static_cast<JoinType>(jt);
+  uint32_t ngroups;
+  IMCI_RETURN_NOT_OK(r->U32(&ngroups));
+  if (ngroups > r->remaining()) return Status::Corruption("plan groups");
+  n->group_cols.reserve(ngroups);
+  for (uint32_t i = 0; i < ngroups; ++i) {
+    int32_t g;
+    IMCI_RETURN_NOT_OK(r->I32(&g));
+    n->group_cols.push_back(g);
+  }
+  uint32_t naggs;
+  IMCI_RETURN_NOT_OK(r->U32(&naggs));
+  if (naggs > r->remaining()) return Status::Corruption("plan aggs");
+  n->aggs.reserve(naggs);
+  for (uint32_t i = 0; i < naggs; ++i) {
+    uint8_t ak, has_arg;
+    IMCI_RETURN_NOT_OK(r->U8(&ak));
+    if (ak > static_cast<uint8_t>(AggKind::kSumInt)) {
+      return Status::Corruption("bad agg kind");
+    }
+    IMCI_RETURN_NOT_OK(r->U8(&has_arg));
+    AggSpec spec{static_cast<AggKind>(ak), nullptr};
+    if (has_arg) IMCI_RETURN_NOT_OK(GetExpr(r, &spec.arg));
+    n->aggs.push_back(std::move(spec));
+  }
+  uint32_t nsort;
+  IMCI_RETURN_NOT_OK(r->U32(&nsort));
+  if (nsort > r->remaining()) return Status::Corruption("plan sort keys");
+  n->sort_keys.reserve(nsort);
+  for (uint32_t i = 0; i < nsort; ++i) {
+    int32_t col;
+    uint8_t desc;
+    IMCI_RETURN_NOT_OK(r->I32(&col));
+    IMCI_RETURN_NOT_OK(r->U8(&desc));
+    n->sort_keys.push_back(SortKey{col, desc != 0});
+  }
+  IMCI_RETURN_NOT_OK(r->I64(&n->limit));
+  uint32_t ntypes;
+  IMCI_RETURN_NOT_OK(r->U32(&ntypes));
+  if (ntypes > r->remaining()) return Status::Corruption("plan value types");
+  n->value_types.reserve(ntypes);
+  for (uint32_t i = 0; i < ntypes; ++i) {
+    uint8_t t;
+    IMCI_RETURN_NOT_OK(r->U8(&t));
+    if (t > static_cast<uint8_t>(DataType::kDate)) {
+      return Status::Corruption("bad value type");
+    }
+    n->value_types.push_back(static_cast<DataType>(t));
+  }
+  IMCI_RETURN_NOT_OK(GetRows(r, &n->literal_rows));
+  uint32_t nchildren;
+  IMCI_RETURN_NOT_OK(r->U32(&nchildren));
+  if (nchildren > r->remaining()) return Status::Corruption("plan children");
+  n->children.reserve(nchildren);
+  for (uint32_t i = 0; i < nchildren; ++i) {
+    LogicalRef c;
+    IMCI_RETURN_NOT_OK(GetPlanRec(r, depth + 1, &c));
+    n->children.push_back(std::move(c));
+  }
+  *out = std::move(n);
+  return Status::OK();
+}
+
+}  // namespace
+
+void PutPlan(std::string* dst, const LogicalRef& plan) {
+  PutPlanRec(dst, plan);
+}
+
+Status GetPlan(ByteReader* r, LogicalRef* out) {
+  return GetPlanRec(r, 0, out);
+}
+
+}  // namespace imci

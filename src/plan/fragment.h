@@ -1,0 +1,80 @@
+#ifndef POLARDB_IMCI_PLAN_FRAGMENT_H_
+#define POLARDB_IMCI_PLAN_FRAGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "exec/serde.h"
+#include "plan/optimizer.h"
+
+namespace imci {
+
+/// Distributed fragment planning: cuts a column-engine logical plan into N
+/// subfragments partitioned by PK value ranges, to be executed on N RO nodes
+/// and recombined at the coordinator.
+///
+/// Partitioning is over PK *values*, never physical positions: RID
+/// assignment during Phase#2 parallel apply and per-node compaction make
+/// row-group layout replica-dependent, so value ranges are the only split
+/// that is disjoint and complete on every node. On bulk-loaded (PK-ordered)
+/// data, Pack min/max metadata on the PK pack recovers group-granular
+/// skipping, so a value-range fragment still touches ~1/N of the groups.
+
+/// How the coordinator recombines fragment outputs.
+enum class FragmentMerge : uint8_t {
+  kConcat,     // fragment outputs are disjoint row sets; concatenate
+  kAgg,        // fragments emit partial aggregates; fold with a final agg
+  kSortMerge,  // fragments emit sorted (limited) runs; k-way merge
+};
+
+/// The result of cutting a plan: per-node fragment plans plus the
+/// coordinator-side completion plan. The coordinator fills `values_node`
+/// with the merged fragment rows and executes `final_plan` locally
+/// (`final_plan` contains no scans, so it needs no store access).
+struct FragmentSet {
+  FragmentMerge merge = FragmentMerge::kConcat;
+  std::vector<LogicalRef> fragments;      // one per PK range, independently
+                                          // cloned (safe to mutate/serialize)
+  std::vector<DataType> fragment_types;   // fragment output schema
+  LogicalRef final_plan;                  // completion plan over values_node
+  LogicalRef values_node;                 // kValues placeholder for merged rows
+  std::vector<SortKey> merge_keys;        // kSortMerge: SortOp total order keys
+  int64_t merge_limit = -1;               // kSortMerge: overall limit
+  TableId part_table = 0;                 // partitioned table (diagnostics)
+  int part_col = -1;                      // partition column (schema ordinal)
+};
+
+/// Cuts `plan` into `nfrags` PK-range fragments. Returns NotSupported when
+/// the plan cannot be decomposed soundly (COUNT DISTINCT, bare LIMIT without
+/// ORDER BY, no partitionable scan, missing PK range stats); callers fall
+/// back to single-node execution, which stays the reference path.
+Status CutFragments(const LogicalRef& plan, const Catalog& catalog,
+                    const StatsCollector& stats, int nfrags, FragmentSet* out);
+
+/// Inter-node fan-out sizing, the cluster-level sibling of ChooseDop: one
+/// fragment per `rows_per_fragment` of estimated scan volume, capped at
+/// `max_nodes`. Below two fragments, distribution is not worth the fixed
+/// dispatch cost.
+int ChooseFanout(const LogicalRef& plan, const StatsCollector& stats,
+                 int max_nodes, double rows_per_fragment = 262144.0);
+
+/// Output schema of a logical plan (needs the catalog for scan types).
+Status InferOutputTypes(const LogicalRef& plan, const Catalog& catalog,
+                        std::vector<DataType>* out);
+
+/// Deep-copies the node tree (shared subtrees are duplicated; expressions
+/// are immutable and stay shared). Fragment cutting clones before setting
+/// partition fields so caller plans are never mutated.
+LogicalRef ClonePlan(const LogicalRef& plan);
+
+// --- Plan wire format ---------------------------------------------------
+
+/// Recursive type-tagged LogicalNode codec for FragmentChannel transport.
+/// Decoding is bounds-checked; malformed input yields Status::Corruption.
+void PutPlan(std::string* dst, const LogicalRef& plan);
+Status GetPlan(ByteReader* r, LogicalRef* out);
+
+}  // namespace imci
+
+#endif  // POLARDB_IMCI_PLAN_FRAGMENT_H_

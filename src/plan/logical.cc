@@ -145,7 +145,13 @@ Status LowerToColumnPlan(const LogicalRef& node, const ImciStore* imci,
   auto scan_lower = [imci](const LogicalNode& scan, PhysOpRef* o) -> Status {
     ColumnIndex* index = imci->GetIndex(scan.table_id);
     if (index == nullptr) return Status::NotFound("column index");
-    *o = std::make_shared<ColumnScanOp>(index, scan.cols, scan.filter);
+    ScanPartition part;
+    part.col = scan.part_col;
+    part.has_lo = scan.part_has_lo;
+    part.has_hi = scan.part_has_hi;
+    part.lo = scan.part_lo;
+    part.hi = scan.part_hi;
+    *o = std::make_shared<ColumnScanOp>(index, scan.cols, scan.filter, part);
     return Status::OK();
   };
   return Lower(node, scan_lower, out);
@@ -156,6 +162,11 @@ Status LowerToRowPlan(const LogicalRef& node, const RowStoreEngine* rows,
   auto scan_lower = [rows](const LogicalNode& scan, PhysOpRef* o) -> Status {
     const RowTable* table = rows->GetTable(scan.table_id);
     if (table == nullptr) return Status::NotFound("row table");
+    // Fragment plans are column-engine only; refuse rather than silently
+    // returning unpartitioned rows.
+    if (scan.part_col >= 0) {
+      return Status::NotSupported("partitioned scan on row engine");
+    }
     // Access-path selection: use an index when the predicate bounds an
     // indexed column (the paper's "indexes built in row-based PolarDB were
     // more efficient to handle point queries", §8.2 on Q2).
